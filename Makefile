@@ -1,0 +1,37 @@
+# Development targets for the AQuA timing-fault reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments quick-experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure and ablation (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/aqua-exp -exp all | tee results_all.txt
+
+quick-experiments:
+	$(GO) run ./cmd/aqua-exp -exp all -quick
+
+# Short fuzzing pass over the wire codec.
+fuzz:
+	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 20s
+	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 20s
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,604 @@
+// Package aqua is a Go reproduction of the timing-fault-tolerant replica
+// selection system from "A Dynamic Replica Selection Algorithm for
+// Tolerating Timing Faults" (Krishnamurthy, Sanders, Cukier — DSN 2001),
+// originally built inside the AQuA CORBA middleware.
+//
+// A replicated, stateless service runs as a pool of server replicas. A
+// client declares a QoS specification — a response deadline t and a minimum
+// probability Pc with which the deadline must be met — and calls the service
+// through a timing fault handler. Per request, the handler:
+//
+//   - predicts each replica's probability of responding within t from an
+//     online model (empirical distributions of service time and queuing
+//     delay over a sliding measurement window, plus the latest
+//     gateway-to-gateway delay),
+//   - selects the smallest replica subset whose combined probability of at
+//     least one timely response meets Pc even if any single member crashes,
+//   - multicasts the request to that subset and delivers the earliest reply,
+//     harvesting performance data from every reply (duplicates included),
+//   - detects timing failures and notifies the client through a callback
+//     when the observed timely-response rate drops below Pc.
+//
+// # Quick start
+//
+//	cluster, err := aqua.NewCluster("search", 5, handler,
+//	    aqua.WithSimulatedLoad(100*time.Millisecond, 50*time.Millisecond))
+//	client, err := cluster.NewClient(aqua.QoS{
+//	    Deadline:       150 * time.Millisecond,
+//	    MinProbability: 0.9,
+//	})
+//	reply, err := client.Call(ctx, "lookup", []byte("query"))
+//
+// See the examples/ directory for runnable programs over both the
+// in-process and the TCP transports.
+package aqua
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/gateway"
+	"aqua/internal/group"
+	"aqua/internal/proteus"
+	"aqua/internal/selection"
+	"aqua/internal/server"
+	"aqua/internal/stats"
+	"aqua/internal/transport"
+	"aqua/internal/wire"
+)
+
+// QoS is a client's quality-of-service specification: the deadline by which
+// a response must arrive and the minimum probability with which that must
+// happen (the paper's t and Pc(t)).
+type QoS = wire.QoS
+
+// ReplicaID identifies one replica of a service.
+type ReplicaID = wire.ReplicaID
+
+// Service names a replicated service.
+type Service = wire.Service
+
+// ViolationReport is delivered to the client's QoS callback when the
+// observed frequency of timely responses falls below the requested minimum.
+type ViolationReport = core.ViolationReport
+
+// Stats is a snapshot of a client handler's counters.
+type Stats = core.Stats
+
+// Handler is the application logic run by each replica.
+type Handler = server.Handler
+
+// Strategy selects the replica subset for each request. Build one with
+// DynamicSelection and friends.
+type Strategy = selection.Strategy
+
+// DynamicSelection returns the paper's Algorithm 1: the minimal subset
+// meeting the QoS with a single-crash reserve.
+func DynamicSelection() Strategy { return selection.NewDynamic() }
+
+// DynamicSelectionMulti generalizes Algorithm 1 to tolerate f simultaneous
+// crashes.
+func DynamicSelectionMulti(f int) Strategy { return selection.NewDynamicMulti(f) }
+
+// SingleBestSelection picks only the most promising replica (no crash
+// protection) — the classic lowest-expected-response-time baseline.
+func SingleBestSelection() Strategy { return selection.SingleBest{} }
+
+// AllSelection multicasts to every replica — AQuA's active replication.
+func AllSelection() Strategy { return selection.All{} }
+
+// ClientConfig configures a service client.
+type ClientConfig struct {
+	// Name identifies the client; must be unique within the cluster.
+	Name string
+	// QoS is the initial QoS specification.
+	QoS QoS
+	// Strategy overrides replica selection; nil means DynamicSelection().
+	Strategy Strategy
+	// WindowSize is the measurement sliding-window size l (0 = 5, as in
+	// the paper's experiments).
+	WindowSize int
+	// CompensateOverhead subtracts the measured selection overhead δ from
+	// the deadline when predicting (paper §5.3.3).
+	CompensateOverhead bool
+	// OnViolation receives QoS-violation callbacks. Must not block.
+	OnViolation func(ViolationReport)
+	// ProbeInterval, when positive, enables active probing of replicas
+	// whose performance data has gone stale (paper §8).
+	ProbeInterval time.Duration
+	// MaxWait bounds how long Call waits for a first reply; zero means 10×
+	// the QoS deadline.
+	MaxWait time.Duration
+}
+
+// Client is a connected service client. Create with Cluster.NewClient;
+// release with Close.
+type Client struct {
+	handler *gateway.TimingFaultHandler
+	cluster *Cluster
+}
+
+// Call invokes the service and returns the earliest reply, blocking up to
+// the QoS deadline (and a straggler grace period) as the paper's handler
+// does. A reply that arrives after the deadline is still returned; the
+// timing failure is recorded and counts toward the violation callback.
+func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	return c.handler.Call(ctx, method, payload)
+}
+
+// Renegotiate replaces the QoS specification at runtime, as the paper
+// allows ("negotiate it at runtime as often as it wants").
+func (c *Client) Renegotiate(q QoS) error { return c.handler.Renegotiate(q) }
+
+// Stats returns the handler's counters (requests, failures, redundancy).
+func (c *Client) Stats() Stats { return c.handler.Stats() }
+
+// Close releases the client.
+func (c *Client) Close() {
+	if c.cluster != nil {
+		c.cluster.mu.Lock()
+		delete(c.cluster.clients, c)
+		c.cluster.mu.Unlock()
+	}
+	c.handler.Close()
+}
+
+// Replica is a running server replica handle.
+type Replica struct {
+	srv *server.Replica
+}
+
+// ID returns the replica's identity.
+func (r *Replica) ID() ReplicaID { return r.srv.ID() }
+
+// Addr returns the replica's transport address.
+func (r *Replica) Addr() string { return string(r.srv.Addr()) }
+
+// Served returns the number of requests this replica has processed.
+func (r *Replica) Served() uint64 { return r.srv.Served() }
+
+// Stop terminates the replica (simulating a crash from the cluster's
+// perspective: clients prune it after failure detection).
+func (r *Replica) Stop() { r.srv.Stop() }
+
+// Cluster is a replicated service running on a shared transport, plus the
+// bookkeeping to mint clients against it. It is the in-process convenience
+// layer; production deployments wire cmd/aqua-server and cmd/aqua-client
+// across machines instead.
+type Cluster struct {
+	service wire.Service
+	network transport.Network
+	inmem   *transport.InMem // non-nil when we own an in-memory network
+
+	mu       sync.Mutex
+	replicas map[ReplicaID]*Replica
+	clients  map[*Client]bool
+	nextID   int
+	viewNum  uint64
+	handler  Handler
+	load     stats.DelayDist
+	seed     int64
+	selfHeal bool
+	manager  *proteus.Manager
+	closed   bool
+}
+
+// membershipLocked builds the current replica address table. Caller holds
+// c.mu.
+func (c *Cluster) membershipLocked() map[wire.ReplicaID]transport.Addr {
+	m := make(map[wire.ReplicaID]transport.Addr, len(c.replicas))
+	for id, r := range c.replicas {
+		m[id] = transport.Addr(r.Addr())
+	}
+	return m
+}
+
+// notifyClients pushes the current membership to every live client, as the
+// group-communication layer would after a view change, and feeds the
+// dependability manager when self-healing is on.
+func (c *Cluster) notifyClients() {
+	c.mu.Lock()
+	m := c.membershipLocked()
+	clients := make([]*Client, 0, len(c.clients))
+	for cl := range c.clients {
+		clients = append(clients, cl)
+	}
+	c.viewNum++
+	view := group.View{Number: c.viewNum, Members: make([]wire.ReplicaID, 0, len(m))}
+	for id := range m {
+		view.Members = append(view.Members, id)
+	}
+	mgr := c.manager
+	c.mu.Unlock()
+	for _, cl := range clients {
+		cl.handler.UpdateMembership(m)
+	}
+	if mgr != nil {
+		mgr.ObserveView(view)
+	}
+}
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*Cluster)
+
+// WithSimulatedLoad makes every replica delay each response by a draw from
+// Normal(mean, sigma), reproducing the paper's simulated server load.
+func WithSimulatedLoad(mean, sigma time.Duration) ClusterOption {
+	return func(c *Cluster) { c.load = stats.Normal{Mu: mean, Sigma: sigma} }
+}
+
+// WithLoadDistribution sets an arbitrary artificial service-delay
+// distribution for the replicas.
+func WithLoadDistribution(d stats.DelayDist) ClusterOption {
+	return func(c *Cluster) { c.load = d }
+}
+
+// WithTCP runs the cluster over TCP loopback sockets instead of the
+// in-memory transport.
+func WithTCP() ClusterOption {
+	return func(c *Cluster) {
+		c.network = transport.NewTCP()
+		c.inmem = nil
+	}
+}
+
+// WithSeed seeds the replicas' load injectors (runs with equal seeds and
+// the in-memory transport are reproducible).
+func WithSeed(seed int64) ClusterOption {
+	return func(c *Cluster) { c.seed = seed }
+}
+
+// WithSharedNetwork places this cluster on the same transport network as
+// other, so one Gateway can carry handlers for both services. Both clusters
+// must then be closed independently; the network is owned by other.
+func WithSharedNetwork(other *Cluster) ClusterOption {
+	return func(c *Cluster) {
+		c.network = other.network
+		c.inmem = nil // not ours to close
+	}
+}
+
+// WithSelfHealing keeps the replica pool at its initial size: a Proteus
+// dependability manager observes membership and starts a fresh replica
+// whenever one crash-stops (§2: Proteus "manages the replication level").
+func WithSelfHealing() ClusterOption {
+	return func(c *Cluster) { c.selfHeal = true }
+}
+
+// NewCluster starts n replicas of service running handler.
+func NewCluster(service Service, n int, handler Handler, opts ...ClusterOption) (*Cluster, error) {
+	if service == "" {
+		return nil, fmt.Errorf("aqua: service name is required")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("aqua: need at least one replica, got %d", n)
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("aqua: handler is required")
+	}
+	inmem := transport.NewInMem()
+	c := &Cluster{
+		service:  service,
+		network:  inmem,
+		inmem:    inmem,
+		replicas: make(map[ReplicaID]*Replica),
+		clients:  make(map[*Client]bool),
+		handler:  handler,
+		seed:     1,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.AddReplica(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if c.selfHeal {
+		mgr, err := proteus.NewManager(proteus.Policy{
+			Service:          service,
+			ReplicationLevel: n,
+			Factory: func(wire.ReplicaID) (wire.ReplicaID, func(), error) {
+				r, err := c.AddReplica()
+				if err != nil {
+					return "", nil, err
+				}
+				return r.ID(), r.Stop, nil
+			},
+			CheckInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.mu.Lock()
+		c.manager = mgr
+		c.mu.Unlock()
+		c.notifyClients() // seed the manager with the initial view
+		mgr.Run()
+	}
+	return c, nil
+}
+
+// Manager returns the dependability manager, or nil when self-healing is
+// off.
+func (c *Cluster) Manager() *proteus.Manager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.manager
+}
+
+// AddReplica starts one more replica and returns its handle.
+func (c *Cluster) AddReplica() (*Replica, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("aqua: cluster closed")
+	}
+	c.nextID++
+	id := wire.ReplicaID(fmt.Sprintf("%s-r%d", c.service, c.nextID))
+	seed := c.seed + int64(c.nextID)
+	c.mu.Unlock()
+
+	ep, err := c.listen(string(id))
+	if err != nil {
+		return nil, fmt.Errorf("aqua: replica endpoint: %w", err)
+	}
+	srv, err := server.Start(ep, server.Config{
+		ID:        id,
+		Service:   c.service,
+		Handler:   c.handler,
+		LoadDelay: c.load,
+		Seed:      seed,
+	})
+	if err != nil {
+		_ = ep.Close()
+		return nil, fmt.Errorf("aqua: starting replica: %w", err)
+	}
+	r := &Replica{srv: srv}
+	c.mu.Lock()
+	c.replicas[id] = r
+	c.mu.Unlock()
+	c.notifyClients()
+	return r, nil
+}
+
+// listen allocates an endpoint: named on the in-memory network, an
+// ephemeral loopback port on TCP.
+func (c *Cluster) listen(name string) (transport.Endpoint, error) {
+	addr := transport.Addr(name)
+	if _, ok := c.network.(*transport.InMem); !ok {
+		addr = "127.0.0.1:0"
+	}
+	return c.network.Listen(addr)
+}
+
+// Replicas returns handles for the currently running replicas.
+func (c *Cluster) Replicas() []*Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		out = append(out, r)
+	}
+	return out
+}
+
+// StopReplica crash-stops the named replica. The clients' deadline
+// machinery and redundancy absorb in-flight losses.
+func (c *Cluster) StopReplica(id ReplicaID) error {
+	c.mu.Lock()
+	r, ok := c.replicas[id]
+	if ok {
+		delete(c.replicas, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("aqua: unknown replica %q", id)
+	}
+	r.Stop()
+	c.notifyClients()
+	return nil
+}
+
+// NewClient mints a client of this cluster's service.
+func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("client-%d", time.Now().UnixNano())
+	}
+	c.mu.Lock()
+	static := c.membershipLocked()
+	c.mu.Unlock()
+
+	ep, err := c.listen("client:" + cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("aqua: client endpoint: %w", err)
+	}
+	h, err := gateway.NewTimingFaultHandler(ep, gateway.Config{
+		Client:             wire.ClientID(cfg.Name),
+		Service:            c.service,
+		QoS:                cfg.QoS,
+		Strategy:           cfg.Strategy,
+		WindowSize:         cfg.WindowSize,
+		CompensateOverhead: cfg.CompensateOverhead,
+		OnViolation:        cfg.OnViolation,
+		ProbeInterval:      cfg.ProbeInterval,
+		MaxWait:            cfg.MaxWait,
+		StaticReplicas:     static,
+	})
+	if err != nil {
+		_ = ep.Close()
+		return nil, fmt.Errorf("aqua: client handler: %w", err)
+	}
+	client := &Client{handler: h, cluster: c}
+	c.mu.Lock()
+	c.clients[client] = true
+	c.mu.Unlock()
+	return client, nil
+}
+
+// Close stops every replica and, when owned, the in-memory network.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	replicas := make([]*Replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		replicas = append(replicas, r)
+	}
+	c.replicas = make(map[ReplicaID]*Replica)
+	mgr := c.manager
+	c.manager = nil
+	c.mu.Unlock()
+
+	if mgr != nil {
+		// Stop reconciliation first so the manager doesn't replace the
+		// replicas being shut down.
+		mgr.Stop()
+	}
+	for _, r := range replicas {
+		r.Stop()
+	}
+	if c.inmem != nil {
+		_ = c.inmem.Close()
+	}
+}
+
+// Gateway is a client gateway hosting one timing fault handler per service,
+// as in the original AQuA architecture where "a client that is communicating
+// with multiple servers would have multiple handlers loaded in its gateway".
+// Create with NewGateway against one or more clusters.
+type Gateway struct {
+	mg       *gateway.MultiGateway
+	clusters map[Service]*Cluster
+}
+
+// NewGateway creates a multi-service gateway for a client. Pass the
+// clusters whose services the client will call; each gets its own handler
+// with its own QoS.
+func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error) {
+	if name == "" {
+		return nil, fmt.Errorf("aqua: gateway name is required")
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("aqua: at least one cluster is required")
+	}
+	// All clusters must share a transport for a single shared endpoint.
+	var first *Cluster
+	for c := range configs {
+		if first == nil {
+			first = c
+			continue
+		}
+		if c.network != first.network {
+			return nil, fmt.Errorf("aqua: clusters on different networks cannot share a gateway")
+		}
+	}
+	ep, err := first.listen("gateway:" + name)
+	if err != nil {
+		return nil, fmt.Errorf("aqua: gateway endpoint: %w", err)
+	}
+	mg, err := gateway.NewMultiGateway(ep, wire.ClientID(name))
+	if err != nil {
+		_ = ep.Close()
+		return nil, fmt.Errorf("aqua: %w", err)
+	}
+	g := &Gateway{mg: mg, clusters: make(map[Service]*Cluster, len(configs))}
+	for c, cfg := range configs {
+		c.mu.Lock()
+		static := c.membershipLocked()
+		c.mu.Unlock()
+		if _, err := mg.LoadHandler(gateway.Config{
+			Service:            c.service,
+			QoS:                cfg.QoS,
+			Strategy:           cfg.Strategy,
+			WindowSize:         cfg.WindowSize,
+			CompensateOverhead: cfg.CompensateOverhead,
+			OnViolation:        cfg.OnViolation,
+			StaticReplicas:     static,
+		}); err != nil {
+			mg.Close()
+			return nil, fmt.Errorf("aqua: loading handler for %q: %w", c.service, err)
+		}
+		g.clusters[c.service] = c
+	}
+	return g, nil
+}
+
+// Call invokes a service through its loaded handler.
+func (g *Gateway) Call(ctx context.Context, service Service, method string, payload []byte) ([]byte, error) {
+	return g.mg.Call(ctx, service, method, payload)
+}
+
+// Stats returns the per-service handler counters.
+func (g *Gateway) Stats(service Service) (Stats, error) {
+	h, ok := g.mg.Handler(service)
+	if !ok {
+		return Stats{}, fmt.Errorf("aqua: no handler for %q", service)
+	}
+	return h.Stats(), nil
+}
+
+// Renegotiate replaces one service's QoS specification at runtime.
+func (g *Gateway) Renegotiate(service Service, q QoS) error {
+	h, ok := g.mg.Handler(service)
+	if !ok {
+		return fmt.Errorf("aqua: no handler for %q", service)
+	}
+	return h.Renegotiate(q)
+}
+
+// Close releases the gateway and all its handlers.
+func (g *Gateway) Close() { g.mg.Close() }
+
+// PassiveClient is a client using AQuA's passive-replication handler:
+// requests go to a single primary with failover on timeout, the
+// crash-tolerance baseline the timing fault handler improves on.
+type PassiveClient struct {
+	handler *gateway.PassiveHandler
+}
+
+// NewPassiveClient mints a passive-replication client of the cluster's
+// service. attemptTimeout is how long the primary may stay silent before
+// the handler fails over to the next replica.
+func (c *Cluster) NewPassiveClient(name string, attemptTimeout time.Duration) (*PassiveClient, error) {
+	if name == "" {
+		return nil, fmt.Errorf("aqua: client name is required")
+	}
+	c.mu.Lock()
+	static := c.membershipLocked()
+	c.mu.Unlock()
+	ep, err := c.listen("client:" + name)
+	if err != nil {
+		return nil, fmt.Errorf("aqua: client endpoint: %w", err)
+	}
+	h, err := gateway.NewPassiveHandler(ep, gateway.PassiveConfig{
+		Client:         wire.ClientID(name),
+		Service:        c.service,
+		AttemptTimeout: attemptTimeout,
+		StaticReplicas: static,
+	})
+	if err != nil {
+		_ = ep.Close()
+		return nil, fmt.Errorf("aqua: passive handler: %w", err)
+	}
+	return &PassiveClient{handler: h}, nil
+}
+
+// Call invokes the service on the primary, failing over on timeout.
+func (p *PassiveClient) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	return p.handler.Call(ctx, method, payload)
+}
+
+// Primary returns the replica currently treated as primary.
+func (p *PassiveClient) Primary() (ReplicaID, bool) { return p.handler.Primary() }
+
+// Close releases the client.
+func (p *PassiveClient) Close() { p.handler.Close() }

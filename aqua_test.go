@@ -1,0 +1,567 @@
+package aqua_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aqua"
+	"aqua/internal/stats"
+)
+
+const ms = time.Millisecond
+
+func echo(method string, payload []byte) ([]byte, error) {
+	return append([]byte(method+":"), payload...), nil
+}
+
+func newTestCluster(t *testing.T, n int, opts ...aqua.ClusterOption) *aqua.Cluster {
+	t.Helper()
+	c, err := aqua.NewCluster("svc", n, echo, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := aqua.NewCluster("", 1, echo); err == nil {
+		t.Error("want error for empty service")
+	}
+	if _, err := aqua.NewCluster("svc", 0, echo); err == nil {
+		t.Error("want error for zero replicas")
+	}
+	if _, err := aqua.NewCluster("svc", 1, nil); err == nil {
+		t.Error("want error for nil handler")
+	}
+}
+
+func TestClusterCallRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 3)
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "t1",
+		QoS:  aqua.QoS{Deadline: 500 * ms, MinProbability: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	out, err := client.Call(context.Background(), "hello", []byte("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(out), "world") {
+		t.Errorf("reply = %q", out)
+	}
+}
+
+func TestClusterQoSInvalid(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if _, err := c.NewClient(aqua.ClientConfig{Name: "bad", QoS: aqua.QoS{Deadline: -1}}); err == nil {
+		t.Error("want error for invalid QoS")
+	}
+}
+
+func TestReplicaCrashToleratedAndPruned(t *testing.T) {
+	c := newTestCluster(t, 4, aqua.WithSimulatedLoad(10*ms, 2*ms), aqua.WithSeed(2))
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "t2",
+		QoS:  aqua.QoS{Deadline: 300 * ms, MinProbability: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := c.Replicas()[0]
+	if err := c.StopReplica(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StopReplica(victim.ID()); err == nil {
+		t.Error("want error stopping an already-stopped replica")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatalf("call after crash: %v", err)
+		}
+	}
+	if got := len(c.Replicas()); got != 3 {
+		t.Errorf("Replicas() = %d, want 3", got)
+	}
+}
+
+func TestAddReplicaJoinsService(t *testing.T) {
+	c := newTestCluster(t, 2, aqua.WithSimulatedLoad(5*ms, ms))
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name:     "t3",
+		QoS:      aqua.QoS{Deadline: 300 * ms, MinProbability: 0.9},
+		Strategy: aqua.AllSelection(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	if _, err := client.Call(ctx, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.AddReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With the All strategy the newcomer serves every post-join request.
+	deadline := time.Now().Add(time.Second)
+	for r.Served() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * ms)
+	}
+	if r.Served() < 3 {
+		t.Errorf("new replica served %d, want >= 3", r.Served())
+	}
+}
+
+func TestViolationCallbackThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, 2, aqua.WithSimulatedLoad(50*ms, 5*ms), aqua.WithSeed(3))
+	var mu sync.Mutex
+	var got []aqua.ViolationReport
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "t4",
+		QoS:  aqua.QoS{Deadline: 10 * ms, MinProbability: 0.9},
+		// Generous reply window: the 10ms deadline is intentionally
+		// infeasible, but a loaded CI machine must not turn slow replies
+		// into transport errors.
+		MaxWait: 5 * time.Second,
+		OnViolation: func(v aqua.ViolationReport) {
+			mu.Lock()
+			got = append(got, v)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("violations = %d, want 1", len(got))
+	}
+	if got[0].RequiredTimely != 0.9 {
+		t.Errorf("report = %+v", got[0])
+	}
+}
+
+func TestRenegotiateThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, 3, aqua.WithSimulatedLoad(30*ms, 5*ms), aqua.WithSeed(4))
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name:    "t5",
+		QoS:     aqua.QoS{Deadline: 5 * ms, MinProbability: 0},
+		MaxWait: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := client.Stats().TimingFailures
+	if before == 0 {
+		t.Fatal("want failures before renegotiation")
+	}
+	if err := client.Renegotiate(aqua.QoS{Deadline: 400 * ms, MinProbability: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := client.Stats().TimingFailures; got != before {
+		t.Errorf("failures after renegotiation: %d -> %d", before, got)
+	}
+}
+
+func TestStrategiesExposed(t *testing.T) {
+	names := map[string]aqua.Strategy{
+		"dynamic":     aqua.DynamicSelection(),
+		"dynamic-f2":  aqua.DynamicSelectionMulti(2),
+		"single-best": aqua.SingleBestSelection(),
+		"all":         aqua.AllSelection(),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestTCPCluster(t *testing.T) {
+	c := newTestCluster(t, 2, aqua.WithTCP())
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "t6",
+		QoS:  aqua.QoS{Deadline: time.Second, MinProbability: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	out, err := client.Call(context.Background(), "m", []byte("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(out), "tcp") {
+		t.Errorf("reply = %q", out)
+	}
+	for _, r := range c.Replicas() {
+		if !strings.Contains(r.Addr(), ":") {
+			t.Errorf("replica addr %q does not look like host:port", r.Addr())
+		}
+	}
+}
+
+func TestCustomLoadDistribution(t *testing.T) {
+	c := newTestCluster(t, 2, aqua.WithLoadDistribution(stats.Constant{Delay: 30 * ms}))
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "t7",
+		QoS:  aqua.QoS{Deadline: 500 * ms, MinProbability: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	start := time.Now()
+	if _, err := client.Call(context.Background(), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*ms {
+		t.Errorf("call returned in %v, want >= ~30ms with constant load", elapsed)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := newTestCluster(t, 5, aqua.WithSimulatedLoad(5*ms, ms), aqua.WithSeed(6))
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := c.NewClient(aqua.ClientConfig{
+				Name: fmt.Sprintf("cc-%d", i),
+				QoS:  aqua.QoS{Deadline: 300 * ms, MinProbability: 0.5},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			ctx := context.Background()
+			for j := 0; j < 10; j++ {
+				if _, err := client.Call(ctx, "", nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.Close()
+	c.Close()
+	if _, err := c.AddReplica(); err == nil {
+		t.Error("want error adding replica to closed cluster")
+	}
+}
+
+func TestSelfHealingReplacesCrashedReplica(t *testing.T) {
+	c := newTestCluster(t, 3, aqua.WithSelfHealing(), aqua.WithSimulatedLoad(5*ms, ms))
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "heal",
+		QoS:  aqua.QoS{Deadline: 300 * ms, MinProbability: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	if _, err := client.Call(ctx, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.Replicas()[0]
+	if err := c.StopReplica(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// The dependability manager must bring the pool back to 3.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(c.Replicas()) < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * ms)
+	}
+	if got := len(c.Replicas()); got != 3 {
+		t.Fatalf("pool = %d replicas after crash, want restored to 3", got)
+	}
+	if c.Manager() == nil {
+		t.Fatal("Manager() = nil with self-healing on")
+	}
+	if c.Manager().StartedCount() == 0 {
+		t.Error("manager started no replicas")
+	}
+	// The pool must not over-provision.
+	time.Sleep(100 * ms)
+	if got := len(c.Replicas()); got != 3 {
+		t.Errorf("pool drifted to %d replicas", got)
+	}
+	// Calls keep working against the healed pool.
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatalf("call after heal: %v", err)
+		}
+	}
+}
+
+func TestSelfHealingOffByDefault(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if c.Manager() != nil {
+		t.Error("manager exists without WithSelfHealing")
+	}
+	victim := c.Replicas()[0]
+	if err := c.StopReplica(victim.ID()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * ms)
+	if got := len(c.Replicas()); got != 1 {
+		t.Errorf("pool = %d, want 1 (no healing)", got)
+	}
+}
+
+func TestGatewayMultiService(t *testing.T) {
+	// Two services on one shared in-memory network; one Gateway carries a
+	// handler (and QoS contract) for each.
+	fast, err := aqua.NewCluster("fastsvc", 3, echo,
+		aqua.WithSimulatedLoad(10*ms, 3*ms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fast.Close)
+	// The slow service shares fast's network so one gateway can front both.
+	slow, err := aqua.NewCluster("slowsvc", 3, echo,
+		aqua.WithSimulatedLoad(60*ms, 10*ms),
+		aqua.WithSharedNetwork(fast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(slow.Close)
+
+	// A cluster on a truly separate network is rejected.
+	other, err := aqua.NewCluster("othersvc", 1, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(other.Close)
+	if _, err := aqua.NewGateway("mixed", map[*aqua.Cluster]aqua.ClientConfig{
+		fast:  {QoS: aqua.QoS{Deadline: 50 * ms, MinProbability: 0.9}},
+		other: {QoS: aqua.QoS{Deadline: 200 * ms, MinProbability: 0.9}},
+	}); err == nil {
+		t.Fatal("want error for clusters on different networks")
+	}
+
+	g, err := aqua.NewGateway("duo", map[*aqua.Cluster]aqua.ClientConfig{
+		fast: {QoS: aqua.QoS{Deadline: 100 * ms, MinProbability: 0.9}},
+		slow: {QoS: aqua.QoS{Deadline: 250 * ms, MinProbability: 0.8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := g.Call(ctx, "fastsvc", "m", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Call(ctx, "slowsvc", "m", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := g.Stats("fastsvc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 5 {
+		t.Errorf("fastsvc Requests = %d, want 5", st.Requests)
+	}
+	st, err = g.Stats("slowsvc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 5 {
+		t.Errorf("slowsvc Requests = %d, want 5", st.Requests)
+	}
+	if _, err := g.Stats("nope"); err == nil {
+		t.Error("want error for unknown service")
+	}
+	if err := g.Renegotiate("fastsvc", aqua.QoS{Deadline: 200 * ms, MinProbability: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Renegotiate("nope", aqua.QoS{Deadline: ms}); err == nil {
+		t.Error("want error renegotiating unknown service")
+	}
+	if _, err := g.Call(ctx, "nope", "m", nil); err == nil {
+		t.Error("want error calling unknown service")
+	}
+}
+
+func TestGatewayValidation(t *testing.T) {
+	c := newTestCluster(t, 1)
+	if _, err := aqua.NewGateway("", map[*aqua.Cluster]aqua.ClientConfig{
+		c: {QoS: aqua.QoS{Deadline: time.Second}},
+	}); err == nil {
+		t.Error("want error for empty name")
+	}
+	if _, err := aqua.NewGateway("g", nil); err == nil {
+		t.Error("want error for no clusters")
+	}
+}
+
+func TestPassiveClientFailover(t *testing.T) {
+	c := newTestCluster(t, 3, aqua.WithSimulatedLoad(5*ms, ms))
+	pc, err := c.NewPassiveClient("passive", 100*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	ctx := context.Background()
+	if _, err := pc.Call(ctx, "m", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	primary, ok := pc.Primary()
+	if !ok {
+		t.Fatal("no primary")
+	}
+	// Crash the primary; the next call fails over.
+	if err := c.StopReplica(primary); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Call(ctx, "m", []byte("y")); err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if _, err := c.NewPassiveClient("", time.Second); err == nil {
+		t.Error("want error for empty name")
+	}
+}
+
+func TestChurnSoak(t *testing.T) {
+	// Soak test: three clients run against a self-healing pool while
+	// replicas are repeatedly crash-stopped. Every call must resolve and
+	// the pool must end at its target level.
+	c := newTestCluster(t, 4,
+		aqua.WithSelfHealing(),
+		aqua.WithSimulatedLoad(8*ms, 3*ms),
+		aqua.WithSeed(13))
+
+	const clients, calls = 3, 25
+	var clientWG, churnWG sync.WaitGroup
+	errs := make(chan error, clients)
+	stopChurn := make(chan struct{})
+
+	// Churn goroutine: crash a replica every 60ms.
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for {
+			select {
+			case <-stopChurn:
+				return
+			case <-time.After(60 * ms):
+				replicas := c.Replicas()
+				if len(replicas) > 1 {
+					_ = c.StopReplica(replicas[0].ID())
+				}
+			}
+		}
+	}()
+	defer func() {
+		select {
+		case <-stopChurn:
+		default:
+			close(stopChurn)
+		}
+		churnWG.Wait()
+	}()
+
+	for i := 0; i < clients; i++ {
+		clientWG.Add(1)
+		go func(i int) {
+			defer clientWG.Done()
+			client, err := c.NewClient(aqua.ClientConfig{
+				Name: fmt.Sprintf("soak-%d", i),
+				QoS:  aqua.QoS{Deadline: 200 * ms, MinProbability: 0.8},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			ctx := context.Background()
+			for j := 0; j < calls; j++ {
+				if _, err := client.Call(ctx, "", nil); err != nil {
+					errs <- fmt.Errorf("client %d call %d: %w", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	// Wait for the clients to finish.
+	done := make(chan struct{})
+	go func() {
+		clientWG.Wait()
+		close(done)
+	}()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("soak did not finish in 30s")
+	}
+	close(stopChurn)
+	churnWG.Wait()
+	// The pool heals back to 4.
+	deadline := time.Now().Add(3 * time.Second)
+	for len(c.Replicas()) < 4 && time.Now().Before(deadline) {
+		time.Sleep(10 * ms)
+	}
+	if got := len(c.Replicas()); got != 4 {
+		t.Errorf("pool = %d after churn, want healed to 4", got)
+	}
+}

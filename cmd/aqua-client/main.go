@@ -1,0 +1,118 @@
+// Command aqua-client issues requests against a replicated service over TCP
+// through the timing fault handler, printing per-request outcomes and the
+// final statistics.
+//
+// Usage:
+//
+//	aqua-client -service search -replicas 127.0.0.1:7001,127.0.0.1:7002 \
+//	    -deadline 150ms -probability 0.9 -n 50 -think 1s
+//
+// With -discover, the replica list is a seed list for the group layer and
+// membership (including crash pruning) is tracked by heartbeats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/gateway"
+	"aqua/internal/group"
+	"aqua/internal/transport"
+	"aqua/internal/wire"
+)
+
+func main() {
+	var (
+		service  = flag.String("service", "demo", "replicated service name")
+		replicas = flag.String("replicas", "", "comma-separated replica addresses (id=addr or addr)")
+		deadline = flag.Duration("deadline", 150*time.Millisecond, "QoS deadline t")
+		prob     = flag.Float64("probability", 0.9, "QoS minimum probability Pc")
+		n        = flag.Int("n", 50, "number of requests")
+		think    = flag.Duration("think", time.Second, "delay between response and next request")
+		discover = flag.Bool("discover", false, "treat -replicas as group seeds and discover membership via heartbeats")
+		window   = flag.Int("window", 5, "sliding window size l")
+	)
+	flag.Parse()
+
+	if err := run(*service, *replicas, *deadline, *prob, *n, *think, *discover, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "aqua-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(service, replicas string, deadline time.Duration, prob float64, n int, think time.Duration, discover bool, window int) error {
+	ep, err := transport.NewTCP().Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+
+	cfg := gateway.Config{
+		Client:     wire.ClientID("cli-" + string(ep.Addr())),
+		Service:    wire.Service(service),
+		QoS:        wire.QoS{Deadline: deadline, MinProbability: prob},
+		WindowSize: window,
+		OnViolation: func(v core.ViolationReport) {
+			fmt.Printf("!! QoS violation: %v\n", v)
+		},
+	}
+
+	var seeds []transport.Addr
+	static := make(map[wire.ReplicaID]transport.Addr)
+	for _, entry := range strings.Split(replicas, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr := entry, entry
+		if k, v, ok := strings.Cut(entry, "="); ok {
+			id, addr = k, v
+		}
+		static[wire.ReplicaID(id)] = transport.Addr(addr)
+		seeds = append(seeds, transport.Addr(addr))
+	}
+	if discover {
+		cfg.Group = &group.Config{Seeds: seeds}
+	} else {
+		if len(static) == 0 {
+			return fmt.Errorf("at least one replica address is required")
+		}
+		cfg.StaticReplicas = static
+	}
+
+	h, err := gateway.NewTimingFaultHandler(ep, cfg)
+	if err != nil {
+		_ = ep.Close()
+		return err
+	}
+	defer h.Close()
+
+	if discover {
+		// Give the heartbeat layer a moment to learn the membership.
+		time.Sleep(3 * group.DefaultHeartbeatInterval)
+	}
+
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		_, err := h.Call(ctx, "", []byte(fmt.Sprintf("req-%d", i)))
+		tr := time.Since(start)
+		status := "ok"
+		if err != nil {
+			status = "error: " + err.Error()
+		} else if tr > deadline {
+			status = "TIMING FAILURE"
+		}
+		fmt.Printf("req %2d  tr=%-12v %s\n", i, tr, status)
+		time.Sleep(think)
+	}
+
+	st := h.Stats()
+	fmt.Printf("\nrequests=%d failures=%d (p=%.3f) mean_redundancy=%.2f duplicates=%d\n",
+		st.Requests, st.TimingFailures, st.FailureProbability(), st.MeanRedundancy(), st.Duplicates)
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestRunnersQuick executes each fast experiment end to end through the CLI
+// plumbing (csv path exercised too). The sim-heavy ones run in quick mode.
+func TestRunnersQuick(t *testing.T) {
+	for _, exp := range []string{"fig3", "a1", "a8", "a10", "a11"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp, false, true, false); err != nil {
+				t.Fatalf("run(%q): %v", exp, err)
+			}
+		})
+	}
+	if err := run("fig3", true, true, false); err != nil {
+		t.Fatalf("csv mode: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", false, false, false); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}

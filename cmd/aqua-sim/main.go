@@ -1,0 +1,200 @@
+// Command aqua-sim runs a custom scenario on the discrete-event simulator:
+// the paper's experimental protocol with every knob exposed, plus optional
+// crash injection, network spikes, and a full decision trace.
+//
+// Usage:
+//
+//	aqua-sim -replicas 7 -clients 2 -requests 50 -deadline 120ms -probability 0.9
+//	aqua-sim -replicas 5 -crash 2@10s,3@20s -strategy single-best
+//	aqua-sim -trace trace.csv -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aqua/internal/selection"
+	"aqua/internal/sim"
+	"aqua/internal/stats"
+	"aqua/internal/trace"
+	"aqua/internal/wire"
+)
+
+func main() {
+	var (
+		replicas   = flag.Int("replicas", 7, "number of server replicas")
+		clients    = flag.Int("clients", 2, "number of clients")
+		requests   = flag.Int("requests", 50, "requests per client")
+		deadline   = flag.Duration("deadline", 120*time.Millisecond, "QoS deadline for every client")
+		prob       = flag.Float64("probability", 0.9, "QoS minimum probability")
+		think      = flag.Duration("think", time.Second, "think time between requests")
+		mean       = flag.Duration("load-mean", 100*time.Millisecond, "service delay mean")
+		sigma      = flag.Duration("load-sigma", 50*time.Millisecond, "service delay std dev")
+		netDelay   = flag.Duration("net-delay", 500*time.Microsecond, "one-way network delay")
+		spikeProb  = flag.Float64("spike-prob", 0, "probability of a network delay spike per message")
+		spikeDelay = flag.Duration("spike-delay", 50*time.Millisecond, "spike delay")
+		window     = flag.Int("window", 5, "sliding window size l")
+		seed       = flag.Int64("seed", 42, "random seed (same seed = identical run)")
+		strategy   = flag.String("strategy", "dynamic", "selection strategy: dynamic, dynamic-f2, noreserve, single-best, all, fixed-K, random-K, roundrobin-K")
+		crash      = flag.String("crash", "", "crash plan, e.g. 2@10s,3@20s (replica-index@virtual-time)")
+		traceOut   = flag.String("trace", "", "write a CSV decision trace to this file")
+	)
+	flag.Parse()
+
+	if err := run(*replicas, *clients, *requests, *deadline, *prob, *think,
+		*mean, *sigma, *netDelay, *spikeProb, *spikeDelay, *window, *seed,
+		*strategy, *crash, *traceOut); err != nil {
+		fmt.Fprintln(os.Stderr, "aqua-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// parseStrategy builds a selection strategy from its CLI name.
+func parseStrategy(name string, seed int64) (func() selection.Strategy, error) {
+	if k, ok := strings.CutPrefix(name, "fixed-"); ok {
+		n, err := strconv.Atoi(k)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad fixed-K strategy %q", name)
+		}
+		return func() selection.Strategy { return selection.FixedK{K: n} }, nil
+	}
+	if k, ok := strings.CutPrefix(name, "random-"); ok {
+		n, err := strconv.Atoi(k)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad random-K strategy %q", name)
+		}
+		return func() selection.Strategy { return selection.NewRandom(n, seed) }, nil
+	}
+	if k, ok := strings.CutPrefix(name, "roundrobin-"); ok {
+		n, err := strconv.Atoi(k)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad roundrobin-K strategy %q", name)
+		}
+		return func() selection.Strategy { return selection.NewRoundRobin(n) }, nil
+	}
+	switch name {
+	case "dynamic":
+		return func() selection.Strategy { return selection.NewDynamic() }, nil
+	case "dynamic-f2":
+		return func() selection.Strategy { return selection.NewDynamicMulti(2) }, nil
+	case "noreserve":
+		return func() selection.Strategy { return selection.NewDynamicNoReserve() }, nil
+	case "single-best":
+		return func() selection.Strategy { return selection.SingleBest{} }, nil
+	case "all":
+		return func() selection.Strategy { return selection.All{} }, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+// parseCrashPlan parses "2@10s,3@20s" into (replica index, crash time).
+func parseCrashPlan(plan string) (map[int]time.Duration, error) {
+	out := make(map[int]time.Duration)
+	if plan == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(plan, ",") {
+		idxStr, atStr, ok := strings.Cut(strings.TrimSpace(entry), "@")
+		if !ok {
+			return nil, fmt.Errorf("bad crash entry %q (want index@time)", entry)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad crash index %q: %w", idxStr, err)
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad crash time %q: %w", atStr, err)
+		}
+		out[idx] = at
+	}
+	return out, nil
+}
+
+func run(replicas, clients, requests int, deadline time.Duration, prob float64,
+	think, mean, sigma, netDelay time.Duration, spikeProb float64,
+	spikeDelay time.Duration, window int, seed int64, strategyName, crashPlan,
+	traceOut string) error {
+
+	mkStrategy, err := parseStrategy(strategyName, seed)
+	if err != nil {
+		return err
+	}
+	crashes, err := parseCrashPlan(crashPlan)
+	if err != nil {
+		return err
+	}
+
+	specs := make([]sim.ReplicaSpec, replicas)
+	for i := range specs {
+		specs[i] = sim.ReplicaSpec{Service: stats.Normal{Mu: mean, Sigma: sigma}}
+		if at, ok := crashes[i]; ok {
+			specs[i].CrashAt = at
+		}
+	}
+	for idx := range crashes {
+		if idx < 0 || idx >= replicas {
+			return fmt.Errorf("crash index %d out of range [0,%d)", idx, replicas)
+		}
+	}
+
+	cspecs := make([]sim.ClientSpec, clients)
+	for i := range cspecs {
+		cspecs[i] = sim.ClientSpec{
+			QoS:      wire.QoS{Deadline: deadline, MinProbability: prob},
+			Requests: requests,
+			Think:    think,
+			Strategy: mkStrategy(),
+		}
+	}
+
+	network := sim.NetworkModel{Base: stats.Constant{Delay: netDelay}}
+	if spikeProb > 0 {
+		network.SpikeProb = spikeProb
+		network.Spike = stats.Constant{Delay: spikeDelay}
+	}
+
+	var rec *trace.Recorder
+	if traceOut != "" {
+		rec = trace.New()
+	}
+	res, err := sim.Run(sim.Scenario{
+		Replicas:   specs,
+		Clients:    cspecs,
+		Network:    network,
+		WindowSize: window,
+		Seed:       seed,
+		Trace:      rec,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario: %d replicas (load %v±%v), %d clients × %d requests, deadline %v, Pc %.2f, strategy %s, seed %d\n",
+		replicas, mean, sigma, clients, requests, deadline, prob, strategyName, seed)
+	for i, c := range res.Clients {
+		fmt.Printf("client %d: mean_selected=%.2f failure_prob=%.3f mean_response=%v failures=%d/%d\n",
+			i, c.MeanSelected(), c.FailureProbability(), c.MeanResponseTime().Round(time.Microsecond),
+			c.Stats.TimingFailures, c.Stats.Completed)
+	}
+	fmt.Printf("server work: %v (total %d responses for %d requests)\n",
+		res.ReplicaServe, res.TotalServed(), clients*requests)
+
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s (%s)\n", rec.Len(), traceOut, rec.Summarize())
+	}
+	return nil
+}

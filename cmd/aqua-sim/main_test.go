@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseStrategy(t *testing.T) {
+	valid := []string{
+		"dynamic", "dynamic-f2", "noreserve", "single-best", "all",
+		"fixed-3", "random-2", "roundrobin-4",
+	}
+	for _, name := range valid {
+		mk, err := parseStrategy(name, 1)
+		if err != nil {
+			t.Errorf("parseStrategy(%q): %v", name, err)
+			continue
+		}
+		if mk() == nil {
+			t.Errorf("parseStrategy(%q) built nil strategy", name)
+		}
+	}
+	invalid := []string{"", "bogus", "fixed-", "fixed-0", "fixed-x", "random-0", "roundrobin-"}
+	for _, name := range invalid {
+		if _, err := parseStrategy(name, 1); err == nil {
+			t.Errorf("parseStrategy(%q) accepted", name)
+		}
+	}
+}
+
+func TestParseCrashPlan(t *testing.T) {
+	plan, err := parseCrashPlan("2@10s, 3@500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan[2] != 10*time.Second || plan[3] != 500*time.Millisecond {
+		t.Errorf("plan = %v", plan)
+	}
+	if got, err := parseCrashPlan(""); err != nil || len(got) != 0 {
+		t.Errorf("empty plan: %v, %v", got, err)
+	}
+	for _, bad := range []string{"2", "x@10s", "2@zonks", "@10s"} {
+		if _, err := parseCrashPlan(bad); err == nil {
+			t.Errorf("parseCrashPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if err := run(3, 1, 10, 120*time.Millisecond, 0.9, 100*time.Millisecond,
+		80*time.Millisecond, 20*time.Millisecond, time.Millisecond, 0, 0,
+		5, 1, "dynamic", "0@2s", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, 1, 10, 120*time.Millisecond, 0.9, 100*time.Millisecond,
+		80*time.Millisecond, 20*time.Millisecond, time.Millisecond, 0, 0,
+		5, 1, "nope", "", ""); err == nil {
+		t.Error("want error for unknown strategy")
+	}
+	if err := run(3, 1, 10, 120*time.Millisecond, 0.9, 100*time.Millisecond,
+		80*time.Millisecond, 20*time.Millisecond, time.Millisecond, 0, 0,
+		5, 1, "dynamic", "9@2s", ""); err == nil {
+		t.Error("want error for out-of-range crash index")
+	}
+}

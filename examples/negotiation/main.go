@@ -1,0 +1,77 @@
+// QoS negotiation: the paper's runtime-renegotiation loop (§4, §5.4.2). The
+// client first demands an infeasible deadline; when the handler's callback
+// reports that the observed frequency of timely responses cannot meet the
+// requested probability, the client renegotiates a feasible specification —
+// exactly the recovery path the paper prescribes ("the client can then
+// either choose to renegotiate its QoS specification or issue its requests
+// to the service at a later time").
+//
+//	go run ./examples/negotiation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"aqua"
+)
+
+func main() {
+	// Replicas need ~90ms on average; a 40ms deadline is hopeless.
+	cluster, err := aqua.NewCluster("quote", 5,
+		func(method string, payload []byte) ([]byte, error) {
+			return []byte("42"), nil
+		},
+		aqua.WithSimulatedLoad(90*time.Millisecond, 20*time.Millisecond),
+		aqua.WithSeed(5),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var violated atomic.Bool
+	client, err := cluster.NewClient(aqua.ClientConfig{
+		Name: "negotiator",
+		QoS:  aqua.QoS{Deadline: 40 * time.Millisecond, MinProbability: 0.9},
+		OnViolation: func(v aqua.ViolationReport) {
+			fmt.Printf("\ncallback: %v\n", v)
+			violated.Store(true)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	phase := "infeasible (t=40ms, Pc=0.9)"
+	for i := 0; i < 40; i++ {
+		start := time.Now()
+		if _, err := client.Call(ctx, "quote", nil); err != nil {
+			fmt.Printf("[%s] req %2d error: %v\n", phase, i, err)
+			continue
+		}
+		fmt.Printf("[%s] req %2d tr=%v\n", phase, i, time.Since(start).Round(time.Millisecond))
+
+		// React to the violation callback: renegotiate to something the
+		// service can actually deliver.
+		if violated.CompareAndSwap(true, false) {
+			newQoS := aqua.QoS{Deadline: 160 * time.Millisecond, MinProbability: 0.9}
+			if err := client.Renegotiate(newQoS); err != nil {
+				log.Fatal(err)
+			}
+			phase = "renegotiated (t=160ms, Pc=0.9)"
+			fmt.Printf("client renegotiated to %v\n\n", newQoS)
+		}
+	}
+
+	st := client.Stats()
+	fmt.Printf("\ntotals: %d requests, %d timing failures, mean redundancy %.2f\n",
+		st.Requests, st.TimingFailures, st.MeanRedundancy())
+	fmt.Println("after renegotiation the failure stream stops: the deadline is feasible")
+	fmt.Println("and Algorithm 1 sizes the replica subset to hold Pc=0.9.")
+}

@@ -1,0 +1,65 @@
+// Quickstart: a five-replica service with simulated load, one client with a
+// probabilistic deadline, and the dynamic selection algorithm picking the
+// replica subset per request.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"aqua"
+)
+
+func main() {
+	// Five replicas of a trivial service. Each delays its response by a
+	// draw from Normal(60ms, 25ms) — the paper's way of simulating load.
+	cluster, err := aqua.NewCluster("quickstart", 5,
+		func(method string, payload []byte) ([]byte, error) {
+			return []byte(fmt.Sprintf("pong(%s)", payload)), nil
+		},
+		aqua.WithSimulatedLoad(60*time.Millisecond, 25*time.Millisecond),
+		aqua.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// The client wants a response within 100ms, at least 90% of the time.
+	client, err := cluster.NewClient(aqua.ClientConfig{
+		Name: "quickstart-client",
+		QoS:  aqua.QoS{Deadline: 100 * time.Millisecond, MinProbability: 0.9},
+		OnViolation: func(v aqua.ViolationReport) {
+			fmt.Printf("!! QoS violated: %v\n", v)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		reply, err := client.Call(ctx, "ping", []byte(fmt.Sprintf("%d", i)))
+		tr := time.Since(start)
+		switch {
+		case err != nil:
+			fmt.Printf("req %2d  error: %v\n", i, err)
+		case tr > 100*time.Millisecond:
+			fmt.Printf("req %2d  %-14v %s  <- timing failure\n", i, tr, reply)
+		default:
+			fmt.Printf("req %2d  %-14v %s\n", i, tr, reply)
+		}
+	}
+
+	st := client.Stats()
+	fmt.Printf("\n%d requests, %d timing failures (observed p=%.2f, tolerated %.2f)\n",
+		st.Requests, st.TimingFailures, st.FailureProbability(), 1-0.9)
+	fmt.Printf("mean redundancy: %.2f replicas/request, %d duplicate replies harvested\n",
+		st.MeanRedundancy(), st.Duplicates)
+}

@@ -1,0 +1,95 @@
+// Search engine: the paper's motivating stateless workload ("stateless
+// applications such as search engines"). Seven replicas serve keyword
+// lookups over real TCP loopback sockets; mid-run, the fastest replica is
+// crash-stopped to show that the selected subsets absorb the crash without
+// violating the client's QoS.
+//
+//	go run ./examples/searchengine
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"aqua"
+)
+
+// corpus is the toy search index, replicated on every server (the service
+// is stateless from the middleware's point of view).
+var corpus = map[string][]string{
+	"replica":   {"doc-12", "doc-40", "doc-77"},
+	"timing":    {"doc-3", "doc-12"},
+	"fault":     {"doc-3", "doc-9", "doc-77"},
+	"selection": {"doc-40"},
+	"qos":       {"doc-9", "doc-12", "doc-51"},
+}
+
+func search(_ string, payload []byte) ([]byte, error) {
+	hits := corpus[strings.ToLower(string(payload))]
+	if len(hits) == 0 {
+		return []byte("(no results)"), nil
+	}
+	return []byte(strings.Join(hits, ",")), nil
+}
+
+func main() {
+	cluster, err := aqua.NewCluster("search", 7, search,
+		aqua.WithTCP(),
+		aqua.WithSimulatedLoad(80*time.Millisecond, 35*time.Millisecond),
+		aqua.WithSeed(11),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(aqua.ClientConfig{
+		Name: "searcher",
+		QoS:  aqua.QoS{Deadline: 140 * time.Millisecond, MinProbability: 0.9},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	queries := []string{"replica", "timing", "fault", "selection", "qos"}
+	ctx := context.Background()
+	failures := 0
+
+	for i := 0; i < 30; i++ {
+		// Crash the pool's first replica a third of the way through: the
+		// paper's scenario of "a replica may crash, making it unresponsive".
+		if i == 10 {
+			victim := cluster.Replicas()[0]
+			fmt.Printf("--- crashing replica %s (served %d requests so far) ---\n",
+				victim.ID(), victim.Served())
+			if err := cluster.StopReplica(victim.ID()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		q := queries[i%len(queries)]
+		start := time.Now()
+		hits, err := client.Call(ctx, "search", []byte(q))
+		tr := time.Since(start)
+		if err != nil {
+			fmt.Printf("query %-10q error: %v\n", q, err)
+			failures++
+			continue
+		}
+		mark := ""
+		if tr > 140*time.Millisecond {
+			mark = "  <- timing failure"
+			failures++
+		}
+		fmt.Printf("query %-10q %-14v -> %s%s\n", q, tr, hits, mark)
+	}
+
+	st := client.Stats()
+	fmt.Printf("\n%d requests, %d timing failures (observed p=%.2f; client tolerates %.2f)\n",
+		st.Requests, st.TimingFailures, st.FailureProbability(), 0.1)
+	fmt.Printf("mean redundancy %.2f; the crash cost no QoS violation because every\n", st.MeanRedundancy())
+	fmt.Println("selected subset already tolerated one member crash (Algorithm 1's reserve).")
+}

@@ -1,0 +1,76 @@
+// Self-healing: the Proteus dependability manager (§2) keeps a service's
+// replication level despite crashes. Two replicas are crash-stopped in
+// sequence; the manager restarts replacements, the timing fault handler's
+// membership pruning keeps requests off the corpses, and the client's QoS
+// never degrades.
+//
+//	go run ./examples/selfhealing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"aqua"
+)
+
+func main() {
+	cluster, err := aqua.NewCluster("inventory", 4,
+		func(method string, payload []byte) ([]byte, error) {
+			return []byte("in-stock"), nil
+		},
+		aqua.WithSimulatedLoad(60*time.Millisecond, 20*time.Millisecond),
+		aqua.WithSelfHealing(),
+		aqua.WithSeed(9),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(aqua.ClientConfig{
+		Name: "shopper",
+		QoS:  aqua.QoS{Deadline: 120 * time.Millisecond, MinProbability: 0.9},
+		OnViolation: func(v aqua.ViolationReport) {
+			fmt.Printf("!! QoS violated: %v\n", v)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		// Crash a replica at request 8 and another at request 16.
+		if i == 8 || i == 16 {
+			victim := cluster.Replicas()[0]
+			fmt.Printf("--- crash-stopping %s (pool=%d) ---\n", victim.ID(), len(cluster.Replicas()))
+			if err := cluster.StopReplica(victim.ID()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		start := time.Now()
+		if _, err := client.Call(ctx, "check", []byte("sku-42")); err != nil {
+			fmt.Printf("req %2d  error: %v\n", i, err)
+			continue
+		}
+		tr := time.Since(start)
+		mark := ""
+		if tr > 120*time.Millisecond {
+			mark = "  <- timing failure"
+		}
+		fmt.Printf("req %2d  %-14v pool=%d%s\n", i, tr, len(cluster.Replicas()), mark)
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	st := client.Stats()
+	fmt.Printf("\n%d requests, %d timing failures (p=%.3f, tolerated 0.10)\n",
+		st.Requests, st.TimingFailures, st.FailureProbability())
+	fmt.Printf("pool ends at %d replicas; the manager started %d replacements\n",
+		len(cluster.Replicas()), cluster.Manager().StartedCount())
+	fmt.Println("two crashes were absorbed: redundant subsets masked the in-flight")
+	fmt.Println("loss and Proteus restored the replication level behind the scenes.")
+}

@@ -1,0 +1,3 @@
+module aqua
+
+go 1.22

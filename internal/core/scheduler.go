@@ -1,0 +1,452 @@
+// Package core implements the paper's primary contribution as a reusable,
+// transport-independent state machine: the local scheduling agent inside the
+// timing fault handler (§4, §5.4).
+//
+// The Scheduler owns the gateway information repository, the response-time
+// predictor, and the selection strategy. For each request it:
+//
+//  1. records the interception time t0 and selects the replica subset K
+//     (compensating the deadline by the previously measured algorithm
+//     overhead δ, §5.3.3);
+//  2. records the transmission time t1 when the caller dispatches;
+//  3. on each reply (arrival t4) extracts the piggybacked performance data,
+//     updates the repository (service time, queuing delay, queue length, and
+//     the derived gateway delay td = t4 − t1 − tq − ts), delivers only the
+//     first reply, and discards duplicates after harvesting their data;
+//  4. detects timing failures (tr = t4 − t0 > t), maintains the failure
+//     counter, and reports when the observed frequency of timely responses
+//     drops below the client's requested probability so the gateway can
+//     issue the QoS-violation callback (§5.4.2).
+//
+// Both the real gateway (internal/gateway) and the discrete-event simulator
+// (internal/sim) drive this same code; only the clock and the I/O differ.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aqua/internal/model"
+	"aqua/internal/repository"
+	"aqua/internal/selection"
+	"aqua/internal/wire"
+)
+
+// DefaultMinSamplesForViolation is the minimum number of completed requests
+// before the observed timely fraction is compared against the client's
+// requested probability; it prevents a single early failure from triggering
+// the callback.
+const DefaultMinSamplesForViolation = 10
+
+// Config configures a Scheduler.
+type Config struct {
+	// Service is the replicated service this scheduler fronts.
+	Service wire.Service
+	// QoS is the client's initial QoS specification. It can be renegotiated
+	// at runtime via Renegotiate.
+	QoS wire.QoS
+	// Strategy picks the replica subset; nil defaults to the paper's
+	// Algorithm 1.
+	Strategy selection.Strategy
+	// Predictor computes F_Ri(t); nil defaults to the paper's model.
+	Predictor *model.Predictor
+	// Repository holds performance history; nil creates one with the
+	// default window size.
+	Repository *repository.Repository
+	// CompensateOverhead enables the §5.3.3 δ term: selection evaluates
+	// F_Ri(t − δ) using the previously measured algorithm overhead.
+	CompensateOverhead bool
+	// FixedOverhead, when positive, is used as δ instead of the measured
+	// value. Simulations use it for exact reproducibility.
+	FixedOverhead time.Duration
+	// StalenessBound, when positive, treats a replica whose last
+	// performance update is older than the bound as cold, forcing its
+	// inclusion so it gets re-probed (the paper's "active probes"
+	// suggestion, §8).
+	StalenessBound time.Duration
+	// MinSamplesForViolation gates the QoS-violation check; zero means
+	// DefaultMinSamplesForViolation.
+	MinSamplesForViolation int
+}
+
+// Decision is the outcome of scheduling one request.
+type Decision struct {
+	Seq       wire.SeqNo
+	Targets   []wire.ReplicaID
+	Predicted float64       // P_K(t) per Equation 1
+	Overhead  time.Duration // δ measured for this invocation
+	UsedAll   bool
+	ColdStart bool
+}
+
+// ReplyOutcome describes how one incoming reply was handled.
+type ReplyOutcome struct {
+	// First is true if this is the first reply for its request: the one
+	// delivered to the client. Duplicates are harvested and discarded.
+	First bool
+	// Duplicate is true for redundant replies (perf data still absorbed).
+	Duplicate bool
+	// Unknown is true if the reply matched no pending request (already
+	// forgotten); it is ignored entirely.
+	Unknown bool
+	// ResponseTime is tr = t4 − t0, set when First.
+	ResponseTime time.Duration
+	// TimingFailure is true when First and tr exceeded the deadline, or
+	// when the failure was already charged by deadline expiry.
+	TimingFailure bool
+	// Violation is non-nil when this reply pushed the observed timely
+	// fraction below the client's requested probability; the gateway
+	// issues the client callback with it.
+	Violation *ViolationReport
+}
+
+// ViolationReport is handed to the client's QoS callback.
+type ViolationReport struct {
+	Service          wire.Service
+	QoS              wire.QoS
+	Completed        uint64
+	TimingFailures   uint64
+	ObservedTimely   float64
+	RequiredTimely   float64
+	ConsecutiveFails uint64
+}
+
+func (v ViolationReport) String() string {
+	return fmt.Sprintf("qos violation on %q: observed timely %.3f < required %.3f (%d failures / %d requests)",
+		v.Service, v.ObservedTimely, v.RequiredTimely, v.TimingFailures, v.Completed)
+}
+
+// Stats is a snapshot of the scheduler's counters.
+type Stats struct {
+	Requests         uint64
+	Completed        uint64 // requests whose first reply arrived or deadline expired
+	Replies          uint64
+	Duplicates       uint64
+	TimingFailures   uint64
+	DeadlineExpiries uint64 // failures charged before any reply arrived
+	SelectedTotal    uint64 // sum of |K| across requests, for mean redundancy
+	UsedAllCount     uint64
+	ConsecutiveFails uint64
+}
+
+// MeanRedundancy returns the average number of replicas selected per
+// request.
+func (s Stats) MeanRedundancy() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.SelectedTotal) / float64(s.Requests)
+}
+
+// FailureProbability returns the observed probability of timing failures
+// over completed requests.
+func (s Stats) FailureProbability() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.TimingFailures) / float64(s.Completed)
+}
+
+// pending tracks one in-flight request.
+type pending struct {
+	t0             time.Time // interception time
+	t1             time.Time // transmission time
+	targets        map[wire.ReplicaID]bool
+	replies        int
+	firstDelivered bool
+	failed         bool // timing failure already charged (deadline expiry)
+	method         string
+}
+
+// Scheduler is the timing fault handler's local scheduling agent. It is safe
+// for concurrent use.
+type Scheduler struct {
+	mu        sync.Mutex
+	cfg       Config
+	repo      *repository.Repository
+	predictor *model.Predictor
+	strategy  selection.Strategy
+
+	nextSeq      wire.SeqNo
+	pend         map[wire.SeqNo]*pending
+	lastOverhead time.Duration
+	stats        Stats
+	notified     bool // violation callback already fired since last renegotiation
+}
+
+// NewScheduler returns a scheduler for one (client, service) pair.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	if err := cfg.QoS.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Service == "" {
+		return nil, fmt.Errorf("core: service name is required")
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = selection.NewDynamic()
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = model.NewPredictor()
+	}
+	if cfg.Repository == nil {
+		cfg.Repository = repository.New()
+	}
+	if cfg.MinSamplesForViolation <= 0 {
+		cfg.MinSamplesForViolation = DefaultMinSamplesForViolation
+	}
+	return &Scheduler{
+		cfg:       cfg,
+		repo:      cfg.Repository,
+		predictor: cfg.Predictor,
+		strategy:  cfg.Strategy,
+		pend:      make(map[wire.SeqNo]*pending),
+	}, nil
+}
+
+// Repository exposes the scheduler's information repository (membership
+// updates and tests).
+func (s *Scheduler) Repository() *repository.Repository { return s.repo }
+
+// QoS returns the current QoS specification.
+func (s *Scheduler) QoS() wire.QoS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.QoS
+}
+
+// Renegotiate replaces the QoS specification at runtime (§4: the client
+// "may ... negotiate it at runtime as often as it wants") and re-arms the
+// violation callback.
+func (s *Scheduler) Renegotiate(q wire.QoS) error {
+	if err := q.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.QoS = q
+	s.notified = false
+	s.stats.ConsecutiveFails = 0
+	return nil
+}
+
+// Schedule runs the selection algorithm for a new request intercepted at t0
+// and returns the decision. The caller multicasts the request to
+// Decision.Targets and then calls Dispatched with the transmission time t1.
+func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	start := time.Now() // δ is computational overhead: always wall clock
+	deadline := s.cfg.QoS.Deadline
+	if s.cfg.CompensateOverhead {
+		delta := s.lastOverhead
+		if s.cfg.FixedOverhead > 0 {
+			delta = s.cfg.FixedOverhead
+		}
+		deadline -= delta
+		if deadline < 0 {
+			deadline = 0
+		}
+	}
+
+	snaps := s.repo.Snapshot(method)
+	if len(snaps) == 0 {
+		return Decision{}, fmt.Errorf("core: no replicas available for service %q", s.cfg.Service)
+	}
+	if s.cfg.StalenessBound > 0 {
+		for i := range snaps {
+			if snaps[i].HasHistory && t0.Sub(snaps[i].LastUpdate) > s.cfg.StalenessBound {
+				// Force a probe of the stale replica by treating it as cold.
+				snaps[i].HasHistory = false
+			}
+		}
+	}
+	table, cold, err := s.predictor.ProbabilityTable(snaps, deadline)
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: predicting response times: %w", err)
+	}
+	res := s.strategy.Select(selection.Input{Table: table, Cold: cold, QoS: s.cfg.QoS})
+	if len(res.Selected) == 0 {
+		return Decision{}, fmt.Errorf("core: strategy %q selected no replicas", s.strategy.Name())
+	}
+	s.lastOverhead = time.Since(start)
+
+	seq := s.nextSeq
+	s.nextSeq++
+	targets := make(map[wire.ReplicaID]bool, len(res.Selected))
+	for _, id := range res.Selected {
+		targets[id] = true
+	}
+	s.pend[seq] = &pending{t0: t0, targets: targets, method: method}
+	s.stats.Requests++
+	s.stats.SelectedTotal += uint64(len(res.Selected))
+	if res.UsedAll {
+		s.stats.UsedAllCount++
+	}
+	return Decision{
+		Seq:       seq,
+		Targets:   res.Selected,
+		Predicted: res.Predicted,
+		Overhead:  s.lastOverhead,
+		UsedAll:   res.UsedAll,
+		ColdStart: res.ColdStart,
+	}, nil
+}
+
+// Dispatched records the transmission time t1 for a scheduled request.
+func (s *Scheduler) Dispatched(seq wire.SeqNo, t1 time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pend[seq]
+	if !ok {
+		return fmt.Errorf("core: dispatched unknown request %d", seq)
+	}
+	p.t1 = t1
+	return nil
+}
+
+// OnReply processes a reply from a replica arriving at time t4. It updates
+// the information repository from the piggybacked performance report,
+// computes the new gateway delay, and — for the first reply — evaluates the
+// timing-failure predicate.
+func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time, perf wire.PerfReport) ReplyOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	p, ok := s.pend[seq]
+	if !ok {
+		return ReplyOutcome{Unknown: true}
+	}
+	if !p.targets[replica] {
+		// A reply from a replica we never asked: ignore, but don't poison
+		// the repository with a mismatched t1.
+		return ReplyOutcome{Unknown: true}
+	}
+	s.stats.Replies++
+	p.replies++
+
+	// Harvest performance data from every reply, duplicates included
+	// (§5.4.1): record (ts, tq, queue length) and the derived round-trip
+	// gateway delay td = t4 − t1 − tq − ts. Both endpoints of every
+	// interval are measured on one machine, so no clock synchronization is
+	// needed.
+	s.repo.RecordPerf(replica, p.method, perf, t4)
+	if !p.t1.IsZero() {
+		td := t4.Sub(p.t1) - perf.QueueDelay - perf.ServiceTime
+		s.repo.RecordGatewayDelay(replica, p.method, td)
+	}
+
+	out := ReplyOutcome{}
+	if p.firstDelivered {
+		out.Duplicate = true
+		s.stats.Duplicates++
+		if p.replies >= len(p.targets) {
+			delete(s.pend, seq)
+		}
+		return out
+	}
+	p.firstDelivered = true
+	out.First = true
+	out.ResponseTime = t4.Sub(p.t0)
+
+	alreadyCharged := p.failed
+	failed := out.ResponseTime > s.cfg.QoS.Deadline
+	out.TimingFailure = failed || alreadyCharged
+	if !alreadyCharged {
+		// A deadline expiry already finalized the accounting for this
+		// request; a late first reply must not complete it twice.
+		s.completeLocked(failed, &out)
+	}
+	if p.replies >= len(p.targets) {
+		delete(s.pend, seq)
+	}
+	return out
+}
+
+// OnDeadlineExpired charges a timing failure for a request whose deadline
+// passed with no reply at all (e.g. every selected replica crashed). A late
+// first reply will still be delivered but the failure is not double-counted.
+// It returns a violation report exactly as OnReply would.
+func (s *Scheduler) OnDeadlineExpired(seq wire.SeqNo) *ViolationReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pend[seq]
+	if !ok || p.firstDelivered || p.failed {
+		return nil
+	}
+	p.failed = true
+	s.stats.DeadlineExpiries++
+	var out ReplyOutcome
+	s.completeLocked(true, &out)
+	return out.Violation
+}
+
+// completeLocked finalizes the failure accounting for one request and
+// evaluates the QoS-violation predicate (§5.4.2).
+func (s *Scheduler) completeLocked(failed bool, out *ReplyOutcome) {
+	s.stats.Completed++
+	if failed {
+		s.stats.TimingFailures++
+		s.stats.ConsecutiveFails++
+	} else {
+		s.stats.ConsecutiveFails = 0
+	}
+	if s.notified || s.stats.Completed < uint64(s.cfg.MinSamplesForViolation) {
+		return
+	}
+	observed := 1 - float64(s.stats.TimingFailures)/float64(s.stats.Completed)
+	if observed < s.cfg.QoS.MinProbability {
+		out.Violation = &ViolationReport{
+			Service:          s.cfg.Service,
+			QoS:              s.cfg.QoS,
+			Completed:        s.stats.Completed,
+			TimingFailures:   s.stats.TimingFailures,
+			ObservedTimely:   observed,
+			RequiredTimely:   s.cfg.QoS.MinProbability,
+			ConsecutiveFails: s.stats.ConsecutiveFails,
+		}
+		s.notified = true
+	}
+}
+
+// Forget drops the pending state for a request (e.g. after a grace period
+// for straggler duplicates). Safe to call for unknown sequence numbers.
+func (s *Scheduler) Forget(seq wire.SeqNo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.pend, seq)
+}
+
+// Outstanding returns the number of in-flight requests being tracked.
+func (s *Scheduler) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pend)
+}
+
+// OnMembershipChange reconciles the repository against a new group view.
+// Crashed replicas disappear from future selections (§5.4).
+func (s *Scheduler) OnMembershipChange(members []wire.ReplicaID) {
+	s.repo.SetMembership(members)
+}
+
+// OnPerfUpdate absorbs a pushed performance update from a replica (the
+// publish/subscribe path, as opposed to piggybacked reply data).
+func (s *Scheduler) OnPerfUpdate(u wire.PerfUpdate, now time.Time) {
+	s.repo.RecordPerf(u.Replica, u.Method, u.Perf, now)
+}
+
+// LastOverhead returns the most recently measured selection overhead δ.
+func (s *Scheduler) LastOverhead() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastOverhead
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

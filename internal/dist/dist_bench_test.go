@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// samples builds n synthetic measurements spread over ~200ms.
+func samples(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration((i*37)%200) * time.Millisecond
+	}
+	return out
+}
+
+func BenchmarkFromSamples(b *testing.B) {
+	for _, n := range []int{5, 10, 20, 50} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			s := samples(n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := FromSamples(s, time.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConvolve(b *testing.B) {
+	for _, n := range []int{5, 10, 20, 50} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			p, err := FromSamples(samples(n), time.Millisecond)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Convolve(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCDF(b *testing.B) {
+	p, err := FromSamples(samples(50), time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv, err := p.Convolve(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = conv.CDF(150 * time.Millisecond)
+	}
+}
+
+func BenchmarkShift(b *testing.B) {
+	p, err := FromSamples(samples(20), time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Shift(3 * time.Millisecond)
+	}
+}
+
+func BenchmarkRebin(b *testing.B) {
+	p, err := FromSamples(samples(50), time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Rebin(4 * time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 5:
+		return "l=5"
+	case 10:
+		return "l=10"
+	case 20:
+		return "l=20"
+	default:
+		return "l=50"
+	}
+}

@@ -1,0 +1,383 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func mustFromSamples(t *testing.T, samples []time.Duration, res time.Duration) *PMF {
+	t.Helper()
+	p, err := FromSamples(samples, res)
+	if err != nil {
+		t.Fatalf("FromSamples: %v", err)
+	}
+	return p
+}
+
+func TestFromSamplesRelativeFrequency(t *testing.T) {
+	p := mustFromSamples(t, []time.Duration{10 * ms, 10 * ms, 20 * ms, 30 * ms}, ms)
+	if p.Support() != 3 {
+		t.Fatalf("Support() = %d, want 3", p.Support())
+	}
+	// P(X <= 10ms) = 0.5, P(X <= 20ms) = 0.75, P(X <= 30ms) = 1.
+	tests := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{5 * ms, 0}, {10 * ms, 0.5}, {15 * ms, 0.5}, {20 * ms, 0.75}, {30 * ms, 1}, {time.Second, 1},
+	}
+	for _, tt := range tests {
+		if got := p.CDF(tt.t); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestFromSamplesErrors(t *testing.T) {
+	if _, err := FromSamples(nil, ms); err == nil {
+		t.Error("want error for zero samples")
+	}
+	if _, err := FromSamples([]time.Duration{ms}, 0); err == nil {
+		t.Error("want error for zero resolution")
+	}
+	if _, err := FromSamples([]time.Duration{ms}, -ms); err == nil {
+		t.Error("want error for negative resolution")
+	}
+}
+
+func TestQuantizeRoundsToNearestAndClampsNegative(t *testing.T) {
+	p := mustFromSamples(t, []time.Duration{1400 * time.Microsecond}, ms) // rounds to 1ms
+	if got := p.Min(); got != ms {
+		t.Errorf("1.4ms quantized to %v, want 1ms", got)
+	}
+	p = mustFromSamples(t, []time.Duration{1600 * time.Microsecond}, ms) // rounds to 2ms
+	if got := p.Min(); got != 2*ms {
+		t.Errorf("1.6ms quantized to %v, want 2ms", got)
+	}
+	p = mustFromSamples(t, []time.Duration{-5 * ms}, ms)
+	if got := p.Min(); got != 0 {
+		t.Errorf("negative sample quantized to %v, want 0", got)
+	}
+}
+
+func TestPointMass(t *testing.T) {
+	p, err := PointMass(7*ms, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Support() != 1 || p.Mean() != 7*ms {
+		t.Errorf("point mass: support=%d mean=%v", p.Support(), p.Mean())
+	}
+	if got := p.CDF(6 * ms); got != 0 {
+		t.Errorf("CDF(6ms) = %v, want 0", got)
+	}
+	if got := p.CDF(7 * ms); got != 1 {
+		t.Errorf("CDF(7ms) = %v, want 1", got)
+	}
+}
+
+func TestFromBins(t *testing.T) {
+	p, err := FromBins(ms, map[int64]float64{1: 0.25, 3: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CDF(ms); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("CDF(1ms) = %v, want 0.25", got)
+	}
+	if _, err := FromBins(ms, map[int64]float64{1: 0.5, 2: 0.2}); err == nil {
+		t.Error("want error for mass != 1")
+	}
+	if _, err := FromBins(ms, map[int64]float64{1: -0.5, 2: 1.5}); err == nil {
+		t.Error("want error for negative probability")
+	}
+	if _, err := FromBins(ms, nil); err == nil {
+		t.Error("want error for empty bins")
+	}
+}
+
+func TestConvolveDeterministic(t *testing.T) {
+	a, err := FromBins(ms, map[int64]float64{1: 0.5, 2: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromBins(ms, map[int64]float64{10: 0.5, 20: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.Convolve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Support: 11, 12, 21, 22 each with p=0.25.
+	if c.Support() != 4 {
+		t.Fatalf("Support() = %d, want 4", c.Support())
+	}
+	for _, tt := range []struct {
+		t    time.Duration
+		want float64
+	}{
+		{11 * ms, 0.25}, {12 * ms, 0.5}, {21 * ms, 0.75}, {22 * ms, 1},
+	} {
+		if got := c.CDF(tt.t); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestConvolveResolutionMismatch(t *testing.T) {
+	a, _ := PointMass(ms, ms)
+	b, _ := PointMass(ms, 2*ms)
+	if _, err := a.Convolve(b); err == nil {
+		t.Error("want error for resolution mismatch")
+	}
+}
+
+func TestConvolveMeanAdditivity(t *testing.T) {
+	f := func(rawA, rawB []uint16) bool {
+		if len(rawA) == 0 || len(rawB) == 0 || len(rawA) > 30 || len(rawB) > 30 {
+			return true
+		}
+		toSamples := func(raw []uint16) []time.Duration {
+			out := make([]time.Duration, len(raw))
+			for i, v := range raw {
+				out[i] = time.Duration(v%1000) * ms
+			}
+			return out
+		}
+		a, err := FromSamples(toSamples(rawA), ms)
+		if err != nil {
+			return false
+		}
+		b, err := FromSamples(toSamples(rawB), ms)
+		if err != nil {
+			return false
+		}
+		c, err := a.Convolve(b)
+		if err != nil {
+			return false
+		}
+		want := a.Mean() + b.Mean()
+		diff := c.Mean() - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= ms // quantization slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 50 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v) * time.Microsecond * 100
+		}
+		p, err := FromSamples(samples, ms)
+		if err != nil {
+			return false
+		}
+		if math.Abs(p.Mass()-1) > 1e-9 {
+			return false
+		}
+		c, err := p.Convolve(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c.Mass()-1) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, probes []uint16) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v%500) * ms
+		}
+		p, err := FromSamples(samples, ms)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for probe := time.Duration(0); probe <= 600*ms; probe += 5 * ms {
+			f := p.CDF(probe)
+			if f < prev-1e-12 || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return p.CDF(p.Max()) > 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShift(t *testing.T) {
+	p, _ := FromBins(ms, map[int64]float64{5: 0.5, 10: 0.5})
+	s := p.Shift(3 * ms)
+	if got := s.Mean(); got != p.Mean()+3*ms {
+		t.Errorf("shifted mean = %v, want %v", got, p.Mean()+3*ms)
+	}
+	if got := s.CDF(8 * ms); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(8ms) = %v, want 0.5", got)
+	}
+}
+
+func TestShiftNegativeClampsAtZero(t *testing.T) {
+	p, _ := FromBins(ms, map[int64]float64{2: 0.5, 10: 0.5})
+	s := p.Shift(-5 * ms)
+	if got := s.Min(); got != 0 {
+		t.Errorf("Min() = %v, want 0 after clamping", got)
+	}
+	if got := s.CDF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %v, want 0.5 (clamped mass)", got)
+	}
+	if math.Abs(s.Mass()-1) > 1e-9 {
+		t.Errorf("Mass() = %v, want 1", s.Mass())
+	}
+}
+
+func TestShiftZeroIsIdentity(t *testing.T) {
+	p, _ := FromBins(ms, map[int64]float64{1: 0.3, 4: 0.7})
+	s := p.Shift(0)
+	if s.Mean() != p.Mean() || s.Support() != p.Support() {
+		t.Errorf("Shift(0) changed pmf: %v vs %v", s, p)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	p, _ := FromBins(ms, map[int64]float64{10: 0.25, 20: 0.25, 30: 0.5})
+	tests := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.1, 10 * ms}, {0.25, 10 * ms}, {0.5, 20 * ms}, {0.75, 30 * ms}, {1, 30 * ms},
+	}
+	for _, tt := range tests {
+		got, err := p.Quantile(tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if got != tt.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := p.Quantile(0); err == nil {
+		t.Error("want error for q=0")
+	}
+	if _, err := p.Quantile(1.1); err == nil {
+		t.Error("want error for q>1")
+	}
+}
+
+func TestVariance(t *testing.T) {
+	p, _ := FromBins(ms, map[int64]float64{0: 0.5, 20: 0.5})
+	// X in seconds: 0 or 0.02 with p=1/2; var = 0.0001.
+	if got := p.Variance(); math.Abs(got-0.0001) > 1e-12 {
+		t.Errorf("Variance() = %v, want 0.0001", got)
+	}
+}
+
+func TestRebin(t *testing.T) {
+	p, _ := FromBins(ms, map[int64]float64{1: 0.25, 2: 0.25, 3: 0.25, 10: 0.25})
+	r, err := p.Rebin(2 * ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Resolution() != 2*ms {
+		t.Errorf("Resolution() = %v", r.Resolution())
+	}
+	if math.Abs(r.Mass()-1) > 1e-9 {
+		t.Errorf("Mass() = %v", r.Mass())
+	}
+	if diff := (r.Mean() - p.Mean()).Abs(); diff > 2*ms {
+		t.Errorf("rebinned mean %v too far from %v", r.Mean(), p.Mean())
+	}
+	if _, err := p.Rebin(1500 * time.Microsecond); err == nil {
+		t.Error("want error for non-multiple resolution")
+	}
+	if _, err := p.Rebin(0); err == nil {
+		t.Error("want error for zero resolution")
+	}
+}
+
+func TestPoints(t *testing.T) {
+	p, _ := FromBins(ms, map[int64]float64{3: 0.5, 1: 0.5})
+	vs, ps := p.Points()
+	if len(vs) != 2 || vs[0] != ms || vs[1] != 3*ms {
+		t.Errorf("values = %v", vs)
+	}
+	if ps[0] != 0.5 || ps[1] != 0.5 {
+		t.Errorf("probs = %v", ps)
+	}
+}
+
+func TestCDFNegativeTime(t *testing.T) {
+	p, _ := PointMass(0, ms)
+	if got := p.CDF(-time.Second); got != 0 {
+		t.Errorf("CDF(-1s) = %v, want 0", got)
+	}
+}
+
+func TestStringIncludesSummary(t *testing.T) {
+	p, _ := PointMass(5*ms, ms)
+	if s := p.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestQuantileCDFGaloisConnection: Quantile(q) is the smallest support point
+// v with CDF(v) >= q, so CDF(Quantile(q)) >= q always, and any support
+// point strictly below Quantile(q) has CDF < q.
+func TestQuantileCDFGaloisConnection(t *testing.T) {
+	f := func(raw []uint16, qRaw uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v%300) * ms
+		}
+		p, err := FromSamples(samples, ms)
+		if err != nil {
+			return false
+		}
+		q := (float64(qRaw) + 1) / 256 // (0, 1]
+		v, err := p.Quantile(q)
+		if err != nil {
+			return false
+		}
+		if p.CDF(v) < q-1e-9 {
+			return false
+		}
+		if v > p.Min() && p.CDF(v-ms) >= q-1e-9 {
+			// v-1ms may not be a support point; CDF is still defined and
+			// must sit below q for v to be the smallest such point.
+			vs, _ := p.Points()
+			for _, sp := range vs {
+				if sp < v && p.CDF(sp) >= q-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

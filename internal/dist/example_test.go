@@ -1,0 +1,43 @@
+package dist_test
+
+import (
+	"fmt"
+	"time"
+
+	"aqua/internal/dist"
+)
+
+// ExamplePMF_Convolve builds the paper's response-time model for one
+// replica by hand: R = S + W + T with empirical S and W and a point-mass T.
+func ExamplePMF_Convolve() {
+	ms := time.Millisecond
+	// Sliding-window measurements (the paper's l = 4 here).
+	service := []time.Duration{90 * ms, 100 * ms, 100 * ms, 110 * ms}
+	queueing := []time.Duration{0, 0, 10 * ms, 10 * ms}
+
+	s, _ := dist.FromSamples(service, ms)
+	w, _ := dist.FromSamples(queueing, ms)
+	sw, _ := s.Convolve(w)
+	r := sw.Shift(2 * ms) // T: most recent gateway delay
+
+	fmt.Printf("mean response: %v\n", r.Mean())
+	fmt.Printf("F(105ms) = %.3f\n", r.CDF(105*ms))
+	fmt.Printf("F(120ms) = %.3f\n", r.CDF(120*ms))
+	// Output:
+	// mean response: 107ms
+	// F(105ms) = 0.500
+	// F(120ms) = 0.875
+}
+
+// ExamplePMF_Quantile reads a latency percentile from an empirical pmf.
+func ExamplePMF_Quantile() {
+	ms := time.Millisecond
+	p, _ := dist.FromSamples([]time.Duration{
+		10 * ms, 20 * ms, 30 * ms, 40 * ms, 50 * ms,
+		60 * ms, 70 * ms, 80 * ms, 90 * ms, 200 * ms,
+	}, ms)
+	p95, _ := p.Quantile(0.95)
+	fmt.Println("p95:", p95)
+	// Output:
+	// p95: 200ms
+}

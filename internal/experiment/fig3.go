@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"aqua/internal/model"
+	"aqua/internal/repository"
+	"aqua/internal/selection"
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+// Fig3Config parameterizes the overhead experiment (paper Figure 3).
+type Fig3Config struct {
+	// ReplicaCounts are the x-axis points; the paper sweeps 2..8.
+	ReplicaCounts []int
+	// WindowSizes are the series; the paper uses 5, 10, 20.
+	WindowSizes []int
+	// Iterations is how many selection invocations are timed per point.
+	Iterations int
+	// Seed drives the synthetic measurement histories.
+	Seed int64
+}
+
+// DefaultFig3Config reproduces the paper's sweep.
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		ReplicaCounts: []int{2, 3, 4, 5, 6, 7, 8},
+		WindowSizes:   []int{5, 10, 20},
+		Iterations:    200,
+		Seed:          1,
+	}
+}
+
+// Fig3Row is one measured point.
+type Fig3Row struct {
+	Replicas     int
+	WindowSize   int
+	TotalOvhd    time.Duration // δ: distribution computation + subset selection
+	DistOvhd     time.Duration // distribution-computation share
+	SelectOvhd   time.Duration // subset-selection share
+	DistFraction float64       // paper reports ≈0.90
+}
+
+// syntheticRepo builds a repository with n replicas, each holding a full
+// window of plausible LAN-service measurements.
+func syntheticRepo(n, windowSize int, rng *stats.Rand) *repository.Repository {
+	repo := repository.New(repository.WithWindowSize(windowSize))
+	service := stats.Normal{Mu: 100 * time.Millisecond, Sigma: 50 * time.Millisecond}
+	queueD := stats.Exponential{MeanDelay: 20 * time.Millisecond}
+	for i := 0; i < n; i++ {
+		id := wire.ReplicaID(fmt.Sprintf("replica-%02d", i))
+		repo.AddReplica(id)
+		for j := 0; j < windowSize; j++ {
+			repo.RecordPerf(id, "", wire.PerfReport{
+				ServiceTime: service.Sample(rng),
+				QueueDelay:  queueD.Sample(rng),
+				QueueLength: rng.Intn(4),
+			}, time.Now())
+		}
+		repo.RecordGatewayDelay(id, "", time.Duration(rng.Intn(3))*time.Millisecond)
+	}
+	return repo
+}
+
+// RunFig3 measures the selection algorithm's per-request overhead, split
+// into its two phases exactly as the paper reports them: "Computing the
+// distribution function contributes to 90% of these overheads while
+// selecting the replica subset using Algorithm 1 contributes to the
+// remaining 10%."
+func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("experiment: iterations must be positive")
+	}
+	rng := stats.NewRand(cfg.Seed)
+	pred := model.NewPredictor()
+	strat := selection.NewDynamic()
+	qos := wire.QoS{Deadline: 150 * time.Millisecond, MinProbability: 0.9}
+
+	var rows []Fig3Row
+	for _, l := range cfg.WindowSizes {
+		for _, n := range cfg.ReplicaCounts {
+			repo := syntheticRepo(n, l, rng)
+			snaps := repo.Snapshot("")
+
+			var distTotal, selTotal time.Duration
+			for it := 0; it < cfg.Iterations; it++ {
+				start := time.Now()
+				table, cold, err := pred.ProbabilityTable(snaps, qos.Deadline)
+				distElapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: fig3 n=%d l=%d: %w", n, l, err)
+				}
+				start = time.Now()
+				res := strat.Select(selection.Input{Table: table, Cold: cold, QoS: qos})
+				selElapsed := time.Since(start)
+				if len(res.Selected) == 0 {
+					return nil, fmt.Errorf("experiment: fig3 empty selection")
+				}
+				distTotal += distElapsed
+				selTotal += selElapsed
+			}
+			dist := distTotal / time.Duration(cfg.Iterations)
+			sel := selTotal / time.Duration(cfg.Iterations)
+			total := dist + sel
+			frac := 0.0
+			if total > 0 {
+				frac = float64(dist) / float64(total)
+			}
+			rows = append(rows, Fig3Row{
+				Replicas:     n,
+				WindowSize:   l,
+				TotalOvhd:    total,
+				DistOvhd:     dist,
+				SelectOvhd:   sel,
+				DistFraction: frac,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig3Table formats the rows like the paper's figure: overhead in
+// microseconds per (replica count, window size) point.
+func Fig3Table(rows []Fig3Row) *Table {
+	t := &Table{
+		Title:   "Figure 3: selection algorithm overhead (microseconds/request)",
+		Columns: []string{"replicas", "l=window", "total_us", "dist_us", "select_us", "dist_frac"},
+		Notes: []string{
+			"paper: overhead grows with n and l; distribution computation ~90% of cost",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Replicas),
+			fmt.Sprintf("%d", r.WindowSize),
+			fmt.Sprintf("%.1f", float64(r.TotalOvhd)/float64(time.Microsecond)),
+			fmt.Sprintf("%.1f", float64(r.DistOvhd)/float64(time.Microsecond)),
+			fmt.Sprintf("%.1f", float64(r.SelectOvhd)/float64(time.Microsecond)),
+			f2(r.DistFraction),
+		})
+	}
+	return t
+}

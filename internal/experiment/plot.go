@@ -1,0 +1,145 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled line in an ASCII plot.
+type Series struct {
+	Label  string
+	Points map[float64]float64 // x -> y
+}
+
+// Plot renders labelled series as an ASCII chart, giving the terminal user
+// the same visual the paper's figures give: trends and crossings at a
+// glance, with exact values available from the tables.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int // plot columns; 0 = 60
+	Height int // plot rows; 0 = 16
+}
+
+// seriesMarks assigns one mark per series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render writes the chart to w.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	// Collect axis ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for x, y := range s.Points {
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("experiment: plot %q has no points", p.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad Y a little so extremes don't sit on the frame.
+	pad := (maxY - minY) * 0.05
+	minY, maxY = minY-pad, maxY+pad
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		xs := make([]float64, 0, len(s.Points))
+		for x := range s.Points {
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		for _, x := range xs {
+			y := s.Points[x]
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := int((maxY - y) / (maxY - minY) * float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Title)
+	yTop := fmt.Sprintf("%.3g", maxY)
+	yBot := fmt.Sprintf("%.3g", minY)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", margin)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g  (%s)\n",
+		strings.Repeat(" ", margin), width/2, minX, width-width/2, maxX, p.XLabel)
+	var legend []string
+	for si, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Label))
+	}
+	fmt.Fprintf(&b, "legend: %s; y: %s\n", strings.Join(legend, "  "), p.YLabel)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Fig4Plot builds the Figure 4 chart from sweep rows.
+func Fig4Plot(rows []Fig45Row) *Plot {
+	return fig45Plot(rows, "Figure 4: mean replicas selected vs deadline", "replicas selected",
+		func(r Fig45Row) float64 { return r.MeanSelected })
+}
+
+// Fig5Plot builds the Figure 5 chart from sweep rows.
+func Fig5Plot(rows []Fig45Row) *Plot {
+	return fig45Plot(rows, "Figure 5: observed timing-failure probability vs deadline", "failure probability",
+		func(r Fig45Row) float64 { return r.FailureProb })
+}
+
+func fig45Plot(rows []Fig45Row, title, ylabel string, y func(Fig45Row) float64) *Plot {
+	byPc := make(map[float64]map[float64]float64)
+	var pcs []float64
+	for _, r := range rows {
+		if _, ok := byPc[r.Probability]; !ok {
+			byPc[r.Probability] = make(map[float64]float64)
+			pcs = append(pcs, r.Probability)
+		}
+		byPc[r.Probability][float64(r.Deadline.Milliseconds())] = y(r)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(pcs)))
+	p := &Plot{Title: title, XLabel: "deadline (ms)", YLabel: ylabel}
+	for _, pc := range pcs {
+		p.Series = append(p.Series, Series{
+			Label:  fmt.Sprintf("Pc=%.1f", pc),
+			Points: byPc[pc],
+		})
+	}
+	return p
+}

@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRows() []Fig45Row {
+	var rows []Fig45Row
+	for _, pc := range []float64{0.9, 0.0} {
+		for _, dl := range []time.Duration{100, 150, 200} {
+			rows = append(rows, Fig45Row{
+				Deadline:     dl * time.Millisecond,
+				Probability:  pc,
+				MeanSelected: 2 + pc*3*float64(200*time.Millisecond-dl*time.Millisecond)/float64(100*time.Millisecond),
+				FailureProb:  (1 - pc) * 0.2,
+			})
+		}
+	}
+	return rows
+}
+
+func TestFig4PlotRenders(t *testing.T) {
+	p := Fig4Plot(sampleRows())
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 4", "Pc=0.9", "Pc=0.0", "deadline (ms)", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both series marks must appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("series marks missing:\n%s", out)
+	}
+}
+
+func TestFig5PlotRenders(t *testing.T) {
+	p := Fig5Plot(sampleRows())
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "failure probability") {
+		t.Errorf("plot missing y label:\n%s", b.String())
+	}
+}
+
+func TestPlotEmptyErrors(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	var b strings.Builder
+	if err := p.Render(&b); err == nil {
+		t.Error("want error for empty plot")
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	// A single point (zero x and y span) must not divide by zero.
+	p := &Plot{
+		Title:  "point",
+		Series: []Series{{Label: "s", Points: map[float64]float64{5: 3}}},
+	}
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestPlotCustomDimensions(t *testing.T) {
+	p := Fig4Plot(sampleRows())
+	p.Width, p.Height = 20, 5
+	var b strings.Builder
+	if err := p.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	// Title + 5 grid rows + axis + xlabels + legend.
+	if len(lines) < 8 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), b.String())
+	}
+}

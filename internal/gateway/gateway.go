@@ -1,0 +1,436 @@
+// Package gateway implements the client-side AQuA gateway and its protocol
+// handlers. The centerpiece is the TimingFaultHandler (§5.4): it intercepts
+// a client's calls, runs the dynamic replica selection algorithm through
+// internal/core, multicasts the request to the selected subset, delivers the
+// earliest reply, harvests performance data from every reply, detects timing
+// failures, and issues the QoS-violation callback.
+//
+// AQuA's pre-existing handlers are represented too: the active handler
+// (every request to every replica, first reply wins) is the timing fault
+// handler configured with the selection.All strategy, and the passive
+// handler (primary/backup with failover) lives in passive.go.
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/group"
+	"aqua/internal/model"
+	"aqua/internal/repository"
+	"aqua/internal/selection"
+	"aqua/internal/trace"
+	"aqua/internal/transport"
+	"aqua/internal/wire"
+)
+
+// forgetGrace is how long after its deadline a request's tracking state is
+// retained so straggler duplicate replies can still be harvested.
+const forgetGrace = 30 * time.Second
+
+// Config configures a TimingFaultHandler.
+type Config struct {
+	// Client identifies this client gateway.
+	Client wire.ClientID
+	// Service is the replicated service the handler fronts.
+	Service wire.Service
+	// QoS is the client's initial QoS specification (renegotiable).
+	QoS wire.QoS
+	// Strategy overrides the selection strategy; nil means the paper's
+	// Algorithm 1.
+	Strategy selection.Strategy
+	// WindowSize is the repository sliding-window size l; zero means the
+	// paper default of 5.
+	WindowSize int
+	// CompensateOverhead enables the §5.3.3 δ deadline compensation.
+	CompensateOverhead bool
+	// StalenessBound forces re-probing of replicas with stale history.
+	StalenessBound time.Duration
+	// OnViolation is invoked when the observed frequency of timely
+	// responses falls below QoS.MinProbability (§5.4.2). Called from the
+	// handler's receive goroutine; must not block.
+	OnViolation func(core.ViolationReport)
+	// Group, when set, tracks membership via the group-communication layer.
+	Group *group.Config
+	// StaticReplicas maps replica IDs to addresses for deployments without
+	// the group layer (tests, fixed clusters). Ignored when Group is set
+	// except as an address fallback.
+	StaticReplicas map[wire.ReplicaID]transport.Addr
+	// MaxWait bounds how long Call waits for a first reply after the
+	// deadline has passed; zero means 10× the QoS deadline. Late replies
+	// are still delivered (a timing failure is recorded), matching the
+	// paper's semantics where the client receives the late response and
+	// the failure counter advances.
+	MaxWait time.Duration
+	// Trace, when non-nil, records scheduling decisions, replies, timing
+	// failures, and violations for post-run analysis. Timestamps are
+	// relative to the handler's creation.
+	Trace *trace.Recorder
+	// ProbeInterval, when positive, enables active probing (the paper's §8
+	// extension): replicas whose performance data is older than
+	// StalenessBound (or ProbeInterval if no bound is set) receive probe
+	// requests that refresh the repository without counting in the client's
+	// statistics.
+	ProbeInterval time.Duration
+}
+
+// TimingFaultHandler is the client-side protocol handler for tolerating
+// timing faults. Create with NewTimingFaultHandler; release with Close.
+type TimingFaultHandler struct {
+	cfg    Config
+	ep     transport.Endpoint
+	sched  *core.Scheduler
+	node   *group.Node
+	prober *prober
+	epoch  time.Time // trace timestamps are offsets from creation
+
+	mu         sync.Mutex
+	addrOf     map[wire.ReplicaID]transport.Addr
+	waiters    map[wire.SeqNo]chan wire.Response
+	subscribed map[wire.ReplicaID]bool
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// NewTimingFaultHandler creates the handler on ep. The handler owns ep's
+// receive stream; Close closes the endpoint. To share one endpoint across
+// several services, load handlers into a MultiGateway instead.
+func NewTimingFaultHandler(ep transport.Endpoint, cfg Config) (*TimingFaultHandler, error) {
+	return newTimingFaultHandlerOn(ep, cfg, true)
+}
+
+// newTimingFaultHandlerOn builds a handler; ownRecvLoop selects whether the
+// handler drains ep itself (standalone) or is fed by a MultiGateway demux.
+func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool) (*TimingFaultHandler, error) {
+	if cfg.Client == "" {
+		return nil, fmt.Errorf("gateway: client ID is required")
+	}
+	repo := repository.New(repository.WithWindowSize(cfg.WindowSize))
+	sched, err := core.NewScheduler(core.Config{
+		Service:            cfg.Service,
+		QoS:                cfg.QoS,
+		Strategy:           cfg.Strategy,
+		Predictor:          model.NewPredictor(),
+		Repository:         repo,
+		CompensateOverhead: cfg.CompensateOverhead,
+		StalenessBound:     cfg.StalenessBound,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	h := &TimingFaultHandler{
+		cfg:        cfg,
+		ep:         ep,
+		sched:      sched,
+		epoch:      time.Now(),
+		addrOf:     make(map[wire.ReplicaID]transport.Addr),
+		waiters:    make(map[wire.SeqNo]chan wire.Response),
+		subscribed: make(map[wire.ReplicaID]bool),
+		stop:       make(chan struct{}),
+	}
+	for id, addr := range cfg.StaticReplicas {
+		h.addrOf[id] = addr
+	}
+	if cfg.Group != nil {
+		gcfg := *cfg.Group
+		gcfg.Role = group.Observer
+		gcfg.Group = cfg.Service
+		gcfg.OnViewChange = h.onViewChange
+		node, err := group.Join(ep, gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: joining group: %w", err)
+		}
+		h.node = node
+	} else if len(cfg.StaticReplicas) > 0 {
+		ids := make([]wire.ReplicaID, 0, len(cfg.StaticReplicas))
+		for id := range cfg.StaticReplicas {
+			ids = append(ids, id)
+		}
+		sched.OnMembershipChange(ids)
+		h.subscribeAll(ids)
+	} else {
+		return nil, fmt.Errorf("gateway: either Group or StaticReplicas is required")
+	}
+	if cfg.ProbeInterval > 0 {
+		bound := cfg.StalenessBound
+		if bound <= 0 {
+			bound = cfg.ProbeInterval
+		}
+		h.prober = newProber(h, cfg.ProbeInterval, bound)
+	}
+	if ownRecvLoop {
+		h.wg.Add(1)
+		go h.recvLoop()
+	}
+	return h, nil
+}
+
+// Scheduler exposes the underlying scheduler (stats, renegotiation).
+func (h *TimingFaultHandler) Scheduler() *core.Scheduler { return h.sched }
+
+// Stats returns the scheduler's counters.
+func (h *TimingFaultHandler) Stats() core.Stats { return h.sched.Stats() }
+
+// Renegotiate replaces the QoS specification at runtime.
+func (h *TimingFaultHandler) Renegotiate(q wire.QoS) error { return h.sched.Renegotiate(q) }
+
+// ProbesSent returns how many active probes have been dispatched (0 when
+// probing is disabled).
+func (h *TimingFaultHandler) ProbesSent() uint64 {
+	if h.prober == nil {
+		return 0
+	}
+	return h.prober.Sent()
+}
+
+// Close stops the handler and closes its endpoint.
+func (h *TimingFaultHandler) Close() {
+	h.stopOnce.Do(func() {
+		close(h.stop)
+		if h.prober != nil {
+			h.prober.Stop()
+		}
+		if h.node != nil {
+			h.node.Leave()
+		}
+		_ = h.ep.Close()
+		h.wg.Wait()
+	})
+}
+
+// UpdateMembership replaces the static replica table: the scheduler's
+// repository is reconciled and new replicas are subscribed. Deployments
+// without the group layer (e.g. the Cluster facade) call this when replicas
+// start or crash-stop.
+func (h *TimingFaultHandler) UpdateMembership(replicas map[wire.ReplicaID]transport.Addr) {
+	ids := make([]wire.ReplicaID, 0, len(replicas))
+	h.mu.Lock()
+	h.addrOf = make(map[wire.ReplicaID]transport.Addr, len(replicas))
+	for id, addr := range replicas {
+		h.addrOf[id] = addr
+		ids = append(ids, id)
+	}
+	for id := range h.subscribed {
+		if _, ok := replicas[id]; !ok {
+			delete(h.subscribed, id)
+		}
+	}
+	h.mu.Unlock()
+	h.sched.OnMembershipChange(ids)
+	h.subscribeAll(ids)
+}
+
+// onViewChange reconciles membership and subscribes to newcomers.
+func (h *TimingFaultHandler) onViewChange(v group.View) {
+	h.sched.OnMembershipChange(v.Members)
+	h.subscribeAll(v.Members)
+}
+
+// subscribeAll sends a performance-update subscription to any replica not
+// yet subscribed.
+func (h *TimingFaultHandler) subscribeAll(ids []wire.ReplicaID) {
+	sub := wire.Subscribe{Client: h.cfg.Client, Service: h.cfg.Service}
+	for _, id := range ids {
+		h.mu.Lock()
+		done := h.subscribed[id]
+		h.mu.Unlock()
+		if done {
+			continue
+		}
+		if addr, ok := h.resolve(id); ok {
+			if err := h.ep.Send(addr, sub); err == nil {
+				h.mu.Lock()
+				h.subscribed[id] = true
+				h.mu.Unlock()
+			}
+		}
+	}
+}
+
+// resolve maps a replica ID to its transport address, preferring the group
+// layer's live knowledge over the static table.
+func (h *TimingFaultHandler) resolve(id wire.ReplicaID) (transport.Addr, bool) {
+	if h.node != nil {
+		if a, ok := h.node.AddrOf(id); ok {
+			return a, true
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.addrOf[id]
+	return a, ok
+}
+
+// Call issues one request and blocks until the earliest reply, the context
+// is done, or MaxWait elapses. A late first reply is returned to the caller
+// (with the timing failure already recorded), as in the paper.
+func (h *TimingFaultHandler) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	t0 := time.Now()
+	d, err := h.sched.Schedule(t0, method)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: scheduling: %w", err)
+	}
+	h.cfg.Trace.Record(trace.Event{
+		At: t0.Sub(h.epoch), Kind: trace.KindSchedule, Client: h.cfg.Client,
+		Seq: d.Seq, Targets: d.Targets, Value: d.Predicted, Duration: d.Overhead,
+	})
+
+	waiter := make(chan wire.Response, 1)
+	h.mu.Lock()
+	h.waiters[d.Seq] = waiter
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.waiters, d.Seq)
+		h.mu.Unlock()
+	}()
+
+	req := wire.Request{
+		Client:  h.cfg.Client,
+		Seq:     d.Seq,
+		Service: h.cfg.Service,
+		Method:  method,
+		Payload: payload,
+		SentAt:  time.Now(),
+	}
+	var addrs []transport.Addr
+	for _, id := range d.Targets {
+		if a, ok := h.resolve(id); ok {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		h.sched.Forget(d.Seq)
+		return nil, fmt.Errorf("gateway: no reachable replicas among %v", d.Targets)
+	}
+	t1 := time.Now()
+	req.SentAt = t1
+	if err := transport.Multicast(h.ep, addrs, req); err != nil {
+		// Partial delivery is fine — that's what redundancy is for — but
+		// total failure with one target means the call cannot proceed.
+		if len(addrs) == 1 {
+			h.sched.Forget(d.Seq)
+			return nil, fmt.Errorf("gateway: sending request: %w", err)
+		}
+	}
+	if err := h.sched.Dispatched(d.Seq, t1); err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+
+	// Arm the deadline: if no reply arrived in time, the timing failure is
+	// charged immediately (crashed-subset case) rather than whenever a
+	// straggler shows up.
+	qos := h.sched.QoS()
+	deadlineTimer := time.AfterFunc(qos.Deadline-time.Since(t0), func() {
+		if v := h.sched.OnDeadlineExpired(d.Seq); v != nil && h.cfg.OnViolation != nil {
+			h.cfg.OnViolation(*v)
+		}
+	})
+	defer deadlineTimer.Stop()
+
+	// Schedule eventual cleanup of the tracking state so requests whose
+	// replicas crashed don't accumulate. Forget is a no-op if every reply
+	// already arrived.
+	time.AfterFunc(qos.Deadline+forgetGrace, func() { h.sched.Forget(d.Seq) })
+
+	maxWait := h.cfg.MaxWait
+	if maxWait <= 0 {
+		maxWait = 10 * qos.Deadline
+	}
+	overall := time.NewTimer(maxWait)
+	defer overall.Stop()
+
+	select {
+	case resp := <-waiter:
+		if resp.Err != "" {
+			return nil, fmt.Errorf("gateway: replica %s: %s", resp.Replica, resp.Err)
+		}
+		return resp.Payload, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("gateway: call canceled: %w", ctx.Err())
+	case <-overall.C:
+		return nil, fmt.Errorf("gateway: no response from %v within %v", d.Targets, maxWait)
+	case <-h.stop:
+		return nil, transport.ErrClosed
+	}
+}
+
+// recvLoop routes replies, performance updates, and heartbeats when the
+// handler owns its endpoint.
+func (h *TimingFaultHandler) recvLoop() {
+	defer h.wg.Done()
+	for msg := range h.ep.Recv() {
+		h.handleMessage(msg, time.Now())
+	}
+}
+
+// handleMessage processes one incoming transport message. It is the single
+// entry point for both the standalone receive loop and the MultiGateway
+// demultiplexer.
+func (h *TimingFaultHandler) handleMessage(msg transport.Message, now time.Time) {
+	switch m := msg.Payload.(type) {
+	case wire.Response:
+		if m.Client != h.cfg.Client {
+			return
+		}
+		if m.Probe {
+			if h.prober != nil {
+				h.prober.onProbeReply(m, now)
+			}
+			return
+		}
+		out := h.sched.OnReply(m.Seq, m.Replica, now, m.Perf)
+		h.cfg.Trace.Record(trace.Event{
+			At: now.Sub(h.epoch), Kind: trace.KindReply, Client: h.cfg.Client,
+			Seq: m.Seq, Replica: m.Replica, Duration: out.ResponseTime,
+		})
+		if out.First && out.TimingFailure {
+			h.cfg.Trace.Record(trace.Event{
+				At: now.Sub(h.epoch), Kind: trace.KindFailure, Client: h.cfg.Client,
+				Seq: m.Seq, Duration: out.ResponseTime,
+			})
+		}
+		if out.Violation != nil {
+			h.cfg.Trace.Record(trace.Event{
+				At: now.Sub(h.epoch), Kind: trace.KindViolation, Client: h.cfg.Client,
+				Seq: m.Seq, Value: out.Violation.ObservedTimely,
+			})
+		}
+		if out.Violation != nil && h.cfg.OnViolation != nil {
+			h.cfg.OnViolation(*out.Violation)
+		}
+		if out.First {
+			h.mu.Lock()
+			w := h.waiters[m.Seq]
+			h.mu.Unlock()
+			if w != nil {
+				select {
+				case w <- m:
+				default:
+				}
+			}
+		}
+	case wire.PerfUpdate:
+		if m.Service == h.cfg.Service {
+			h.sched.OnPerfUpdate(m, now)
+		}
+	case wire.Heartbeat:
+		if h.node != nil {
+			h.node.HandleHeartbeat(m, msg.From, now)
+		}
+	default:
+	}
+}
+
+// NewActiveHandler returns AQuA's active-replication handler: every request
+// goes to every live replica and the first reply is delivered. It reuses
+// the timing fault machinery with the All strategy.
+func NewActiveHandler(ep transport.Endpoint, cfg Config) (*TimingFaultHandler, error) {
+	cfg.Strategy = selection.All{}
+	return NewTimingFaultHandler(ep, cfg)
+}

@@ -1,0 +1,140 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aqua/internal/stats"
+	"aqua/internal/transport"
+	"aqua/internal/wire"
+)
+
+func passiveHandler(t *testing.T, f *fixture, cfg PassiveConfig) *PassiveHandler {
+	t.Helper()
+	ep, err := f.net.Listen(transport.Addr("client:" + string(cfg.Client)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StaticReplicas == nil && cfg.Group == nil {
+		cfg.StaticReplicas = f.static()
+	}
+	h, err := NewPassiveHandler(ep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func TestPassiveValidation(t *testing.T) {
+	f := newFixture(t, 1, nil)
+	ep, _ := f.net.Listen("pv1")
+	if _, err := NewPassiveHandler(ep, PassiveConfig{
+		Service: "svc", AttemptTimeout: time.Second, StaticReplicas: f.static(),
+	}); err == nil {
+		t.Error("want error for missing client ID")
+	}
+	ep2, _ := f.net.Listen("pv2")
+	if _, err := NewPassiveHandler(ep2, PassiveConfig{
+		Client: "c", Service: "svc", StaticReplicas: f.static(),
+	}); err == nil {
+		t.Error("want error for missing attempt timeout")
+	}
+	ep3, _ := f.net.Listen("pv3")
+	if _, err := NewPassiveHandler(ep3, PassiveConfig{
+		Client: "c", Service: "svc", AttemptTimeout: time.Second,
+	}); err == nil {
+		t.Error("want error for no replicas")
+	}
+}
+
+func TestPassivePrimaryOnly(t *testing.T) {
+	f := newFixture(t, 3, nil)
+	h := passiveHandler(t, f, PassiveConfig{
+		Client: "pc", Service: "svc", AttemptTimeout: 500 * ms,
+	})
+	primary, ok := h.Primary()
+	if !ok {
+		t.Fatal("no primary")
+	}
+	if primary != "r0" {
+		t.Errorf("primary = %v, want r0 (lowest ID)", primary)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := h.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.replicas["r0"].Served(); got != 3 {
+		t.Errorf("primary served %d, want 3", got)
+	}
+	if got := f.replicas["r1"].Served() + f.replicas["r2"].Served(); got != 0 {
+		t.Errorf("backups served %d, want 0", got)
+	}
+}
+
+func TestPassiveFailover(t *testing.T) {
+	f := newFixture(t, 2, nil)
+	h := passiveHandler(t, f, PassiveConfig{
+		Client: "pc", Service: "svc", AttemptTimeout: 50 * ms,
+	})
+	// Crash the primary; the next call must fail over to r1.
+	f.replicas["r0"].Stop()
+	out, err := h.Call(context.Background(), "m", []byte("x"))
+	if err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if string(out) != "r1:x" {
+		t.Errorf("reply = %q, want from r1", out)
+	}
+}
+
+func TestPassiveAllDown(t *testing.T) {
+	f := newFixture(t, 2, nil)
+	h := passiveHandler(t, f, PassiveConfig{
+		Client: "pc", Service: "svc", AttemptTimeout: 30 * ms,
+	})
+	f.replicas["r0"].Stop()
+	f.replicas["r1"].Stop()
+	if _, err := h.Call(context.Background(), "", nil); err == nil {
+		t.Fatal("want error when every replica is down")
+	}
+}
+
+func TestPassiveSlowPrimaryTimesOverToBackup(t *testing.T) {
+	f := newFixture(t, 2, stats.Constant{Delay: 200 * ms})
+	h := passiveHandler(t, f, PassiveConfig{
+		Client: "pc", Service: "svc", AttemptTimeout: 40 * ms,
+	})
+	// The primary is too slow for the attempt timeout; the handler retries
+	// the backup, which is equally slow, so the call eventually fails —
+	// passive replication cannot mask load-induced timing faults, which is
+	// exactly the gap the paper's handler fills.
+	_, err := h.Call(context.Background(), "", nil)
+	if err == nil {
+		t.Log("backup answered within its window; acceptable on a fast machine")
+	}
+}
+
+func TestPassiveCanceledContext(t *testing.T) {
+	f := newFixture(t, 1, stats.Constant{Delay: 300 * ms})
+	h := passiveHandler(t, f, PassiveConfig{
+		Client: "pc", Service: "svc", AttemptTimeout: time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*ms)
+	defer cancel()
+	if _, err := h.Call(ctx, "", nil); err == nil {
+		t.Fatal("want error for canceled context")
+	}
+}
+
+func TestSortReplicaIDs(t *testing.T) {
+	ids := []wire.ReplicaID{"c", "a", "b"}
+	sortReplicaIDs(ids)
+	if ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Errorf("sorted = %v", ids)
+	}
+	sortReplicaIDs(nil) // must not panic
+}

@@ -1,0 +1,124 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+// prober implements the paper's active-probe extension (§8: "our work can
+// also be extended to use active probes when a replica's performance
+// information is obsolete"). It periodically checks each replica's last
+// performance update; any replica silent for longer than the staleness
+// bound receives a probe request. The server measures queueing and load for
+// a probe exactly as for a real request but skips the application handler,
+// and the reply refreshes the repository without touching the client's
+// request statistics.
+type prober struct {
+	h        *TimingFaultHandler
+	interval time.Duration
+	bound    time.Duration
+
+	mu      sync.Mutex
+	sentAt  map[wire.ReplicaID]time.Time // outstanding probe guard
+	nextSeq wire.SeqNo
+	sent    uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// probeSeqBase keeps probe sequence numbers out of the scheduler's space so
+// a probe reply can never collide with a pending request.
+const probeSeqBase wire.SeqNo = 1 << 62
+
+// newProber starts probing for the handler.
+func newProber(h *TimingFaultHandler, interval, bound time.Duration) *prober {
+	p := &prober{
+		h:        h,
+		interval: interval,
+		bound:    bound,
+		sentAt:   make(map[wire.ReplicaID]time.Time),
+		nextSeq:  probeSeqBase,
+		stop:     make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *prober) Stop() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// Sent returns how many probes have been dispatched.
+func (p *prober) Sent() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+func (p *prober) loop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case now := <-ticker.C:
+			p.sweep(now)
+		}
+	}
+}
+
+// sweep probes every replica whose history has gone stale.
+func (p *prober) sweep(now time.Time) {
+	repo := p.h.sched.Repository()
+	for _, snap := range repo.Snapshot("") {
+		if snap.HasHistory && now.Sub(snap.LastUpdate) <= p.bound {
+			continue
+		}
+		p.mu.Lock()
+		if last, ok := p.sentAt[snap.ID]; ok && now.Sub(last) < p.bound {
+			p.mu.Unlock()
+			continue // probe already in flight
+		}
+		p.sentAt[snap.ID] = now
+		seq := p.nextSeq
+		p.nextSeq++
+		p.sent++
+		p.mu.Unlock()
+
+		addr, ok := p.h.resolve(snap.ID)
+		if !ok {
+			continue
+		}
+		req := wire.Request{
+			Client:  p.h.cfg.Client,
+			Seq:     seq,
+			Service: p.h.cfg.Service,
+			SentAt:  time.Now(),
+			Probe:   true,
+		}
+		// A lost probe is retried on a later sweep; nothing to do on error.
+		_ = p.h.ep.Send(addr, req)
+	}
+}
+
+// onProbeReply absorbs a probe response into the repository: perf report
+// plus the derived gateway delay td = t4 − SentAt − tq − ts. Both interval
+// endpoints are on the client's clock (SentAt was stamped here and echoed).
+func (p *prober) onProbeReply(m wire.Response, t4 time.Time) {
+	repo := p.h.sched.Repository()
+	repo.RecordPerf(m.Replica, "", m.Perf, t4)
+	if !m.SentAt.IsZero() {
+		td := t4.Sub(m.SentAt) - m.Perf.QueueDelay - m.Perf.ServiceTime
+		repo.RecordGatewayDelay(m.Replica, "", td)
+	}
+	p.mu.Lock()
+	delete(p.sentAt, m.Replica)
+	p.mu.Unlock()
+}

@@ -1,0 +1,443 @@
+package group
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aqua/internal/transport"
+	"aqua/internal/wire"
+)
+
+// fastCfg uses short detection intervals so the tests run quickly.
+func fastCfg(role Role, self wire.ReplicaID, seeds []transport.Addr) Config {
+	return Config{
+		Group:             "svc",
+		Role:              role,
+		Self:              self,
+		Seeds:             seeds,
+		HeartbeatInterval: 5 * time.Millisecond,
+		FailureTimeout:    30 * time.Millisecond,
+	}
+}
+
+// pump drains an endpoint, routing heartbeats to the node, until stop is
+// closed. Mirrors how the gateway/server own the receive loop.
+func pump(t *testing.T, ep transport.Endpoint, n *Node, wg *sync.WaitGroup) {
+	t.Helper()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for msg := range ep.Recv() {
+			if hb, ok := msg.Payload.(wire.Heartbeat); ok {
+				n.HandleHeartbeat(hb, msg.From, time.Now())
+			}
+		}
+	}()
+}
+
+// waitView polls until cond holds for the node's current view.
+func waitView(t *testing.T, n *Node, timeout time.Duration, cond func(View) bool) View {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		v := n.CurrentView()
+		if cond(v) {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("view condition not met within %v; last view %+v", timeout, n.CurrentView())
+	return View{}
+}
+
+func TestJoinValidation(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Listen("x")
+	if _, err := Join(ep, Config{Role: Member, Self: "a"}); err == nil {
+		t.Error("want error for missing group name")
+	}
+	if _, err := Join(ep, Config{Group: "g", Self: "a"}); err == nil {
+		t.Error("want error for missing role")
+	}
+	if _, err := Join(ep, Config{Group: "g", Role: Member}); err == nil {
+		t.Error("want error for member without ID")
+	}
+}
+
+func TestMemberSeesItselfImmediately(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Listen("a")
+	n, err := Join(ep, fastCfg(Member, "a", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Leave()
+	v := n.CurrentView()
+	if len(v.Members) != 1 || v.Members[0] != "a" {
+		t.Errorf("initial view = %+v, want [a]", v)
+	}
+}
+
+func TestTwoMembersConverge(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+
+	epA, _ := net.Listen("addr-a")
+	epB, _ := net.Listen("addr-b")
+	a, err := Join(epA, fastCfg(Member, "a", []transport.Addr{"addr-b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Join(epB, fastCfg(Member, "b", []transport.Addr{"addr-a"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, epA, a, &wg)
+	pump(t, epB, b, &wg)
+
+	for _, n := range []*Node{a, b} {
+		v := waitView(t, n, time.Second, func(v View) bool { return len(v.Members) == 2 })
+		if v.Members[0] != "a" || v.Members[1] != "b" {
+			t.Errorf("view members = %v, want sorted [a b]", v.Members)
+		}
+	}
+
+	a.Leave()
+	b.Leave()
+	_ = epA.Close()
+	_ = epB.Close()
+	wg.Wait()
+}
+
+func TestObserverTracksMembersWithoutJoining(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+
+	epM, _ := net.Listen("addr-m")
+	epO, _ := net.Listen("addr-o")
+	m, err := Join(epM, fastCfg(Member, "m", []transport.Addr{"addr-o"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Join(epO, fastCfg(Observer, "", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, epM, m, &wg)
+	pump(t, epO, o, &wg)
+
+	v := waitView(t, o, time.Second, func(v View) bool { return len(v.Members) == 1 })
+	if v.Members[0] != "m" {
+		t.Errorf("observer view = %v", v.Members)
+	}
+	if v.Contains("o") {
+		t.Error("observer appeared in the membership")
+	}
+	if addr, ok := o.AddrOf("m"); !ok || addr != "addr-m" {
+		t.Errorf("AddrOf(m) = %v, %v", addr, ok)
+	}
+
+	m.Leave()
+	o.Leave()
+	_ = epM.Close()
+	_ = epO.Close()
+	wg.Wait()
+}
+
+func TestCrashDetectionInstallsSmallerView(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+
+	epM, _ := net.Listen("addr-m")
+	epO, _ := net.Listen("addr-o")
+	m, err := Join(epM, fastCfg(Member, "m", []transport.Addr{"addr-o"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Join(epO, fastCfg(Observer, "", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, epM, m, &wg)
+	pump(t, epO, o, &wg)
+
+	var mu sync.Mutex
+	var changes []View
+	o.OnViewChange(func(v View) {
+		mu.Lock()
+		changes = append(changes, v)
+		mu.Unlock()
+	})
+
+	waitView(t, o, time.Second, func(v View) bool { return v.Contains("m") })
+
+	// Crash the member: stop heartbeats and close its endpoint.
+	m.Leave()
+	_ = epM.Close()
+
+	waitView(t, o, time.Second, func(v View) bool { return len(v.Members) == 0 })
+	mu.Lock()
+	last := changes[len(changes)-1]
+	mu.Unlock()
+	if len(last.Members) != 0 {
+		t.Errorf("last view change = %+v, want empty", last)
+	}
+	if _, ok := o.AddrOf("m"); ok {
+		t.Error("crashed member's address still resolvable")
+	}
+
+	o.Leave()
+	_ = epO.Close()
+	wg.Wait()
+}
+
+func TestViewNumbersMonotone(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+
+	epO, _ := net.Listen("addr-o")
+	o, err := Join(epO, fastCfg(Observer, "", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var numbers []uint64
+	o.OnViewChange(func(v View) {
+		mu.Lock()
+		numbers = append(numbers, v.Number)
+		mu.Unlock()
+	})
+	pump(t, epO, o, &wg)
+
+	// Three members come and go.
+	for i := 0; i < 3; i++ {
+		ep, _ := net.Listen(transport.Addr(fmt.Sprintf("addr-%d", i)))
+		m, err := Join(ep, fastCfg(Member, wire.ReplicaID(fmt.Sprintf("m%d", i)), []transport.Addr{"addr-o"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pump(t, ep, m, &wg)
+		waitView(t, o, time.Second, func(v View) bool { return v.Contains(wire.ReplicaID(fmt.Sprintf("m%d", i))) })
+		m.Leave()
+		_ = ep.Close()
+		waitView(t, o, time.Second, func(v View) bool { return len(v.Members) == 0 })
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(numbers); i++ {
+		if numbers[i] <= numbers[i-1] {
+			t.Fatalf("view numbers not increasing: %v", numbers)
+		}
+	}
+	if len(numbers) < 6 {
+		t.Errorf("expected >= 6 view changes, got %d (%v)", len(numbers), numbers)
+	}
+
+	o.Leave()
+	_ = epO.Close()
+	wg.Wait()
+}
+
+func TestMulticastSubset(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+
+	epO, _ := net.Listen("addr-o")
+	o, err := Join(epO, fastCfg(Observer, "", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, epO, o, &wg)
+
+	type member struct {
+		ep transport.Endpoint
+		n  *Node
+		ch chan transport.Message
+	}
+	var members []member
+	for i := 0; i < 3; i++ {
+		ep, _ := net.Listen(transport.Addr(fmt.Sprintf("addr-%d", i)))
+		n, err := Join(ep, fastCfg(Member, wire.ReplicaID(fmt.Sprintf("m%d", i)), []transport.Addr{"addr-o"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := make(chan transport.Message, 16)
+		wg.Add(1)
+		go func(ep transport.Endpoint, n *Node) {
+			defer wg.Done()
+			for msg := range ep.Recv() {
+				if hb, ok := msg.Payload.(wire.Heartbeat); ok {
+					n.HandleHeartbeat(hb, msg.From, time.Now())
+					continue
+				}
+				ch <- msg
+			}
+		}(ep, n)
+		members = append(members, member{ep: ep, n: n, ch: ch})
+	}
+	waitView(t, o, time.Second, func(v View) bool { return len(v.Members) == 3 })
+
+	// Send to m0 and m2 only — the paper's subset multicast.
+	if err := o.MulticastSubset([]wire.ReplicaID{"m0", "m2"}, wire.Request{Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 2} {
+		select {
+		case msg := <-members[idx].ch:
+			if r, ok := msg.Payload.(wire.Request); !ok || r.Seq != 5 {
+				t.Errorf("m%d got %+v", idx, msg.Payload)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("m%d never received the subset multicast", idx)
+		}
+	}
+	select {
+	case msg := <-members[1].ch:
+		t.Fatalf("m1 received %+v despite not being in the subset", msg.Payload)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Unknown members are reported.
+	if err := o.MulticastSubset([]wire.ReplicaID{"ghost"}, wire.Request{}); err == nil {
+		t.Error("want error for unknown member")
+	}
+
+	for _, m := range members {
+		m.n.Leave()
+		_ = m.ep.Close()
+	}
+	o.Leave()
+	_ = epO.Close()
+	wg.Wait()
+}
+
+func TestHeartbeatForWrongGroupIgnored(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Listen("addr-o")
+	o, err := Join(ep, fastCfg(Observer, "", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Leave()
+	o.HandleHeartbeat(wire.Heartbeat{From: "intruder", Service: "other-svc"}, "addr-x", time.Now())
+	if v := o.CurrentView(); len(v.Members) != 0 {
+		t.Errorf("foreign-group heartbeat installed member: %+v", v)
+	}
+}
+
+func TestLeaveIdempotent(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Listen("a")
+	n, err := Join(ep, fastCfg(Member, "a", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Leave()
+	n.Leave()
+}
+
+func TestMemberRejoinAfterCrash(t *testing.T) {
+	net := transport.NewInMem()
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+
+	epO, _ := net.Listen("addr-o")
+	o, err := Join(epO, fastCfg(Observer, "", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, epO, o, &wg)
+
+	start := func() (*Node, transport.Endpoint) {
+		ep, err := net.Listen("addr-m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Join(ep, fastCfg(Member, "m", []transport.Addr{"addr-o"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pump(t, ep, m, &wg)
+		return m, ep
+	}
+
+	m1, ep1 := start()
+	waitView(t, o, time.Second, func(v View) bool { return v.Contains("m") })
+	m1.Leave()
+	_ = ep1.Close()
+	waitView(t, o, time.Second, func(v View) bool { return len(v.Members) == 0 })
+
+	// The same identity rejoins (a Proteus restart); the observer must
+	// re-install it.
+	m2, ep2 := start()
+	waitView(t, o, time.Second, func(v View) bool { return v.Contains("m") })
+
+	m2.Leave()
+	_ = ep2.Close()
+	o.Leave()
+	_ = epO.Close()
+	wg.Wait()
+}
+
+func TestFailureDetectorStableUnderMessageLoss(t *testing.T) {
+	// 30% heartbeat loss: with a 5ms interval and 30ms timeout, a member
+	// is only suspected after ~6 consecutive losses (p ~ 0.1%), so the
+	// view must stay stable while the member lives.
+	net := transport.NewInMem(transport.WithLinkPolicy(transport.LinkPolicy{LossProb: 0.3}, 17))
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+
+	epM, _ := net.Listen("addr-m")
+	epO, _ := net.Listen("addr-o")
+	m, err := Join(epM, fastCfg(Member, "m", []transport.Addr{"addr-o"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Join(epO, fastCfg(Observer, "", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pump(t, epM, m, &wg)
+	pump(t, epO, o, &wg)
+
+	waitView(t, o, time.Second, func(v View) bool { return v.Contains("m") })
+
+	// Count spurious removals over a settling period.
+	var mu sync.Mutex
+	removals := 0
+	o.OnViewChange(func(v View) {
+		mu.Lock()
+		if !v.Contains("m") {
+			removals++
+		}
+		mu.Unlock()
+	})
+	time.Sleep(300 * time.Millisecond)
+	mu.Lock()
+	got := removals
+	mu.Unlock()
+	if got > 1 {
+		t.Errorf("member flapped out of the view %d times under 30%% loss", got)
+	}
+	if !o.CurrentView().Contains("m") {
+		t.Error("live member missing from the final view")
+	}
+
+	m.Leave()
+	o.Leave()
+	_ = epM.Close()
+	_ = epO.Close()
+	wg.Wait()
+}

@@ -1,0 +1,207 @@
+// Package model implements the paper's online response-time model (§5.3.1).
+//
+// For a replica i, the response time is R_i = S_i + W_i + T_i. S_i and W_i
+// are empirical pmfs over the sliding-window measurements in the gateway
+// information repository; T_i is a point mass at the most recently measured
+// two-way gateway-to-gateway delay. F_Ri(t), the probability that replica i
+// responds within t, is the CDF of the discrete convolution of the three.
+// Equation 1 combines per-replica probabilities into the probability that a
+// subset produces at least one timely response.
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"aqua/internal/dist"
+	"aqua/internal/repository"
+)
+
+// defaultMaxSupport caps the number of pmf support points carried through a
+// convolution. When the windowed pmfs are wider than this, they are rebinned
+// to a coarser resolution first, bounding the (k²) convolution cost.
+const defaultMaxSupport = 4096
+
+// Predictor computes F_Ri(t) from repository snapshots. The zero value is
+// not usable; construct with NewPredictor.
+type Predictor struct {
+	resolution time.Duration
+	maxSupport int
+	queueAware bool
+}
+
+// PredictorOption configures a Predictor.
+type PredictorOption func(*Predictor)
+
+// WithResolution sets the pmf bin width (default dist.DefaultResolution).
+func WithResolution(res time.Duration) PredictorOption {
+	return func(p *Predictor) { p.resolution = res }
+}
+
+// WithMaxSupport caps pmf support size during convolution.
+func WithMaxSupport(n int) PredictorOption {
+	return func(p *Predictor) { p.maxSupport = n }
+}
+
+// WithQueueAwareWait replaces the paper's windowed W pmf with a model-based
+// one: the wait for a request arriving at a queue of length q is the q-fold
+// convolution of the service-time pmf (FIFO, one server). This is the A6
+// ablation from DESIGN.md, not the paper's formulation.
+func WithQueueAwareWait() PredictorOption {
+	return func(p *Predictor) { p.queueAware = true }
+}
+
+// NewPredictor returns a configured predictor.
+func NewPredictor(opts ...PredictorOption) *Predictor {
+	p := &Predictor{
+		resolution: dist.DefaultResolution,
+		maxSupport: defaultMaxSupport,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.resolution <= 0 {
+		p.resolution = dist.DefaultResolution
+	}
+	if p.maxSupport < 16 {
+		p.maxSupport = 16
+	}
+	return p
+}
+
+// Resolution returns the pmf bin width used by the predictor.
+func (p *Predictor) Resolution() time.Duration { return p.resolution }
+
+// ResponsePMF computes the pmf of R_i for one replica snapshot. It fails if
+// the snapshot has no history (the scheduler's cold-start rule selects all
+// replicas instead of predicting).
+func (p *Predictor) ResponsePMF(snap repository.ReplicaSnapshot) (*dist.PMF, error) {
+	if !snap.HasHistory {
+		return nil, fmt.Errorf("model: replica %q has no performance history", snap.ID)
+	}
+	s, err := dist.FromSamples(snap.ServiceTimes, p.resolution)
+	if err != nil {
+		return nil, fmt.Errorf("model: service-time pmf for %q: %w", snap.ID, err)
+	}
+	w, err := p.waitPMF(snap, s)
+	if err != nil {
+		return nil, err
+	}
+	s, w = p.bound(s), p.bound(w)
+	s, w, err = align(s, w)
+	if err != nil {
+		return nil, fmt.Errorf("model: aligning S and W for %q: %w", snap.ID, err)
+	}
+	sw, err := s.Convolve(w)
+	if err != nil {
+		return nil, fmt.Errorf("model: convolving S and W for %q: %w", snap.ID, err)
+	}
+	// T is a point mass at the most recent gateway delay, so the final
+	// convolution is a shift.
+	return p.bound(sw).Shift(snap.GatewayDelay), nil
+}
+
+// waitPMF returns the queuing-delay pmf: the paper's empirical window pmf,
+// or the queue-length-aware variant when configured.
+func (p *Predictor) waitPMF(snap repository.ReplicaSnapshot, service *dist.PMF) (*dist.PMF, error) {
+	if !p.queueAware {
+		w, err := dist.FromSamples(snap.QueueDelays, p.resolution)
+		if err != nil {
+			return nil, fmt.Errorf("model: queuing-delay pmf for %q: %w", snap.ID, err)
+		}
+		return w, nil
+	}
+	// Wait ≈ sum of the service times of the QueueLength requests ahead.
+	w, err := dist.PointMass(0, p.resolution)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < snap.QueueLength; i++ {
+		w, err = p.bound(w).Convolve(service)
+		if err != nil {
+			return nil, fmt.Errorf("model: queue-aware wait for %q: %w", snap.ID, err)
+		}
+	}
+	return w, nil
+}
+
+// align rebins the finer-resolution pmf up to the coarser one so the pair
+// can be convolved. Bounding may have coarsened the two inputs by different
+// power-of-two factors, so one resolution always divides the other.
+func align(a, b *dist.PMF) (*dist.PMF, *dist.PMF, error) {
+	switch {
+	case a.Resolution() == b.Resolution():
+		return a, b, nil
+	case a.Resolution() < b.Resolution():
+		ra, err := a.Rebin(b.Resolution())
+		return ra, b, err
+	default:
+		rb, err := b.Rebin(a.Resolution())
+		return a, rb, err
+	}
+}
+
+// bound rebins a pmf to keep its support below maxSupport.
+func (p *Predictor) bound(pmf *dist.PMF) *dist.PMF {
+	for pmf.Support() > p.maxSupport {
+		rb, err := pmf.Rebin(pmf.Resolution() * 2)
+		if err != nil {
+			// Doubling a positive resolution cannot fail; guard anyway.
+			return pmf
+		}
+		pmf = rb
+	}
+	return pmf
+}
+
+// Probability computes F_Ri(t): the probability that replica i responds
+// within t. Callers compensating for scheduler overhead pass t − δ (§5.3.3).
+func (p *Predictor) Probability(snap repository.ReplicaSnapshot, t time.Duration) (float64, error) {
+	pmf, err := p.ResponsePMF(snap)
+	if err != nil {
+		return 0, err
+	}
+	return pmf.CDF(t), nil
+}
+
+// ReplicaProbability pairs a replica with its predicted F_Ri(t). It is the
+// input row of the selection algorithm (the paper's V = <i, F_Ri(t)>).
+type ReplicaProbability struct {
+	Snapshot    repository.ReplicaSnapshot
+	Probability float64
+}
+
+// ProbabilityTable computes F_Ri(t) for every snapshot that has history.
+// Snapshots without history are returned separately so the scheduler can
+// apply the cold-start rule. t should already include the overhead
+// compensation if enabled.
+func (p *Predictor) ProbabilityTable(snaps []repository.ReplicaSnapshot, t time.Duration) (table []ReplicaProbability, cold []repository.ReplicaSnapshot, err error) {
+	table = make([]ReplicaProbability, 0, len(snaps))
+	for _, s := range snaps {
+		if !s.HasHistory {
+			cold = append(cold, s)
+			continue
+		}
+		prob, perr := p.Probability(s, t)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		table = append(table, ReplicaProbability{Snapshot: s, Probability: prob})
+	}
+	return table, cold, nil
+}
+
+// SubsetProbability evaluates Equation 1: the probability that at least one
+// replica in the subset responds by the deadline, assuming independent
+// response times: P_K(t) = 1 − ∏_{i∈K} (1 − F_Ri(t)).
+func SubsetProbability(probs []float64) float64 {
+	failAll := 1.0
+	for _, f := range probs {
+		g := 1 - f
+		if g < 0 {
+			g = 0
+		}
+		failAll *= g
+	}
+	return 1 - failAll
+}

@@ -1,0 +1,181 @@
+// Package proteus is the stand-in for AQuA's Proteus dependability manager
+// (§2): it "manages the replication level for different applications based
+// on their dependability requirements". This reproduction implements the
+// slice of Proteus the paper exercises — keeping a service's replica pool at
+// its configured level by starting fresh replicas when members crash.
+package proteus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aqua/internal/group"
+	"aqua/internal/wire"
+)
+
+// Factory starts a brand-new replica for a service. The manager suggests a
+// unique identity; the factory may substitute its own (e.g. an address-based
+// ID) and must return the identity the replica actually joined with, plus a
+// stop function.
+type Factory func(suggested wire.ReplicaID) (actual wire.ReplicaID, stop func(), err error)
+
+// Policy is a service's dependability requirement.
+type Policy struct {
+	// Service is the managed service.
+	Service wire.Service
+	// ReplicationLevel is the target number of live replicas.
+	ReplicationLevel int
+	// Factory starts replacement replicas.
+	Factory Factory
+	// CheckInterval is how often the pool is reconciled; zero means
+	// DefaultCheckInterval.
+	CheckInterval time.Duration
+}
+
+// DefaultCheckInterval is the default reconciliation cadence.
+const DefaultCheckInterval = 50 * time.Millisecond
+
+// Manager reconciles one service's replica pool against its policy. It
+// observes membership through a group view feed (ObserveView) — typically
+// wired to a group.Node observer.
+type Manager struct {
+	policy Policy
+
+	mu      sync.Mutex
+	view    group.View
+	started map[wire.ReplicaID]func()
+	next    int
+	stopped bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewManager validates the policy and returns a manager. Call Run to begin
+// reconciling.
+func NewManager(p Policy) (*Manager, error) {
+	if p.Service == "" {
+		return nil, fmt.Errorf("proteus: service is required")
+	}
+	if p.ReplicationLevel <= 0 {
+		return nil, fmt.Errorf("proteus: replication level must be positive, got %d", p.ReplicationLevel)
+	}
+	if p.Factory == nil {
+		return nil, fmt.Errorf("proteus: factory is required")
+	}
+	if p.CheckInterval <= 0 {
+		p.CheckInterval = DefaultCheckInterval
+	}
+	return &Manager{
+		policy:  p,
+		started: make(map[wire.ReplicaID]func()),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// ObserveView feeds the manager a membership view. Wire it to a group.Node
+// with OnViewChange(m.ObserveView).
+func (m *Manager) ObserveView(v group.View) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.view = v
+	// Drop stop handles for replicas that left the view: they are dead and
+	// their handle will never be used again.
+	for id := range m.started {
+		if !v.Contains(id) {
+			delete(m.started, id)
+		}
+	}
+}
+
+// Run starts the reconcile loop; it returns immediately. Stop with Stop.
+func (m *Manager) Run() {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(m.policy.CheckInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				m.reconcile()
+			}
+		}
+	}()
+}
+
+// reconcile starts replicas until the live count reaches the target.
+func (m *Manager) reconcile() {
+	m.mu.Lock()
+	live := len(m.view.Members)
+	// Replicas we started that have not yet appeared in a view also count,
+	// otherwise a slow join causes over-provisioning.
+	for id := range m.started {
+		if !m.view.Contains(id) {
+			live++
+		}
+	}
+	deficit := m.policy.ReplicationLevel - live
+	m.mu.Unlock()
+
+	for i := 0; i < deficit; i++ {
+		m.mu.Lock()
+		m.next++
+		suggested := wire.ReplicaID(fmt.Sprintf("%s-p%d", m.policy.Service, m.next))
+		m.mu.Unlock()
+
+		actual, stopFn, err := m.policy.Factory(suggested)
+		if err != nil {
+			// The next tick retries; a persistent factory failure shows up
+			// as a pool below target, which Level() exposes.
+			return
+		}
+		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			stopFn()
+			return
+		}
+		m.started[actual] = stopFn
+		m.mu.Unlock()
+	}
+}
+
+// Level returns the current live member count as seen by the manager.
+func (m *Manager) Level() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.view.Members)
+}
+
+// StartedCount returns how many replicas the manager has launched in total.
+func (m *Manager) StartedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
+}
+
+// Stop halts reconciliation and stops every replica the manager started.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	stops := make([]func(), 0, len(m.started))
+	for _, f := range m.started {
+		stops = append(stops, f)
+	}
+	m.started = make(map[wire.ReplicaID]func())
+	m.mu.Unlock()
+
+	close(m.stop)
+	m.wg.Wait()
+	for _, f := range stops {
+		f()
+	}
+}

@@ -1,0 +1,101 @@
+// Package queue implements the instrumented FIFO request queue inside the
+// server-side gateway (§5.1, §5.4.1). Enqueue stamps t2 and Dequeue hands
+// the stamp back so the worker computes the queuing delay tq = t3 − t2 on
+// its own clock. The queue itself is clock-free.
+package queue
+
+import (
+	"sync"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+// Item is one queued request with its enqueue timestamp (t2).
+type Item struct {
+	Req        wire.Request
+	From       string // transport-level reply address
+	EnqueuedAt time.Time
+}
+
+// Queue is a blocking FIFO with enqueue instrumentation. The zero value is
+// not usable; construct with New.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Item
+	closed bool
+}
+
+// New returns an empty open queue.
+func New() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue appends a request stamped with t2 = now. It reports false if the
+// queue is closed.
+func (q *Queue) Enqueue(req wire.Request, from string, now time.Time) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, Item{Req: req, From: from, EnqueuedAt: now})
+	q.cond.Signal()
+	return true
+}
+
+// Dequeue blocks until an item is available or the queue closes. ok is
+// false on close. The caller stamps t3 on return and computes
+// tq = t3 − item.EnqueuedAt.
+func (q *Queue) Dequeue() (item Item, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	item = q.items[0]
+	// Shift rather than re-slice so the backing array doesn't pin served
+	// requests.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return item, true
+}
+
+// TryDequeue is Dequeue without blocking; ok is false if empty or closed.
+func (q *Queue) TryDequeue() (item Item, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	item = q.items[0]
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return item, true
+}
+
+// Len returns the number of outstanding requests — the queue-length figure
+// the replica publishes with each performance report.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close wakes all blocked Dequeues; subsequent Enqueues are rejected.
+// Items already queued can still be drained with TryDequeue.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.cond.Broadcast()
+}

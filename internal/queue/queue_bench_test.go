@@ -1,0 +1,48 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+// BenchmarkEnqueueDequeue measures the uncontended FIFO hot path: one
+// enqueue (stamping t2) and one dequeue per request.
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New()
+	now := time.Now()
+	req := wire.Request{Client: "c", Service: "s"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !q.Enqueue(req, "from", now) {
+			b.Fatal("enqueue rejected")
+		}
+		if _, ok := q.Dequeue(); !ok {
+			b.Fatal("dequeue failed")
+		}
+	}
+}
+
+// BenchmarkContendedQueue measures the producer/consumer handoff under
+// concurrency: one producer goroutine feeds the benchmark's consumer loop.
+func BenchmarkContendedQueue(b *testing.B) {
+	q := New()
+	req := wire.Request{Client: "c", Service: "s"}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		now := time.Now()
+		for i := 0; i < b.N; i++ {
+			q.Enqueue(req, "from", now)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := q.Dequeue(); !ok {
+			b.Fatal("dequeue failed")
+		}
+	}
+	<-done
+}

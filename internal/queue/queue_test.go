@@ -1,0 +1,199 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+func req(seq wire.SeqNo) wire.Request {
+	return wire.Request{Client: "c", Seq: seq, Service: "s"}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New()
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		if !q.Enqueue(req(wire.SeqNo(i)), "from", now) {
+			t.Fatal("enqueue rejected on open queue")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		item, ok := q.Dequeue()
+		if !ok {
+			t.Fatal("dequeue failed")
+		}
+		if item.Req.Seq != wire.SeqNo(i) {
+			t.Errorf("dequeued seq %d, want %d (FIFO)", item.Req.Seq, i)
+		}
+	}
+}
+
+func TestEnqueueTimestampPreserved(t *testing.T) {
+	q := New()
+	stamp := time.Date(2001, 7, 1, 0, 0, 0, 0, time.UTC)
+	q.Enqueue(req(1), "gw", stamp)
+	item, ok := q.Dequeue()
+	if !ok {
+		t.Fatal("dequeue failed")
+	}
+	if !item.EnqueuedAt.Equal(stamp) {
+		t.Errorf("EnqueuedAt = %v, want %v", item.EnqueuedAt, stamp)
+	}
+	if item.From != "gw" {
+		t.Errorf("From = %q", item.From)
+	}
+}
+
+func TestLen(t *testing.T) {
+	q := New()
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	now := time.Now()
+	q.Enqueue(req(1), "", now)
+	q.Enqueue(req(2), "", now)
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestDequeueBlocksUntilEnqueue(t *testing.T) {
+	q := New()
+	got := make(chan Item, 1)
+	go func() {
+		item, ok := q.Dequeue()
+		if ok {
+			got <- item
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("dequeue returned before enqueue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Enqueue(req(7), "", time.Now())
+	select {
+	case item := <-got:
+		if item.Req.Seq != 7 {
+			t.Errorf("seq = %d", item.Req.Seq)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("dequeue never woke")
+	}
+}
+
+func TestCloseWakesBlockedDequeue(t *testing.T) {
+	q := New()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Dequeue()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("dequeue on closed empty queue returned ok")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not wake dequeue")
+	}
+}
+
+func TestEnqueueAfterCloseRejected(t *testing.T) {
+	q := New()
+	q.Close()
+	if q.Enqueue(req(1), "", time.Now()) {
+		t.Error("enqueue accepted after close")
+	}
+	q.Close() // idempotent
+}
+
+func TestDrainAfterClose(t *testing.T) {
+	q := New()
+	q.Enqueue(req(1), "", time.Now())
+	q.Enqueue(req(2), "", time.Now())
+	q.Close()
+	// Items enqueued before close must still drain.
+	item, ok := q.Dequeue()
+	if !ok || item.Req.Seq != 1 {
+		t.Fatalf("first drain: ok=%v seq=%v", ok, item.Req.Seq)
+	}
+	item, ok = q.TryDequeue()
+	if !ok || item.Req.Seq != 2 {
+		t.Fatalf("second drain: ok=%v seq=%v", ok, item.Req.Seq)
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Error("dequeue on drained closed queue returned ok")
+	}
+}
+
+func TestTryDequeue(t *testing.T) {
+	q := New()
+	if _, ok := q.TryDequeue(); ok {
+		t.Error("TryDequeue on empty queue returned ok")
+	}
+	q.Enqueue(req(3), "", time.Now())
+	item, ok := q.TryDequeue()
+	if !ok || item.Req.Seq != 3 {
+		t.Errorf("TryDequeue = %v, %v", item.Req.Seq, ok)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New()
+	const producers, perProducer = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(req(wire.SeqNo(p*perProducer+i)), "", time.Now())
+			}
+		}(p)
+	}
+	seen := make(chan wire.SeqNo, producers*perProducer)
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				item, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				seen <- item.Req.Seq
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for the consumers to drain, then close.
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	cg.Wait()
+	close(seen)
+	unique := make(map[wire.SeqNo]bool)
+	for s := range seen {
+		if unique[s] {
+			t.Fatalf("sequence %d delivered twice", s)
+		}
+		unique[s] = true
+	}
+	if len(unique) != producers*perProducer {
+		t.Errorf("delivered %d unique items, want %d", len(unique), producers*perProducer)
+	}
+}

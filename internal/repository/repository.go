@@ -1,0 +1,300 @@
+// Package repository implements the gateway information repository (§5.2):
+// the per-handler store of recent performance measurements for every replica
+// of one service. Each client gateway handler owns a private repository, so
+// lookups are local (no remote calls, no cross-client concurrency control)
+// and the search space is limited to one service — the design trade-offs the
+// paper argues for.
+//
+// For each replica the repository stores the current number of outstanding
+// requests in the replica's queue, the most recently measured two-way
+// gateway-to-gateway delay, and sliding windows (size l) of the service
+// times and queuing delays of the most recent requests.
+package repository
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aqua/internal/window"
+	"aqua/internal/wire"
+)
+
+// DefaultWindowSize is the paper's default sliding-window size l; its
+// experiments use 5 and study 10 and 20.
+const DefaultWindowSize = 5
+
+// methodKey identifies a performance history. The paper assumes a single
+// method per service; keying by method implements its multi-interface
+// extension (§8). The empty method shares one history per replica.
+type methodKey struct {
+	replica wire.ReplicaID
+	method  string
+}
+
+// entry is the per-(replica, method) record.
+type entry struct {
+	service *window.Window // service time vector S_i
+	queue   *window.Window // queuing delay vector W_i
+	gateway *window.Window // optional T_i history (extension); len 1 if disabled
+}
+
+// replicaState is per-replica state independent of the invoked method.
+type replicaState struct {
+	queueLength int       // current outstanding requests
+	lastUpdate  time.Time // freshness marker for the staleness probe
+	hasUpdate   bool
+}
+
+// Repository is the thread-safe information store for one service. The zero
+// value is not usable; construct with New.
+type Repository struct {
+	mu           sync.RWMutex
+	windowSize   int
+	gatewayHist  int // gateway-delay window size; 1 = paper behaviour (most recent value only)
+	entries      map[methodKey]*entry
+	replicas     map[wire.ReplicaID]*replicaState
+	updatesByRep map[wire.ReplicaID]uint64 // count of perf reports absorbed, per replica
+}
+
+// Option configures a Repository.
+type Option func(*Repository)
+
+// WithWindowSize sets the sliding-window size l for service times and
+// queuing delays.
+func WithWindowSize(l int) Option {
+	return func(r *Repository) { r.windowSize = l }
+}
+
+// WithGatewayHistory enables a sliding window of size n for the gateway
+// delay T, the paper's suggested extension for LANs with fluctuating
+// traffic. n = 1 (the default) reproduces the paper: only the most recent
+// value is kept.
+func WithGatewayHistory(n int) Option {
+	return func(r *Repository) { r.gatewayHist = n }
+}
+
+// New returns an empty repository.
+func New(opts ...Option) *Repository {
+	r := &Repository{
+		windowSize:   DefaultWindowSize,
+		gatewayHist:  1,
+		entries:      make(map[methodKey]*entry),
+		replicas:     make(map[wire.ReplicaID]*replicaState),
+		updatesByRep: make(map[wire.ReplicaID]uint64),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.windowSize <= 0 {
+		r.windowSize = DefaultWindowSize
+	}
+	if r.gatewayHist <= 0 {
+		r.gatewayHist = 1
+	}
+	return r
+}
+
+// WindowSize returns the configured sliding-window size l.
+func (r *Repository) WindowSize() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.windowSize
+}
+
+// AddReplica registers a replica (e.g. on a membership view change). It is
+// idempotent.
+func (r *Repository) AddReplica(id wire.ReplicaID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.replicas[id]; !ok {
+		r.replicas[id] = &replicaState{}
+	}
+}
+
+// RemoveReplica forgets a replica and all its histories. The timing fault
+// handler calls this when Maestro/Ensemble reports the member crashed, so
+// failed replicas "will not be considered in the selection process for
+// future requests" (§5.4).
+func (r *Repository) RemoveReplica(id wire.ReplicaID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.replicas, id)
+	delete(r.updatesByRep, id)
+	for k := range r.entries {
+		if k.replica == id {
+			delete(r.entries, k)
+		}
+	}
+}
+
+// SetMembership reconciles the replica set against a full membership view:
+// new members are added, departed members are purged.
+func (r *Repository) SetMembership(ids []wire.ReplicaID) {
+	keep := make(map[wire.ReplicaID]bool, len(ids))
+	for _, id := range ids {
+		keep[id] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		if _, ok := r.replicas[id]; !ok {
+			r.replicas[id] = &replicaState{}
+		}
+	}
+	for id := range r.replicas {
+		if !keep[id] {
+			delete(r.replicas, id)
+			delete(r.updatesByRep, id)
+			for k := range r.entries {
+				if k.replica == id {
+					delete(r.entries, k)
+				}
+			}
+		}
+	}
+}
+
+// Replicas returns the registered replica IDs in deterministic (sorted)
+// order.
+func (r *Repository) Replicas() []wire.ReplicaID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]wire.ReplicaID, 0, len(r.replicas))
+	for id := range r.replicas {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len returns the number of registered replicas.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.replicas)
+}
+
+func (r *Repository) entryLocked(id wire.ReplicaID, method string) *entry {
+	k := methodKey{replica: id, method: method}
+	e, ok := r.entries[k]
+	if !ok {
+		e = &entry{
+			service: window.New(r.windowSize),
+			queue:   window.New(r.windowSize),
+			gateway: window.New(r.gatewayHist),
+		}
+		r.entries[k] = e
+	}
+	return e
+}
+
+// RecordPerf absorbs a performance report for (replica, method): service
+// time and queuing delay enter their sliding windows, and the replica's
+// outstanding-queue-length snapshot is refreshed. now is the local receipt
+// time used for staleness tracking.
+func (r *Repository) RecordPerf(id wire.ReplicaID, method string, p wire.PerfReport, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.replicas[id]
+	if !ok {
+		// Reports can race a membership removal; a removed replica stays
+		// removed.
+		return
+	}
+	e := r.entryLocked(id, method)
+	e.service.Add(p.ServiceTime)
+	e.queue.Add(p.QueueDelay)
+	st.queueLength = p.QueueLength
+	st.lastUpdate = now
+	st.hasUpdate = true
+	r.updatesByRep[id]++
+}
+
+// RecordGatewayDelay stores a newly measured two-way gateway-to-gateway
+// delay td for a replica (§5.4.1: computed from every reply, including
+// discarded duplicates).
+func (r *Repository) RecordGatewayDelay(id wire.ReplicaID, method string, td time.Duration) {
+	if td < 0 {
+		// Clock-adjustment artifacts; a negative delay is physically
+		// meaningless and would poison the point-mass estimate.
+		td = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.replicas[id]; !ok {
+		return
+	}
+	e := r.entryLocked(id, method)
+	e.gateway.Add(td)
+}
+
+// UpdateCount returns how many performance reports have been absorbed for a
+// replica across all methods.
+func (r *Repository) UpdateCount(id wire.ReplicaID) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.updatesByRep[id]
+}
+
+// ReplicaSnapshot is an immutable copy of one replica's history handed to
+// the response-time predictor, so prediction runs without repository locks.
+type ReplicaSnapshot struct {
+	ID           wire.ReplicaID
+	ServiceTimes []time.Duration // oldest → newest
+	QueueDelays  []time.Duration // oldest → newest
+	GatewayDelay time.Duration   // most recent T (or mean of the T window if enabled)
+	QueueLength  int
+	LastUpdate   time.Time
+	// HasHistory is false until at least one service-time and one queuing
+	// delay sample exist; the scheduler must fall back to selecting all
+	// replicas (the paper's cold-start rule, §5.4.1).
+	HasHistory bool
+}
+
+// Snapshot returns prediction-ready copies for all registered replicas for
+// the given method, sorted by replica ID for determinism.
+func (r *Repository) Snapshot(method string) []ReplicaSnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ReplicaSnapshot, 0, len(r.replicas))
+	for id, st := range r.replicas {
+		snap := ReplicaSnapshot{
+			ID:          id,
+			QueueLength: st.queueLength,
+			LastUpdate:  st.lastUpdate,
+		}
+		if e, ok := r.entries[methodKey{replica: id, method: method}]; ok {
+			snap.ServiceTimes = e.service.Values()
+			snap.QueueDelays = e.queue.Values()
+			if td, ok := e.gateway.Last(); ok {
+				if r.gatewayHist > 1 {
+					// Extension: smooth over the configured T window.
+					var sum time.Duration
+					vals := e.gateway.Values()
+					for _, v := range vals {
+						sum += v
+					}
+					snap.GatewayDelay = sum / time.Duration(len(vals))
+				} else {
+					snap.GatewayDelay = td
+				}
+			}
+			snap.HasHistory = len(snap.ServiceTimes) > 0 && len(snap.QueueDelays) > 0
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SnapshotOne returns the snapshot for a single replica.
+func (r *Repository) SnapshotOne(id wire.ReplicaID, method string) (ReplicaSnapshot, error) {
+	for _, s := range r.Snapshot(method) {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return ReplicaSnapshot{}, fmt.Errorf("repository: unknown replica %q", id)
+}

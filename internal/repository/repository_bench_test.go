@@ -1,0 +1,67 @@
+package repository
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+func benchRepo(n, l int) *Repository {
+	r := New(WithWindowSize(l))
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		id := wire.ReplicaID(fmt.Sprintf("replica-%03d", i))
+		r.AddReplica(id)
+		for j := 0; j < l; j++ {
+			r.RecordPerf(id, "", wire.PerfReport{
+				ServiceTime: time.Duration(j+1) * time.Millisecond,
+				QueueDelay:  time.Duration(j) * time.Millisecond,
+				QueueLength: j,
+			}, now)
+		}
+		r.RecordGatewayDelay(id, "", time.Millisecond)
+	}
+	return r
+}
+
+// BenchmarkRecordPerf measures the per-reply repository update cost — paid
+// once per reply (duplicates included), so it sits on the hot path.
+func BenchmarkRecordPerf(b *testing.B) {
+	r := benchRepo(8, 5)
+	perf := wire.PerfReport{ServiceTime: 3 * time.Millisecond, QueueDelay: time.Millisecond}
+	now := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.RecordPerf("replica-000", "", perf, now)
+	}
+}
+
+// BenchmarkSnapshot measures the per-request lookup cost the paper's
+// repository design optimizes for ("it is important that the lookup time be
+// as small as possible").
+func BenchmarkSnapshot(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		for _, l := range []int{5, 20} {
+			b.Run(fmt.Sprintf("n=%d/l=%d", n, l), func(b *testing.B) {
+				r := benchRepo(n, l)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if snaps := r.Snapshot(""); len(snaps) != n {
+						b.Fatalf("snapshot len %d", len(snaps))
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSetMembership(b *testing.B) {
+	r := benchRepo(16, 5)
+	ids := r.Replicas()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.SetMembership(ids)
+	}
+}

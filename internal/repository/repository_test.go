@@ -1,0 +1,228 @@
+package repository
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+const ms = time.Millisecond
+
+func perf(s, q time.Duration, qlen int) wire.PerfReport {
+	return wire.PerfReport{ServiceTime: s, QueueDelay: q, QueueLength: qlen}
+}
+
+func TestAddRemoveReplicas(t *testing.T) {
+	r := New()
+	r.AddReplica("a")
+	r.AddReplica("b")
+	r.AddReplica("a") // idempotent
+	if got := r.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	ids := r.Replicas()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("Replicas() = %v, want sorted [a b]", ids)
+	}
+	r.RemoveReplica("a")
+	if got := r.Len(); got != 1 {
+		t.Errorf("Len() after remove = %d, want 1", got)
+	}
+}
+
+func TestRecordPerfPopulatesSnapshot(t *testing.T) {
+	r := New(WithWindowSize(3))
+	r.AddReplica("a")
+	now := time.Now()
+	r.RecordPerf("a", "", perf(10*ms, 5*ms, 2), now)
+
+	snaps := r.Snapshot("")
+	if len(snaps) != 1 {
+		t.Fatalf("Snapshot len = %d", len(snaps))
+	}
+	s := snaps[0]
+	if !s.HasHistory {
+		t.Fatal("HasHistory = false after RecordPerf")
+	}
+	if len(s.ServiceTimes) != 1 || s.ServiceTimes[0] != 10*ms {
+		t.Errorf("ServiceTimes = %v", s.ServiceTimes)
+	}
+	if len(s.QueueDelays) != 1 || s.QueueDelays[0] != 5*ms {
+		t.Errorf("QueueDelays = %v", s.QueueDelays)
+	}
+	if s.QueueLength != 2 {
+		t.Errorf("QueueLength = %d, want 2", s.QueueLength)
+	}
+	if !s.LastUpdate.Equal(now) {
+		t.Errorf("LastUpdate = %v, want %v", s.LastUpdate, now)
+	}
+	if got := r.UpdateCount("a"); got != 1 {
+		t.Errorf("UpdateCount = %d, want 1", got)
+	}
+}
+
+func TestSlidingWindowEviction(t *testing.T) {
+	r := New(WithWindowSize(2))
+	r.AddReplica("a")
+	for i := 1; i <= 5; i++ {
+		r.RecordPerf("a", "", perf(time.Duration(i)*ms, time.Duration(i)*ms, 0), time.Now())
+	}
+	s := r.Snapshot("")[0]
+	if len(s.ServiceTimes) != 2 || s.ServiceTimes[0] != 4*ms || s.ServiceTimes[1] != 5*ms {
+		t.Errorf("ServiceTimes = %v, want [4ms 5ms]", s.ServiceTimes)
+	}
+}
+
+func TestRecordForUnknownReplicaIgnored(t *testing.T) {
+	r := New()
+	r.RecordPerf("ghost", "", perf(ms, ms, 1), time.Now())
+	r.RecordGatewayDelay("ghost", "", ms)
+	if r.Len() != 0 {
+		t.Error("unknown replica should not be materialized")
+	}
+	if len(r.Snapshot("")) != 0 {
+		t.Error("snapshot not empty")
+	}
+}
+
+func TestGatewayDelayMostRecentWins(t *testing.T) {
+	r := New()
+	r.AddReplica("a")
+	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
+	r.RecordGatewayDelay("a", "", 3*ms)
+	r.RecordGatewayDelay("a", "", 9*ms)
+	s := r.Snapshot("")[0]
+	if s.GatewayDelay != 9*ms {
+		t.Errorf("GatewayDelay = %v, want most recent 9ms", s.GatewayDelay)
+	}
+}
+
+func TestGatewayDelayNegativeClamped(t *testing.T) {
+	r := New()
+	r.AddReplica("a")
+	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
+	r.RecordGatewayDelay("a", "", -4*ms)
+	if got := r.Snapshot("")[0].GatewayDelay; got != 0 {
+		t.Errorf("GatewayDelay = %v, want clamped 0", got)
+	}
+}
+
+func TestGatewayHistoryExtensionAverages(t *testing.T) {
+	r := New(WithGatewayHistory(3))
+	r.AddReplica("a")
+	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
+	r.RecordGatewayDelay("a", "", 2*ms)
+	r.RecordGatewayDelay("a", "", 4*ms)
+	r.RecordGatewayDelay("a", "", 6*ms)
+	if got := r.Snapshot("")[0].GatewayDelay; got != 4*ms {
+		t.Errorf("GatewayDelay = %v, want window mean 4ms", got)
+	}
+}
+
+func TestSetMembershipPrunes(t *testing.T) {
+	r := New()
+	r.AddReplica("a")
+	r.AddReplica("b")
+	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
+	r.SetMembership([]wire.ReplicaID{"b", "c"})
+	ids := r.Replicas()
+	if len(ids) != 2 || ids[0] != "b" || ids[1] != "c" {
+		t.Fatalf("Replicas() = %v, want [b c]", ids)
+	}
+	// Rejoining "a" must not resurrect stale history.
+	r.AddReplica("a")
+	s, err := r.SnapshotOne("a", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasHistory {
+		t.Error("rejoined replica kept stale history")
+	}
+	if got := r.UpdateCount("a"); got != 0 {
+		t.Errorf("UpdateCount = %d, want 0 after purge", got)
+	}
+}
+
+func TestPerMethodHistories(t *testing.T) {
+	r := New()
+	r.AddReplica("a")
+	r.RecordPerf("a", "search", perf(10*ms, ms, 0), time.Now())
+	r.RecordPerf("a", "index", perf(90*ms, ms, 0), time.Now())
+
+	s, err := r.SnapshotOne("a", "search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ServiceTimes) != 1 || s.ServiceTimes[0] != 10*ms {
+		t.Errorf("search history = %v", s.ServiceTimes)
+	}
+	s, err = r.SnapshotOne("a", "index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ServiceTimes) != 1 || s.ServiceTimes[0] != 90*ms {
+		t.Errorf("index history = %v", s.ServiceTimes)
+	}
+	// Unknown method: replica listed but cold.
+	s, err = r.SnapshotOne("a", "delete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasHistory {
+		t.Error("unknown method should have no history")
+	}
+}
+
+func TestSnapshotOneUnknown(t *testing.T) {
+	r := New()
+	if _, err := r.SnapshotOne("nope", ""); err == nil {
+		t.Error("want error for unknown replica")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	r := New()
+	r.AddReplica("a")
+	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
+	s := r.Snapshot("")[0]
+	s.ServiceTimes[0] = 99 * ms
+	s2 := r.Snapshot("")[0]
+	if s2.ServiceTimes[0] != ms {
+		t.Error("snapshot aliases repository state")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r := New(WithWindowSize(0), WithGatewayHistory(-1))
+	if r.WindowSize() != DefaultWindowSize {
+		t.Errorf("WindowSize = %d, want default %d", r.WindowSize(), DefaultWindowSize)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := New()
+	ids := []wire.ReplicaID{"a", "b", "c", "d"}
+	for _, id := range ids {
+		r.AddReplica(id)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := ids[i%len(ids)]
+			for j := 0; j < 200; j++ {
+				r.RecordPerf(id, "", perf(ms, ms, j), time.Now())
+				r.RecordGatewayDelay(id, "", ms)
+				_ = r.Snapshot("")
+				_ = r.Replicas()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.UpdateCount("a"); got == 0 {
+		t.Error("no updates recorded under concurrency")
+	}
+}

@@ -1,0 +1,378 @@
+// Package selection implements the paper's replica selection algorithm
+// (Algorithm 1, §5.3.2) together with the generalizations sketched in the
+// paper and the single-replica baselines it compares against conceptually
+// (§1, §7).
+//
+// Algorithm 1 sorts replicas by decreasing F_Ri(t), reserves the
+// highest-probability replica m0, and grows a candidate set X from the rest
+// until P_X(t) ≥ Pc(t) (Equation 1). The returned set K = X ∪ {m0} then
+// meets the client's probabilistic deadline even if any single member of K
+// crashes (Equation 3). If no such X exists, the full replica set M is
+// returned.
+package selection
+
+import (
+	"fmt"
+	"sort"
+
+	"aqua/internal/model"
+	"aqua/internal/repository"
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+// Input is what a strategy selects from: the predicted probability table for
+// replicas with measurement history, the replicas still lacking history
+// (cold), and the client's QoS specification.
+type Input struct {
+	// Table holds F_Ri(t) per warm replica; t already includes overhead
+	// compensation when enabled.
+	Table []model.ReplicaProbability
+	// Cold lists replicas with no usable history. The dynamic strategy
+	// always includes them so they get probed and start publishing
+	// performance updates (the paper's cold-start rule generalized to
+	// per-replica granularity).
+	Cold []repository.ReplicaSnapshot
+	// QoS carries the deadline t and required probability Pc(t).
+	QoS wire.QoS
+}
+
+// Result is a selection decision.
+type Result struct {
+	// Selected is the chosen subset K, deterministic order.
+	Selected []wire.ReplicaID
+	// Predicted is P_K(t) per Equation 1 over the warm members of K (cold
+	// members contribute unknown probability and are excluded from the
+	// estimate).
+	Predicted float64
+	// UsedAll reports that the strategy fell back to the complete replica
+	// set M because no proper subset satisfied the QoS.
+	UsedAll bool
+	// ColdStart reports that the decision was dominated by missing history.
+	ColdStart bool
+}
+
+// Strategy chooses a replica subset for one request.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Select returns the replicas to which the request will be multicast.
+	// The returned set is non-empty whenever the input contains at least
+	// one replica.
+	Select(in Input) Result
+}
+
+// replicaIDs extracts IDs from a probability table.
+func replicaIDs(table []model.ReplicaProbability) []wire.ReplicaID {
+	ids := make([]wire.ReplicaID, len(table))
+	for i, rp := range table {
+		ids[i] = rp.Snapshot.ID
+	}
+	return ids
+}
+
+// coldIDs extracts IDs from cold snapshots.
+func coldIDs(cold []repository.ReplicaSnapshot) []wire.ReplicaID {
+	ids := make([]wire.ReplicaID, len(cold))
+	for i, s := range cold {
+		ids[i] = s.ID
+	}
+	return ids
+}
+
+// sortTable orders a copy of the table by decreasing probability, breaking
+// ties by replica ID so runs are deterministic.
+func sortTable(table []model.ReplicaProbability) []model.ReplicaProbability {
+	sorted := make([]model.ReplicaProbability, len(table))
+	copy(sorted, table)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Probability != sorted[j].Probability {
+			return sorted[i].Probability > sorted[j].Probability
+		}
+		return sorted[i].Snapshot.ID < sorted[j].Snapshot.ID
+	})
+	return sorted
+}
+
+// subsetProb applies Equation 1 to the listed table rows.
+func subsetProb(rows []model.ReplicaProbability) float64 {
+	probs := make([]float64, len(rows))
+	for i, r := range rows {
+		probs[i] = r.Probability
+	}
+	return model.SubsetProbability(probs)
+}
+
+// Dynamic is the paper's Algorithm 1 generalized to reserve the top
+// Failures replicas (Failures=1 reproduces the paper exactly; the paper
+// notes the multi-failure extension in §5.3.2). With Reserve=false the
+// algorithm keeps no crash reserve and can return a single replica — the A4
+// ablation.
+type Dynamic struct {
+	// Failures is the number of simultaneous replica crashes the selected
+	// set must tolerate. The paper's algorithm uses 1.
+	Failures int
+	// Reserve controls whether the crash reserve is kept at all. False
+	// disables fault tolerance (ablation); Failures is then ignored.
+	Reserve bool
+	// Cap, when positive, bounds |K|: when no subset satisfies Pc(t), the
+	// algorithm returns the best Cap replicas instead of all of M. The
+	// paper's line-15 fallback amplifies overload (ablation A12); the cap
+	// is the overload-safe variant.
+	Cap int
+}
+
+var _ Strategy = (*Dynamic)(nil)
+
+// NewDynamic returns the paper's Algorithm 1 (single-crash reserve).
+func NewDynamic() *Dynamic { return &Dynamic{Failures: 1, Reserve: true} }
+
+// NewDynamicMulti returns the f-failure generalization.
+func NewDynamicMulti(f int) *Dynamic { return &Dynamic{Failures: f, Reserve: true} }
+
+// NewDynamicNoReserve returns the variant without the m0 crash reserve.
+func NewDynamicNoReserve() *Dynamic { return &Dynamic{Reserve: false} }
+
+// NewDynamicCapped returns Algorithm 1 with the fallback capped at maxK
+// replicas instead of all of M.
+func NewDynamicCapped(maxK int) *Dynamic {
+	return &Dynamic{Failures: 1, Reserve: true, Cap: maxK}
+}
+
+// Name implements Strategy.
+func (d *Dynamic) Name() string {
+	if !d.Reserve {
+		return "dynamic-noreserve"
+	}
+	name := "dynamic"
+	if d.Failures > 1 {
+		name = fmt.Sprintf("dynamic-f%d", d.Failures)
+	}
+	if d.Cap > 0 {
+		name = fmt.Sprintf("%s-cap%d", name, d.Cap)
+	}
+	return name
+}
+
+// Select implements Algorithm 1. Cold replicas are always included (forced
+// probing); if every replica is cold this degenerates to the paper's
+// first-access rule of selecting all of M.
+func (d *Dynamic) Select(in Input) Result {
+	forced := coldIDs(in.Cold)
+	if len(in.Table) == 0 {
+		return Result{Selected: forced, Predicted: 0, UsedAll: true, ColdStart: true}
+	}
+	sorted := sortTable(in.Table)
+
+	reserve := 0
+	if d.Reserve {
+		reserve = d.Failures
+		if reserve < 1 {
+			reserve = 1
+		}
+		if reserve > len(sorted) {
+			reserve = len(sorted)
+		}
+	}
+	head := sorted[:reserve] // the m0 … m_{f-1} crash reserve
+	rest := sorted[reserve:]
+
+	// Grow X from the remaining replicas, in sorted order, until Equation 1
+	// meets Pc(t) without counting the reserve (Algorithm 1 lines 6-14).
+	prod := 1.0
+	for i := range rest {
+		g := 1 - rest[i].Probability
+		if g < 0 {
+			g = 0
+		}
+		prod *= g
+		if 1-prod >= in.QoS.MinProbability {
+			x := rest[:i+1]
+			selected := append(replicaIDs(head), replicaIDs(x)...)
+			selected = append(selected, forced...)
+			return Result{
+				Selected:  selected,
+				Predicted: subsetProb(append(append([]model.ReplicaProbability{}, head...), x...)),
+				ColdStart: len(forced) > 0,
+			}
+		}
+		if d.Cap > 0 && reserve+i+1 >= d.Cap {
+			break // capped: stop growing X even though Pc is unmet
+		}
+	}
+	// No acceptable subset: return the complete replica set M (line 15), or
+	// the best Cap replicas when the overload-safe cap is configured.
+	fallback := sorted
+	if d.Cap > 0 && d.Cap < len(sorted) {
+		fallback = sorted[:d.Cap]
+	}
+	all := append(replicaIDs(fallback), forced...)
+	return Result{
+		Selected:  all,
+		Predicted: subsetProb(fallback),
+		UsedAll:   true,
+		ColdStart: len(forced) > 0,
+	}
+}
+
+// SingleBest picks only the replica with the highest F_Ri(t): the
+// lowest-expected-response-time family of selection algorithms the paper
+// contrasts with (nearest replica, best historical mean, probing). It has
+// no crash protection.
+type SingleBest struct{}
+
+var _ Strategy = SingleBest{}
+
+// Name implements Strategy.
+func (SingleBest) Name() string { return "single-best" }
+
+// Select implements Strategy.
+func (SingleBest) Select(in Input) Result {
+	if len(in.Table) == 0 {
+		forced := coldIDs(in.Cold)
+		return Result{Selected: forced, UsedAll: true, ColdStart: true}
+	}
+	sorted := sortTable(in.Table)
+	best := sorted[0]
+	return Result{
+		Selected:  []wire.ReplicaID{best.Snapshot.ID},
+		Predicted: best.Probability,
+	}
+}
+
+// FixedK picks the top-K replicas by F_Ri(t): static redundancy without the
+// QoS-driven adaptivity.
+type FixedK struct {
+	K int
+}
+
+var _ Strategy = FixedK{}
+
+// Name implements Strategy.
+func (f FixedK) Name() string { return fmt.Sprintf("fixed-%d", f.K) }
+
+// Select implements Strategy.
+func (f FixedK) Select(in Input) Result {
+	if len(in.Table) == 0 {
+		return Result{Selected: coldIDs(in.Cold), UsedAll: true, ColdStart: true}
+	}
+	k := f.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(in.Table) {
+		k = len(in.Table)
+	}
+	sorted := sortTable(in.Table)[:k]
+	return Result{Selected: replicaIDs(sorted), Predicted: subsetProb(sorted)}
+}
+
+// All multicasts every request to every replica: AQuA's active-replication
+// behaviour, maximal fault tolerance with no scalability.
+type All struct{}
+
+var _ Strategy = All{}
+
+// Name implements Strategy.
+func (All) Name() string { return "all" }
+
+// Select implements Strategy.
+func (All) Select(in Input) Result {
+	ids := append(replicaIDs(in.Table), coldIDs(in.Cold)...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return Result{Selected: ids, Predicted: subsetProb(in.Table), UsedAll: true}
+}
+
+// Random picks K replicas uniformly at random, the classic load-spreading
+// baseline.
+type Random struct {
+	K   int
+	rng *stats.Rand
+}
+
+var _ Strategy = (*Random)(nil)
+
+// NewRandom returns a Random strategy with a deterministic seed.
+func NewRandom(k int, seed int64) *Random {
+	return &Random{K: k, rng: stats.NewRand(seed)}
+}
+
+// Name implements Strategy.
+func (r *Random) Name() string { return fmt.Sprintf("random-%d", r.K) }
+
+// Select implements Strategy.
+func (r *Random) Select(in Input) Result {
+	ids := append(replicaIDs(in.Table), coldIDs(in.Cold)...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) == 0 {
+		return Result{}
+	}
+	k := r.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+	perm := r.rng.Perm(len(ids))
+	chosen := make([]wire.ReplicaID, 0, k)
+	chosenSet := make(map[wire.ReplicaID]bool, k)
+	for _, idx := range perm[:k] {
+		chosen = append(chosen, ids[idx])
+		chosenSet[ids[idx]] = true
+	}
+	var rows []model.ReplicaProbability
+	for _, rp := range in.Table {
+		if chosenSet[rp.Snapshot.ID] {
+			rows = append(rows, rp)
+		}
+	}
+	return Result{Selected: chosen, Predicted: subsetProb(rows)}
+}
+
+// RoundRobin rotates through the replica list K at a time, the classic
+// load-balancer baseline.
+type RoundRobin struct {
+	K    int
+	next int
+}
+
+var _ Strategy = (*RoundRobin)(nil)
+
+// NewRoundRobin returns a RoundRobin strategy selecting k replicas per
+// request.
+func NewRoundRobin(k int) *RoundRobin { return &RoundRobin{K: k} }
+
+// Name implements Strategy.
+func (r *RoundRobin) Name() string { return fmt.Sprintf("roundrobin-%d", r.K) }
+
+// Select implements Strategy.
+func (r *RoundRobin) Select(in Input) Result {
+	ids := append(replicaIDs(in.Table), coldIDs(in.Cold)...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) == 0 {
+		return Result{}
+	}
+	k := r.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+	chosen := make([]wire.ReplicaID, 0, k)
+	chosenSet := make(map[wire.ReplicaID]bool, k)
+	for i := 0; i < k; i++ {
+		id := ids[(r.next+i)%len(ids)]
+		chosen = append(chosen, id)
+		chosenSet[id] = true
+	}
+	r.next = (r.next + k) % len(ids)
+	var rows []model.ReplicaProbability
+	for _, rp := range in.Table {
+		if chosenSet[rp.Snapshot.ID] {
+			rows = append(rows, rp)
+		}
+	}
+	return Result{Selected: chosen, Predicted: subsetProb(rows)}
+}

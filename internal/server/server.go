@@ -1,0 +1,250 @@
+// Package server implements the server-side half of the timing fault
+// handler (§5.4.1): a replica runtime that receives requests through its
+// gateway endpoint, queues them FIFO (stamping t2), serves them on a worker
+// (stamping t3 and measuring the service duration ts), replies with the
+// performance report piggybacked, and publishes the same report to every
+// subscribed client gateway.
+//
+// A configurable load injector reproduces the paper's experimental setup, in
+// which each replica "respond[s] to a request after a delay that was
+// normally distributed".
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aqua/internal/group"
+	"aqua/internal/queue"
+	"aqua/internal/stats"
+	"aqua/internal/transport"
+	"aqua/internal/wire"
+)
+
+// Handler is the application logic of a replica: it receives the request
+// payload and returns the response payload.
+type Handler func(method string, payload []byte) ([]byte, error)
+
+// Config configures a replica.
+type Config struct {
+	// ID is the replica's identity in the group.
+	ID wire.ReplicaID
+	// Service is the replicated service this replica offers.
+	Service wire.Service
+	// Handler is the application logic; required.
+	Handler Handler
+	// LoadDelay, when set, injects an artificial service delay drawn per
+	// request — the paper's simulated load. The delay is added to the
+	// measured service time (the worker really sleeps).
+	LoadDelay stats.DelayDist
+	// Seed seeds the load injector.
+	Seed int64
+	// Group, when set, announces this replica via the group-communication
+	// layer (heartbeats + views). Leave nil for driver-managed membership
+	// in tests.
+	Group *group.Config
+}
+
+// Replica is a running server replica. Create with Start; stop with Stop.
+type Replica struct {
+	cfg   Config
+	ep    transport.Endpoint
+	queue *queue.Queue
+	node  *group.Node
+	rng   *stats.Rand
+
+	mu          sync.Mutex
+	subscribers map[wire.ClientID]transport.Addr
+	served      uint64
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// Start launches the replica's receive and worker loops on ep. The replica
+// owns ep's receive stream; Stop closes the endpoint.
+func Start(ep transport.Endpoint, cfg Config) (*Replica, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("server: replica ID is required")
+	}
+	if cfg.Service == "" {
+		return nil, fmt.Errorf("server: service name is required")
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("server: handler is required")
+	}
+	r := &Replica{
+		cfg:         cfg,
+		ep:          ep,
+		queue:       queue.New(),
+		rng:         stats.NewRand(cfg.Seed),
+		subscribers: make(map[wire.ClientID]transport.Addr),
+		stop:        make(chan struct{}),
+	}
+	if cfg.Group != nil {
+		gcfg := *cfg.Group
+		gcfg.Role = group.Member
+		gcfg.Self = cfg.ID
+		gcfg.Group = cfg.Service
+		node, err := group.Join(ep, gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("server: joining group: %w", err)
+		}
+		r.node = node
+	}
+	r.wg.Add(2)
+	go r.recvLoop()
+	go r.workerLoop()
+	return r, nil
+}
+
+// ID returns the replica's identity.
+func (r *Replica) ID() wire.ReplicaID { return r.cfg.ID }
+
+// Addr returns the replica's transport address.
+func (r *Replica) Addr() transport.Addr { return r.ep.Addr() }
+
+// QueueLen returns the current number of outstanding requests.
+func (r *Replica) QueueLen() int { return r.queue.Len() }
+
+// Served returns the number of requests processed.
+func (r *Replica) Served() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.served
+}
+
+// Stop terminates the replica: it leaves the group, closes the endpoint,
+// and waits for the loops to exit.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		if r.node != nil {
+			r.node.Leave()
+		}
+		r.queue.Close()
+		_ = r.ep.Close()
+		r.wg.Wait()
+	})
+}
+
+// recvLoop routes incoming messages: requests to the FIFO queue (stamping
+// t2), subscriptions to the subscriber table, heartbeats to the group node.
+func (r *Replica) recvLoop() {
+	defer r.wg.Done()
+	for msg := range r.ep.Recv() {
+		switch m := msg.Payload.(type) {
+		case wire.Request:
+			if m.Service != r.cfg.Service {
+				continue
+			}
+			r.queue.Enqueue(m, string(msg.From), time.Now())
+		case wire.Subscribe:
+			r.mu.Lock()
+			r.subscribers[m.Client] = msg.From
+			r.mu.Unlock()
+		case wire.Unsubscribe:
+			r.mu.Lock()
+			delete(r.subscribers, m.Client)
+			r.mu.Unlock()
+		case wire.Heartbeat:
+			if r.node != nil {
+				r.node.HandleHeartbeat(m, msg.From, time.Now())
+			}
+		default:
+			// Unknown message kinds are ignored; the transport is shared
+			// with future protocol extensions.
+		}
+	}
+}
+
+// workerLoop serves the queue FIFO: dequeue (t3), compute tq, run the
+// handler measuring ts, reply with the perf report, publish the update.
+func (r *Replica) workerLoop() {
+	defer r.wg.Done()
+	for {
+		item, ok := r.queue.Dequeue()
+		if !ok {
+			return
+		}
+		t3 := time.Now()
+		tq := t3.Sub(item.EnqueuedAt)
+
+		if r.cfg.LoadDelay != nil {
+			delay := r.cfg.LoadDelay.Sample(r.rng)
+			if !r.sleep(delay) {
+				return
+			}
+		}
+		var payload []byte
+		var err error
+		if !item.Req.Probe {
+			payload, err = r.cfg.Handler(item.Req.Method, item.Req.Payload)
+		}
+		ts := time.Since(t3)
+
+		perf := wire.PerfReport{
+			ServiceTime: ts,
+			QueueDelay:  tq,
+			QueueLength: r.queue.Len(),
+		}
+		resp := wire.Response{
+			Client:  item.Req.Client,
+			Seq:     item.Req.Seq,
+			Replica: r.cfg.ID,
+			Service: r.cfg.Service,
+			Payload: payload,
+			Perf:    perf,
+			SentAt:  item.Req.SentAt,
+			Probe:   item.Req.Probe,
+		}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		// Reply to the requesting gateway; a send failure means the client
+		// is gone, which the client-side deadline machinery absorbs.
+		_ = r.ep.Send(transport.Addr(item.From), resp)
+
+		r.mu.Lock()
+		r.served++
+		subs := make(map[wire.ClientID]transport.Addr, len(r.subscribers))
+		for c, a := range r.subscribers {
+			subs[c] = a
+		}
+		r.mu.Unlock()
+
+		// Publish the performance update to all subscribers each time a
+		// request is processed (§5.4.1). The requester already has the data
+		// piggybacked on its response.
+		update := wire.PerfUpdate{
+			Replica: r.cfg.ID,
+			Service: r.cfg.Service,
+			Method:  item.Req.Method,
+			Perf:    perf,
+		}
+		for c, a := range subs {
+			if c == item.Req.Client {
+				continue
+			}
+			_ = r.ep.Send(a, update)
+		}
+	}
+}
+
+// sleep waits for d unless the replica stops first; it reports whether the
+// full delay elapsed.
+func (r *Replica) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.stop:
+		return false
+	}
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/stats"
+	"aqua/internal/trace"
+	"aqua/internal/wire"
+)
+
+// NetworkModel draws one-way message delays: a base LAN delay plus
+// occasional high-traffic spikes, matching the paper's assumption that LAN
+// links "do not experience frequent fluctuations in traffic [but] may
+// experience occasional periods of high traffic" (§3).
+type NetworkModel struct {
+	// Base is the usual one-way delay; nil means zero delay.
+	Base stats.DelayDist
+	// SpikeProb is the per-message probability of a high-traffic delay.
+	SpikeProb float64
+	// Spike is the delay drawn during a spike; nil disables spikes.
+	Spike stats.DelayDist
+}
+
+// delay draws one one-way latency.
+func (n NetworkModel) delay(r *stats.Rand) time.Duration {
+	if n.Spike != nil && n.SpikeProb > 0 && r.Float64() < n.SpikeProb {
+		return n.Spike.Sample(r)
+	}
+	if n.Base == nil {
+		return 0
+	}
+	return n.Base.Sample(r)
+}
+
+// neverCrash marks a replica with no scheduled crash.
+const neverCrash = time.Duration(1<<62 - 1)
+
+// Replica simulates one server replica: a FIFO single-worker queue whose
+// service time is drawn from a delay distribution (the paper simulates load
+// exactly this way, §6). The arithmetic is analytic — arrival, start, and
+// completion times are computed directly — so the virtual run is exact.
+type Replica struct {
+	ID      wire.ReplicaID
+	kernel  *Kernel
+	service stats.DelayDist
+	rng     *stats.Rand
+
+	workers []time.Duration // per-worker busy-until horizon
+	dones   []time.Duration // completion times of accepted, unfinished work
+	crashAt time.Duration
+	served  int
+}
+
+// newReplica constructs a replica bound to the kernel.
+func newReplica(k *Kernel, id wire.ReplicaID, service stats.DelayDist, rng *stats.Rand) *Replica {
+	return &Replica{
+		ID:      id,
+		kernel:  k,
+		service: service,
+		rng:     rng,
+		workers: make([]time.Duration, 1),
+		crashAt: neverCrash,
+	}
+}
+
+// setWorkers configures k parallel servers behind the FIFO queue.
+func (r *Replica) setWorkers(k int) {
+	if k < 1 {
+		k = 1
+	}
+	r.workers = make([]time.Duration, k)
+}
+
+// Crashed reports whether the replica is down at virtual time t.
+func (r *Replica) Crashed(t time.Duration) bool { return t >= r.crashAt }
+
+// Served returns the number of requests completed.
+func (r *Replica) Served() int { return r.served }
+
+// process accepts a request arriving at virtual time at and returns the
+// completion time and the performance report the reply will carry. ok is
+// false when the replica crashes before completing the request (no reply is
+// ever sent — the client's deadline machinery and the membership layer
+// handle it).
+func (r *Replica) process(at time.Duration) (done time.Duration, perf wire.PerfReport, ok bool) {
+	if at >= r.crashAt {
+		return 0, wire.PerfReport{}, false
+	}
+	// FIFO dispatch to the earliest-free worker (k = 1 reproduces the
+	// paper's single-server queue exactly).
+	wi := 0
+	for i, busy := range r.workers {
+		if busy < r.workers[wi] {
+			wi = i
+		}
+	}
+	start := at
+	if r.workers[wi] > start {
+		start = r.workers[wi]
+	}
+	ts := r.service.Sample(r.rng)
+	done = start + ts
+	r.workers[wi] = done
+	// QueueLength is the backlog this request found on arrival: requests
+	// accepted earlier and still unfinished at time `at`. (An analytic
+	// simulation computes each reply at arrival, so unlike the real server
+	// it cannot count arrivals that happen between now and completion; the
+	// arrival backlog is the causally well-defined equivalent, and it is
+	// exactly the quantity the queuing-delay model W reflects.)
+	backlog := r.pruneAndCount(at)
+	r.dones = append(r.dones, done)
+	if done > r.crashAt {
+		return 0, wire.PerfReport{}, false
+	}
+	r.served++
+	perf = wire.PerfReport{
+		ServiceTime: ts,
+		QueueDelay:  start - at,
+		QueueLength: backlog,
+	}
+	return done, perf, true
+}
+
+// pruneAndCount drops finished work and returns the number of accepted,
+// unfinished requests at virtual time t.
+func (r *Replica) pruneAndCount(t time.Duration) int {
+	kept := r.dones[:0]
+	for _, d := range r.dones {
+		if d > t {
+			kept = append(kept, d)
+		}
+	}
+	r.dones = kept
+	return len(kept)
+}
+
+// RequestRecord captures one simulated request for experiment analysis.
+type RequestRecord struct {
+	Seq          wire.SeqNo
+	IssuedAt     time.Duration
+	NumSelected  int
+	Predicted    float64
+	UsedAll      bool
+	ColdStart    bool
+	ResponseTime time.Duration // 0 when no reply ever arrived
+	GotReply     bool
+	Failure      bool // tr > deadline, or no reply by deadline
+}
+
+// Client simulates one client gateway running the timing fault handler: it
+// issues Requests requests with a think-time delay between receiving a
+// response and issuing the next request (the paper uses one second).
+type Client struct {
+	ID       wire.ClientID
+	kernel   *Kernel
+	sched    *core.Scheduler
+	network  NetworkModel
+	rng      *stats.Rand
+	replicas map[wire.ReplicaID]*Replica
+
+	think    time.Duration
+	total    int
+	giveUp   time.Duration // no-reply fallback so the loop always advances
+	arrival  stats.DelayDist
+	issued   int
+	records  []RequestRecord
+	pendRec  map[wire.SeqNo]*RequestRecord
+	startAt  time.Duration
+	finished func()
+	rec      *trace.Recorder // nil-safe
+}
+
+// issueOpenLoop drives an open-loop workload: requests fire at drawn
+// inter-arrival times independent of replies, so queueing pressure builds
+// when the pool saturates. Completion is still tracked per request; the
+// client finishes when every record closes.
+func (c *Client) issueOpenLoop() {
+	if c.issued >= c.total {
+		return
+	}
+	c.issueOne()
+	if c.issued < c.total {
+		c.kernel.After(c.arrival.Sample(c.rng), c.issueOpenLoop)
+	}
+}
+
+// issueNext drives the paper's closed-loop workload: the follow-up request
+// is scheduled only after the current one resolves, plus a think time.
+func (c *Client) issueNext() {
+	if c.issued >= c.total {
+		if c.finished != nil {
+			c.finished()
+			c.finished = nil
+		}
+		return
+	}
+	c.issueOne()
+}
+
+// issueOne fires a single request with full lifecycle tracking.
+func (c *Client) issueOne() {
+	c.issued++
+	t0v := c.kernel.Now()
+	t0 := c.kernel.NowTime()
+	d, err := c.sched.Schedule(t0, "")
+	if err != nil {
+		// No replicas left at all; record a failed request. The closed loop
+		// retries after the think time — membership may recover.
+		c.records = append(c.records, RequestRecord{IssuedAt: t0v, Failure: true})
+		if c.arrival == nil {
+			c.kernel.After(c.think, c.issueNext)
+		} else if c.issued >= c.total && len(c.pendRec) == 0 && c.finished != nil {
+			c.finished()
+			c.finished = nil
+		}
+		return
+	}
+	rec := &RequestRecord{
+		Seq:         d.Seq,
+		IssuedAt:    t0v,
+		NumSelected: len(d.Targets),
+		Predicted:   d.Predicted,
+		UsedAll:     d.UsedAll,
+		ColdStart:   d.ColdStart,
+	}
+	c.pendRec[d.Seq] = rec
+	c.rec.Record(trace.Event{
+		At: t0v, Kind: trace.KindSchedule, Client: c.ID, Seq: d.Seq,
+		Targets: d.Targets, Value: d.Predicted,
+	})
+
+	// Dispatch: one multicast, stamped t1 = now (the virtual gateway hands
+	// the message to the network immediately after selection).
+	if err := c.sched.Dispatched(d.Seq, c.kernel.NowTime()); err != nil {
+		// Unreachable by construction; fall through to the deadline path.
+		_ = err
+	}
+	for _, id := range d.Targets {
+		rep, ok := c.replicas[id]
+		if !ok {
+			continue
+		}
+		reqDelay := c.network.delay(c.rng)
+		seq := d.Seq
+		c.kernel.After(reqDelay, func() {
+			done, perf, ok := rep.process(c.kernel.Now())
+			if !ok {
+				return // crashed before completing: reply never sent
+			}
+			respDelay := c.network.delay(c.rng)
+			replica := rep.ID
+			c.kernel.At(done+respDelay, func() {
+				c.onReply(seq, replica, perf)
+			})
+		})
+	}
+
+	// Deadline watchdog: charge the failure the moment the deadline passes
+	// with no reply.
+	qos := c.sched.QoS()
+	seq := d.Seq
+	c.kernel.At(t0v+qos.Deadline, func() {
+		c.sched.OnDeadlineExpired(seq)
+		if rec, ok := c.pendRec[seq]; ok && !rec.GotReply {
+			rec.Failure = true
+		}
+	})
+	// Give-up fallback: if no reply ever arrives (every selected replica
+	// crashed), resume the request loop after giveUp.
+	c.kernel.At(t0v+c.giveUp, func() {
+		rec, ok := c.pendRec[seq]
+		if !ok || rec.GotReply {
+			return
+		}
+		c.closeRecord(seq)
+		if c.arrival == nil {
+			c.kernel.After(c.think, c.issueNext)
+		}
+	})
+}
+
+// onReply delivers one replica reply to the shared scheduler code.
+func (c *Client) onReply(seq wire.SeqNo, replica wire.ReplicaID, perf wire.PerfReport) {
+	out := c.sched.OnReply(seq, replica, c.kernel.NowTime(), perf)
+	c.rec.Record(trace.Event{
+		At: c.kernel.Now(), Kind: trace.KindReply, Client: c.ID, Seq: seq,
+		Replica: replica, Duration: out.ResponseTime,
+	})
+	if out.Violation != nil {
+		c.rec.Record(trace.Event{
+			At: c.kernel.Now(), Kind: trace.KindViolation, Client: c.ID, Seq: seq,
+			Value: out.Violation.ObservedTimely,
+		})
+	}
+	if !out.First {
+		return
+	}
+	rec, ok := c.pendRec[seq]
+	if !ok {
+		return
+	}
+	rec.GotReply = true
+	rec.ResponseTime = out.ResponseTime
+	rec.Failure = out.TimingFailure
+	if out.TimingFailure {
+		c.rec.Record(trace.Event{
+			At: c.kernel.Now(), Kind: trace.KindFailure, Client: c.ID, Seq: seq,
+			Duration: out.ResponseTime,
+		})
+	}
+	c.closeRecord(seq)
+	if c.arrival == nil {
+		// Think, then issue the next request (paper: "a one second delay
+		// between receiving a response and issuing the next request").
+		c.kernel.After(c.think, c.issueNext)
+	}
+}
+
+// closeRecord finalizes a request record. In open-loop mode the client is
+// finished once every issued request has resolved.
+func (c *Client) closeRecord(seq wire.SeqNo) {
+	rec, ok := c.pendRec[seq]
+	if !ok {
+		return
+	}
+	delete(c.pendRec, seq)
+	c.records = append(c.records, *rec)
+	if c.arrival != nil && c.issued >= c.total && len(c.pendRec) == 0 && c.finished != nil {
+		c.finished()
+		c.finished = nil
+	}
+}

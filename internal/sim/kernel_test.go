@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestKernelRunsInTimestampOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(30*ms, func() { order = append(order, 3) })
+	k.At(10*ms, func() { order = append(order, 1) })
+	k.At(20*ms, func() { order = append(order, 2) })
+	if n := k.RunAll(); n != 3 {
+		t.Fatalf("executed %d events, want 3", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if k.Now() != 30*ms {
+		t.Errorf("Now = %v, want 30ms", k.Now())
+	}
+}
+
+func TestKernelTieBreakFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(10*ms, func() { order = append(order, i) })
+	}
+	k.RunAll()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestKernelAfterAndNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var fired []time.Duration
+	k.After(10*ms, func() {
+		fired = append(fired, k.Now())
+		k.After(5*ms, func() {
+			fired = append(fired, k.Now())
+		})
+	})
+	k.RunAll()
+	if len(fired) != 2 || fired[0] != 10*ms || fired[1] != 15*ms {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestKernelRunUntilBoundary(t *testing.T) {
+	k := NewKernel()
+	var count int
+	k.At(10*ms, func() { count++ })
+	k.At(20*ms, func() { count++ })
+	k.At(30*ms, func() { count++ })
+	if n := k.Run(20 * ms); n != 2 {
+		t.Errorf("executed %d, want 2 (inclusive boundary)", n)
+	}
+	if k.Now() != 20*ms {
+		t.Errorf("Now = %v, want clamped to 20ms", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d", k.Pending())
+	}
+}
+
+func TestKernelPastSchedulingClamps(t *testing.T) {
+	k := NewKernel()
+	k.At(10*ms, func() {
+		// Scheduling "in the past" runs at the current instant, never
+		// rewinding the clock.
+		k.At(1*ms, func() {
+			if k.Now() != 10*ms {
+				t.Errorf("past event ran at %v", k.Now())
+			}
+		})
+		k.After(-5*ms, func() {})
+	})
+	k.RunAll()
+}
+
+func TestKernelNowTimeStableEpoch(t *testing.T) {
+	a, b := NewKernel(), NewKernel()
+	if !a.NowTime().Equal(b.NowTime()) {
+		t.Error("two kernels disagree on the epoch; virtual runs would not be reproducible")
+	}
+	a.At(7*ms, func() {})
+	a.RunAll()
+	if got := a.NowTime().Sub(b.NowTime()); got != 7*ms {
+		t.Errorf("NowTime advanced by %v, want 7ms", got)
+	}
+}

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/model"
+	"aqua/internal/repository"
+	"aqua/internal/selection"
+	"aqua/internal/stats"
+	"aqua/internal/trace"
+	"aqua/internal/wire"
+)
+
+// ReplicaSpec describes one simulated replica.
+type ReplicaSpec struct {
+	// Service draws per-request service times (the paper's simulated load:
+	// Normal with mean 100 ms).
+	Service stats.DelayDist
+	// CrashAt, when positive, crashes the replica at that virtual time.
+	CrashAt time.Duration
+	// Workers is the number of parallel servers behind the FIFO queue
+	// (default 1 — the paper's model). More workers deliberately break the
+	// single-server assumption behind the windowed W estimate, for the
+	// model-robustness ablation.
+	Workers int
+}
+
+// ClientSpec describes one simulated client.
+type ClientSpec struct {
+	// QoS is the client's deadline and required probability.
+	QoS wire.QoS
+	// Requests is how many requests the client issues (the paper uses 50).
+	Requests int
+	// Think is the delay between receiving a response and issuing the next
+	// request (the paper uses one second).
+	Think time.Duration
+	// Strategy overrides the selection strategy; nil means Algorithm 1.
+	Strategy selection.Strategy
+	// StartAt delays the client's first request.
+	StartAt time.Duration
+	// Arrival, when set, switches the client to an open-loop workload:
+	// requests are issued at inter-arrival times drawn from this
+	// distribution regardless of replies (e.g. stats.Exponential for a
+	// Poisson process). Think is ignored. The paper's protocol is the
+	// closed loop (Arrival nil, Think = 1s).
+	Arrival stats.DelayDist
+}
+
+// Scenario is a full simulated experiment.
+type Scenario struct {
+	Replicas []ReplicaSpec
+	Clients  []ClientSpec
+	// Network shapes one-way delays; the zero value means an ideal LAN.
+	Network NetworkModel
+	// WindowSize is the repository sliding window l (0 = paper default 5).
+	WindowSize int
+	// GatewayHistory sets the sliding-window size for the gateway delay T
+	// (the paper's suggested extension for fluctuating LANs); 0 or 1 keeps
+	// the paper's most-recent-value behaviour.
+	GatewayHistory int
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// CompensateOverhead enables the δ term with FixedOverhead as δ.
+	CompensateOverhead bool
+	FixedOverhead      time.Duration
+	// QueueAware switches the predictor to the queue-length-aware W model
+	// (ablation A6).
+	QueueAware bool
+	// DetectionDelay is how long after a crash the membership layer
+	// notifies clients (heartbeat failure detection latency). Zero means
+	// DefaultDetectionDelay.
+	DetectionDelay time.Duration
+	// MaxTime bounds the virtual run as a safety net; zero means an hour
+	// of virtual time.
+	MaxTime time.Duration
+	// Trace, when non-nil, records every scheduling decision, reply,
+	// failure, and membership change for post-run analysis.
+	Trace *trace.Recorder
+}
+
+// DefaultDetectionDelay models heartbeat-based failure detection latency.
+const DefaultDetectionDelay = 100 * time.Millisecond
+
+// ClientResult aggregates one client's run.
+type ClientResult struct {
+	Stats   core.Stats
+	Records []RequestRecord
+}
+
+// MeanSelected returns the average redundancy level over completed records.
+func (r ClientResult) MeanSelected() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	total := 0
+	for _, rec := range r.Records {
+		total += rec.NumSelected
+	}
+	return float64(total) / float64(len(r.Records))
+}
+
+// FailureProbability returns the observed fraction of timing failures.
+func (r ClientResult) FailureProbability() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	failures := 0
+	for _, rec := range r.Records {
+		if rec.Failure {
+			failures++
+		}
+	}
+	return float64(failures) / float64(len(r.Records))
+}
+
+// ResponseTimePercentile returns the p-th percentile of response times over
+// records that got a reply; 0 when no replies arrived.
+func (r ClientResult) ResponseTimePercentile(p float64) time.Duration {
+	var ds []time.Duration
+	for _, rec := range r.Records {
+		if rec.GotReply {
+			ds = append(ds, rec.ResponseTime)
+		}
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	v, err := stats.DurationPercentile(ds, p)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// MeanResponseTime averages response times over records that got a reply.
+func (r ClientResult) MeanResponseTime() time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, rec := range r.Records {
+		if rec.GotReply {
+			sum += rec.ResponseTime
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	Clients      []ClientResult
+	ReplicaServe []int // requests served per replica, by index
+	Events       int   // kernel events executed (sanity/diagnostics)
+}
+
+// TotalServed sums requests served across replicas (the redundancy cost).
+func (r Result) TotalServed() int {
+	total := 0
+	for _, n := range r.ReplicaServe {
+		total += n
+	}
+	return total
+}
+
+// Run executes the scenario to completion.
+func Run(s Scenario) (*Result, error) {
+	if len(s.Replicas) == 0 {
+		return nil, fmt.Errorf("sim: at least one replica is required")
+	}
+	if len(s.Clients) == 0 {
+		return nil, fmt.Errorf("sim: at least one client is required")
+	}
+	if s.WindowSize <= 0 {
+		s.WindowSize = repository.DefaultWindowSize
+	}
+	if s.DetectionDelay <= 0 {
+		s.DetectionDelay = DefaultDetectionDelay
+	}
+	if s.MaxTime <= 0 {
+		s.MaxTime = time.Hour
+	}
+
+	k := NewKernel()
+	root := stats.NewRand(s.Seed)
+
+	// Build replicas on private random streams.
+	replicas := make([]*Replica, len(s.Replicas))
+	byID := make(map[wire.ReplicaID]*Replica, len(s.Replicas))
+	var liveIDs []wire.ReplicaID
+	for i, spec := range s.Replicas {
+		if spec.Service == nil {
+			return nil, fmt.Errorf("sim: replica %d has no service distribution", i)
+		}
+		id := wire.ReplicaID(fmt.Sprintf("replica-%02d", i))
+		replicas[i] = newReplica(k, id, spec.Service, root.Split())
+		if spec.Workers > 1 {
+			replicas[i].setWorkers(spec.Workers)
+		}
+		byID[id] = replicas[i]
+		liveIDs = append(liveIDs, id)
+	}
+
+	// Build clients, each with its own repository + scheduler (the paper's
+	// per-handler local information repository).
+	clients := make([]*Client, len(s.Clients))
+	remaining := len(s.Clients)
+	for i, spec := range s.Clients {
+		if spec.Requests <= 0 {
+			return nil, fmt.Errorf("sim: client %d issues no requests", i)
+		}
+		var predOpts []model.PredictorOption
+		if s.QueueAware {
+			predOpts = append(predOpts, model.WithQueueAwareWait())
+		}
+		repoOpts := []repository.Option{repository.WithWindowSize(s.WindowSize)}
+		if s.GatewayHistory > 1 {
+			repoOpts = append(repoOpts, repository.WithGatewayHistory(s.GatewayHistory))
+		}
+		repo := repository.New(repoOpts...)
+		sched, err := core.NewScheduler(core.Config{
+			Service:            "sim-service",
+			QoS:                spec.QoS,
+			Strategy:           spec.Strategy,
+			Predictor:          model.NewPredictor(predOpts...),
+			Repository:         repo,
+			CompensateOverhead: s.CompensateOverhead,
+			FixedOverhead:      s.FixedOverhead,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: client %d: %w", i, err)
+		}
+		sched.OnMembershipChange(liveIDs)
+
+		giveUp := 10 * spec.QoS.Deadline
+		if giveUp < time.Second {
+			giveUp = time.Second
+		}
+		c := &Client{
+			ID:       wire.ClientID(fmt.Sprintf("client-%02d", i)),
+			kernel:   k,
+			sched:    sched,
+			network:  s.Network,
+			rng:      root.Split(),
+			replicas: byID,
+			think:    spec.Think,
+			total:    spec.Requests,
+			giveUp:   giveUp,
+			arrival:  spec.Arrival,
+			pendRec:  make(map[wire.SeqNo]*RequestRecord),
+			startAt:  spec.StartAt,
+			finished: func() { remaining-- },
+			rec:      s.Trace,
+		}
+		clients[i] = c
+		if spec.Arrival != nil {
+			k.At(spec.StartAt, c.issueOpenLoop)
+		} else {
+			k.At(spec.StartAt, c.issueNext)
+		}
+	}
+
+	// Crash plan + membership notifications: DetectionDelay after a crash,
+	// every client's repository drops the member (§5.4).
+	for i, spec := range s.Replicas {
+		if spec.CrashAt <= 0 {
+			continue
+		}
+		rep := replicas[i]
+		crashAt := spec.CrashAt
+		k.At(crashAt, func() { rep.crashAt = k.Now() })
+		k.At(crashAt+s.DetectionDelay, func() {
+			var live []wire.ReplicaID
+			now := k.Now()
+			for _, r := range replicas {
+				if !r.Crashed(now) {
+					live = append(live, r.ID)
+				}
+			}
+			for _, c := range clients {
+				c.sched.OnMembershipChange(live)
+			}
+			s.Trace.Record(trace.Event{
+				At: k.Now(), Kind: trace.KindMembership, Targets: live,
+			})
+		})
+	}
+
+	events := k.Run(s.MaxTime)
+	if remaining > 0 {
+		return nil, fmt.Errorf("sim: %d client(s) did not finish within %v of virtual time", remaining, s.MaxTime)
+	}
+
+	res := &Result{Events: events}
+	for _, c := range clients {
+		// Flush any record still pending (reply arrived after the run's
+		// last event would be impossible — kernel drained — but a crashed
+		// run may leave one).
+		for seq := range c.pendRec {
+			c.closeRecord(seq)
+		}
+		res.Clients = append(res.Clients, ClientResult{
+			Stats:   c.sched.Stats(),
+			Records: c.records,
+		})
+	}
+	for _, r := range replicas {
+		res.ReplicaServe = append(res.ReplicaServe, r.Served())
+	}
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWelford(t *testing.T) {
+	tests := []struct {
+		name     string
+		xs       []float64
+		mean     float64
+		variance float64
+	}{
+		{name: "empty", xs: nil, mean: 0, variance: 0},
+		{name: "single", xs: []float64{5}, mean: 5, variance: 0},
+		{name: "pair", xs: []float64{2, 4}, mean: 3, variance: 2},
+		{name: "constant", xs: []float64{7, 7, 7, 7}, mean: 7, variance: 0},
+		{name: "spread", xs: []float64{1, 2, 3, 4, 5}, mean: 3, variance: 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var w Welford
+			for _, x := range tt.xs {
+				w.Add(x)
+			}
+			if got := w.Mean(); math.Abs(got-tt.mean) > 1e-12 {
+				t.Errorf("Mean() = %v, want %v", got, tt.mean)
+			}
+			if got := w.Variance(); math.Abs(got-tt.variance) > 1e-12 {
+				t.Errorf("Variance() = %v, want %v", got, tt.variance)
+			}
+			if w.N() != len(tt.xs) {
+				t.Errorf("N() = %d, want %d", w.N(), len(tt.xs))
+			}
+		})
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		naive := ss / float64(len(xs)-1)
+		return math.Abs(w.Variance()-naive) <= 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {12.5, 15},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("want error for p < 0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("want error for p > 100")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestDurationPercentile(t *testing.T) {
+	ds := []time.Duration{time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond}
+	got, err := DurationPercentile(ds, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2*time.Millisecond {
+		t.Errorf("median = %v, want 2ms", got)
+	}
+}
+
+func TestMeanDurations(t *testing.T) {
+	if got := MeanDurations(nil); got != 0 {
+		t.Errorf("MeanDurations(nil) = %v, want 0", got)
+	}
+	ds := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if got := MeanDurations(ds); got != 15*time.Millisecond {
+		t.Errorf("MeanDurations = %v, want 15ms", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package trace records scheduler decisions and request outcomes as
+// structured events, for debugging selection behaviour and for exporting
+// experiment runs. Events serialize to JSON Lines or CSV.
+//
+// The paper evaluates its algorithm by exactly these series — which
+// replicas were selected, with what predicted probability, and whether the
+// response was timely — so the trace schema mirrors the evaluation.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds.
+const (
+	KindSchedule   Kind = "schedule"   // a selection decision
+	KindReply      Kind = "reply"      // a reply arrived (first or duplicate)
+	KindFailure    Kind = "failure"    // a timing failure was charged
+	KindViolation  Kind = "violation"  // the QoS-violation callback fired
+	KindMembership Kind = "membership" // a view change was applied
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At       time.Duration     `json:"at"` // virtual or relative time
+	Kind     Kind              `json:"kind"`
+	Client   wire.ClientID     `json:"client,omitempty"`
+	Seq      wire.SeqNo        `json:"seq"`
+	Replica  wire.ReplicaID    `json:"replica,omitempty"`
+	Targets  []wire.ReplicaID  `json:"targets,omitempty"`
+	Value    float64           `json:"value,omitempty"` // predicted P_K(t), tr seconds, etc.
+	Extra    map[string]string `json:"extra,omitempty"`
+	Duration time.Duration     `json:"duration,omitempty"` // response time, overhead, …
+}
+
+// Recorder collects events. It is safe for concurrent use. The zero value
+// is ready and records nothing until enabled; construct with New for an
+// enabled recorder.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event
+	enabled bool
+}
+
+// New returns an enabled recorder.
+func New() *Recorder { return &Recorder{enabled: true} }
+
+// Enabled reports whether the recorder captures events.
+func (r *Recorder) Enabled() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enabled
+}
+
+// Record appends an event. Nil or disabled recorders drop it, so call
+// sites never need guards.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.enabled {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns the recorded events of one kind.
+func (r *Recorder) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encoding event: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes a flat CSV view (targets joined with '|').
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("at_us,kind,client,seq,replica,targets,value,duration_us\n")
+	for _, e := range r.Events() {
+		targets := make([]string, len(e.Targets))
+		for i, t := range e.Targets {
+			targets[i] = string(t)
+		}
+		fmt.Fprintf(&b, "%d,%s,%s,%d,%s,%s,%g,%d\n",
+			e.At.Microseconds(), e.Kind, e.Client, e.Seq, e.Replica,
+			strings.Join(targets, "|"), e.Value, e.Duration.Microseconds())
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("trace: writing csv: %w", err)
+	}
+	return nil
+}
+
+// Summary aggregates a trace into the headline metrics.
+type Summary struct {
+	Requests       int
+	Replies        int
+	Failures       int
+	Violations     int
+	MeanTargets    float64
+	TargetsByCount map[int]int // histogram of |K|
+}
+
+// Summarize computes a Summary from the recorded events.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{TargetsByCount: make(map[int]int)}
+	var totalTargets int
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case KindSchedule:
+			s.Requests++
+			totalTargets += len(e.Targets)
+			s.TargetsByCount[len(e.Targets)]++
+		case KindReply:
+			s.Replies++
+		case KindFailure:
+			s.Failures++
+		case KindViolation:
+			s.Violations++
+		}
+	}
+	if s.Requests > 0 {
+		s.MeanTargets = float64(totalTargets) / float64(s.Requests)
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	counts := make([]int, 0, len(s.TargetsByCount))
+	for k := range s.TargetsByCount {
+		counts = append(counts, k)
+	}
+	sort.Ints(counts)
+	var hist strings.Builder
+	for i, k := range counts {
+		if i > 0 {
+			hist.WriteString(" ")
+		}
+		fmt.Fprintf(&hist, "%d:%d", k, s.TargetsByCount[k])
+	}
+	return fmt.Sprintf("requests=%d replies=%d failures=%d violations=%d mean|K|=%.2f hist{%s}",
+		s.Requests, s.Replies, s.Failures, s.Violations, s.MeanTargets, hist.String())
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindSchedule}) // must not panic
+	if r.Len() != 0 {
+		t.Error("nil recorder has events")
+	}
+	if r.Events() != nil {
+		t.Error("nil recorder returned events")
+	}
+	if r.Enabled() {
+		t.Error("nil recorder enabled")
+	}
+}
+
+func TestZeroValueDisabled(t *testing.T) {
+	var r Recorder
+	r.Record(Event{Kind: KindSchedule})
+	if r.Len() != 0 {
+		t.Error("zero-value recorder captured an event")
+	}
+}
+
+func TestRecordAndFilter(t *testing.T) {
+	r := New()
+	r.Record(Event{Kind: KindSchedule, Seq: 1, Targets: []wire.ReplicaID{"a", "b"}})
+	r.Record(Event{Kind: KindReply, Seq: 1, Replica: "a"})
+	r.Record(Event{Kind: KindReply, Seq: 1, Replica: "b"})
+	r.Record(Event{Kind: KindFailure, Seq: 1})
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	replies := r.Filter(KindReply)
+	if len(replies) != 2 {
+		t.Errorf("replies = %d", len(replies))
+	}
+	if len(r.Filter(KindViolation)) != 0 {
+		t.Error("unexpected violations")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := New()
+	r.Record(Event{Kind: KindSchedule, Targets: []wire.ReplicaID{"a", "b"}})
+	r.Record(Event{Kind: KindSchedule, Targets: []wire.ReplicaID{"a", "b", "c", "d"}})
+	r.Record(Event{Kind: KindReply})
+	r.Record(Event{Kind: KindFailure})
+	r.Record(Event{Kind: KindViolation})
+	s := r.Summarize()
+	if s.Requests != 2 || s.Replies != 1 || s.Failures != 1 || s.Violations != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MeanTargets != 3 {
+		t.Errorf("MeanTargets = %v, want 3", s.MeanTargets)
+	}
+	if s.TargetsByCount[2] != 1 || s.TargetsByCount[4] != 1 {
+		t.Errorf("hist = %v", s.TargetsByCount)
+	}
+	str := s.String()
+	for _, want := range []string{"requests=2", "mean|K|=3.00", "2:1", "4:1"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestWriteJSONLRoundTrips(t *testing.T) {
+	r := New()
+	r.Record(Event{
+		At: 5 * time.Millisecond, Kind: KindSchedule, Client: "c", Seq: 9,
+		Targets: []wire.ReplicaID{"a"}, Value: 0.93,
+	})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(b.String())), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindSchedule || e.Seq != 9 || e.Value != 0.93 {
+		t.Errorf("round trip = %+v", e)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New()
+	r.Record(Event{
+		At: time.Millisecond, Kind: KindReply, Client: "c", Seq: 2,
+		Replica: "r1", Duration: 3 * time.Millisecond,
+	})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "at_us,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "reply") || !strings.Contains(lines[1], "r1") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(Event{Kind: KindReply})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestEventsIsCopy(t *testing.T) {
+	r := New()
+	r.Record(Event{Kind: KindReply, Seq: 1})
+	events := r.Events()
+	events[0].Seq = 99
+	if r.Events()[0].Seq != 1 {
+		t.Error("Events() aliases internal state")
+	}
+}

@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"aqua/internal/wire"
+)
+
+// maxFrameSize bounds a decoded frame to keep a malformed or hostile peer
+// from forcing an unbounded allocation.
+const maxFrameSize = 16 << 20 // 16 MiB
+
+// envelope is the on-the-wire frame: sender address plus one wire message.
+type envelope struct {
+	From    Addr
+	Payload any
+}
+
+// The gob payload is an interface; every concrete wire message crossing the
+// TCP transport must be registered. Registration in init is the canonical
+// gob idiom: it is deterministic and has no observable side effects beyond
+// the codec's type table.
+func init() {
+	gob.Register(wire.Request{})
+	gob.Register(wire.Response{})
+	gob.Register(wire.Subscribe{})
+	gob.Register(wire.Unsubscribe{})
+	gob.Register(wire.PerfUpdate{})
+	gob.Register(wire.Heartbeat{})
+}
+
+// encodeFrame serializes an envelope with a 4-byte big-endian length prefix.
+func encodeFrame(from Addr, payload any) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(envelope{From: from, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("transport: encoding %T: %w", payload, err)
+	}
+	if body.Len() > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", body.Len())
+	}
+	frame := make([]byte, 4+body.Len())
+	binary.BigEndian.PutUint32(frame, uint32(body.Len()))
+	copy(frame[4:], body.Bytes())
+	return frame, nil
+}
+
+// decodeFrame reads one length-prefixed envelope from r.
+func decodeFrame(r io.Reader) (envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return envelope{}, err // io.EOF passes through for clean close detection
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > maxFrameSize {
+		return envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return envelope{}, fmt.Errorf("transport: reading frame body: %w", err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return envelope{}, fmt.Errorf("transport: decoding frame: %w", err)
+	}
+	return env, nil
+}

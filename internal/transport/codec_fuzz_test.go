@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"aqua/internal/wire"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder: it must
+// never panic or over-allocate, only return errors or valid envelopes.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with a valid frame and a few structured mutations.
+	valid, err := encodeFrame("seed", wire.Request{Client: "c", Seq: 3, Payload: []byte("xyz")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:4])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 0xAB})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := decodeFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must produce a well-typed envelope that
+		// re-encodes (unknown payload types cannot appear: gob rejects
+		// unregistered types).
+		if env.Payload == nil {
+			return
+		}
+		if _, err := encodeFrame(env.From, env.Payload); err != nil {
+			t.Errorf("decoded envelope does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip checks that any request payload survives the
+// codec byte-for-byte.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add("client-1", uint64(7), []byte("payload"))
+	f.Add("", uint64(0), []byte{})
+	f.Fuzz(func(t *testing.T, client string, seq uint64, payload []byte) {
+		in := wire.Request{Client: wire.ClientID(client), Seq: wire.SeqNo(seq), Payload: payload}
+		frame, err := encodeFrame("addr", in)
+		if err != nil {
+			if len(payload) > maxFrameSize-1024 {
+				return // legitimately oversized
+			}
+			t.Fatalf("encode: %v", err)
+		}
+		env, err := decodeFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out, ok := env.Payload.(wire.Request)
+		if !ok {
+			t.Fatalf("payload type %T", env.Payload)
+		}
+		if out.Client != in.Client || out.Seq != in.Seq || !bytes.Equal(out.Payload, in.Payload) {
+			t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aqua/internal/stats"
+)
+
+// recvBuffer sizes each endpoint's incoming queue. Large enough that a burst
+// of duplicate replies never blocks a sender; overflow drops the message
+// (datagram semantics).
+const recvBuffer = 1024
+
+// LinkPolicy shapes delivery on the in-memory network.
+type LinkPolicy struct {
+	// Delay draws a one-way latency per message; nil means immediate.
+	Delay stats.DelayDist
+	// LossProb drops messages with this probability (0 = reliable).
+	LossProb float64
+}
+
+// InMem is an in-process Network connecting endpoints through channels. It
+// optionally injects per-message latency and loss, which the integration
+// tests use to model LAN behaviour. The zero value is not usable; construct
+// with NewInMem.
+type InMem struct {
+	mu        sync.Mutex
+	endpoints map[Addr]*inmemEndpoint
+	policy    LinkPolicy
+	rng       *stats.Rand
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+var _ Network = (*InMem)(nil)
+
+// InMemOption configures the in-memory network.
+type InMemOption func(*InMem)
+
+// WithLinkPolicy applies latency/loss shaping to every link.
+func WithLinkPolicy(p LinkPolicy, seed int64) InMemOption {
+	return func(n *InMem) {
+		n.policy = p
+		n.rng = stats.NewRand(seed)
+	}
+}
+
+// NewInMem returns an empty in-memory network.
+func NewInMem(opts ...InMemOption) *InMem {
+	n := &InMem{endpoints: make(map[Addr]*inmemEndpoint)}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Listen implements Network.
+func (n *InMem) Listen(addr Addr) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	ep := &inmemEndpoint{
+		net:  n,
+		addr: addr,
+		recv: make(chan Message, recvBuffer),
+	}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Close shuts down the network and all endpoints, waiting for in-flight
+// delayed deliveries to finish or be dropped.
+func (n *InMem) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*inmemEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// deliver routes a message to the destination endpoint, applying the link
+// policy. Called with the network lock NOT held.
+func (n *InMem) deliver(from, to Addr, payload any) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	var delay time.Duration
+	if n.policy.LossProb > 0 && n.rng.Float64() < n.policy.LossProb {
+		n.mu.Unlock()
+		return
+	}
+	if n.policy.Delay != nil {
+		delay = n.policy.Delay.Sample(n.rng)
+	}
+	dst, ok := n.endpoints[to]
+	n.mu.Unlock()
+	if !ok {
+		return // unknown destination: datagram dropped
+	}
+	msg := Message{From: from, Payload: payload}
+	if delay <= 0 {
+		dst.push(msg)
+		return
+	}
+	n.wg.Add(1)
+	timer := time.AfterFunc(delay, func() {
+		defer n.wg.Done()
+		dst.push(msg)
+	})
+	_ = timer
+}
+
+type inmemEndpoint struct {
+	net  *InMem
+	addr Addr
+
+	mu     sync.Mutex
+	recv   chan Message
+	closed bool
+}
+
+var _ Endpoint = (*inmemEndpoint)(nil)
+
+func (e *inmemEndpoint) Addr() Addr { return e.addr }
+
+func (e *inmemEndpoint) Send(to Addr, payload any) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	e.net.deliver(e.addr, to, payload)
+	return nil
+}
+
+func (e *inmemEndpoint) Recv() <-chan Message { return e.recv }
+
+func (e *inmemEndpoint) push(m Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	select {
+	case e.recv <- m:
+	default:
+		// Receiver overloaded: drop, as a datagram network would.
+	}
+}
+
+func (e *inmemEndpoint) Close() error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.recv)
+	}
+	e.mu.Unlock()
+
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	return nil
+}

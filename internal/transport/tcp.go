@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// dialTimeout bounds connection establishment to an unresponsive peer; the
+// layers above treat a failed send as a lost datagram.
+const dialTimeout = 2 * time.Second
+
+// TCP is a Network whose endpoints listen on real sockets and exchange
+// gob-encoded, length-prefixed frames. Outbound connections are cached per
+// destination and re-dialed on failure.
+type TCP struct{}
+
+var _ Network = TCP{}
+
+// NewTCP returns the TCP network factory.
+func NewTCP() TCP { return TCP{} }
+
+// Listen starts a listener on addr ("host:port"; ":0" picks a free port —
+// read the bound address back with Addr()).
+func (TCP) Listen(addr Addr) (Endpoint, error) {
+	l, err := net.Listen("tcp", string(addr))
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{
+		listener: l,
+		addr:     Addr(l.Addr().String()),
+		recv:     make(chan Message, recvBuffer),
+		conns:    make(map[Addr]*tcpConn),
+		inbound:  make(map[net.Conn]bool),
+		done:     make(chan struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+type tcpEndpoint struct {
+	listener net.Listener
+	addr     Addr
+	recv     chan Message
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[Addr]*tcpConn // outbound connection cache
+	inbound map[net.Conn]bool // accepted connections, closed on shutdown
+	closed  bool
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+func (e *tcpEndpoint) Addr() Addr { return e.addr }
+
+func (e *tcpEndpoint) Recv() <-chan Message { return e.recv }
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		e.inbound[c] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		_ = c.Close()
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+	}()
+	for {
+		env, err := decodeFrame(c)
+		if err != nil {
+			return
+		}
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+		select {
+		case e.recv <- Message{From: env.From, Payload: env.Payload}:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Send writes one frame to the destination, dialing (or re-dialing) as
+// needed. A peer that cannot be reached loses the message, mirroring the
+// datagram semantics of the in-memory network; the error reports it.
+func (e *tcpEndpoint) Send(to Addr, payload any) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	conn, ok := e.conns[to]
+	if !ok {
+		conn = &tcpConn{}
+		e.conns[to] = conn
+	}
+	e.mu.Unlock()
+
+	frame, err := encodeFrame(e.addr, payload)
+	if err != nil {
+		return err
+	}
+
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if conn.c == nil {
+		c, err := net.DialTimeout("tcp", string(to), dialTimeout)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", to, err)
+		}
+		conn.c = c
+	}
+	if _, err := conn.c.Write(frame); err != nil {
+		// One reconnect attempt: the cached connection may have been
+		// closed by a peer restart.
+		_ = conn.c.Close()
+		c, derr := net.DialTimeout("tcp", string(to), dialTimeout)
+		if derr != nil {
+			conn.c = nil
+			return fmt.Errorf("transport: redial %s after write error (%v): %w", to, err, derr)
+		}
+		conn.c = c
+		if _, err := conn.c.Write(frame); err != nil {
+			_ = conn.c.Close()
+			conn.c = nil
+			return fmt.Errorf("transport: write to %s: %w", to, err)
+		}
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]*tcpConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	inbound := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		inbound = append(inbound, c)
+	}
+	e.mu.Unlock()
+
+	close(e.done)
+	_ = e.listener.Close()
+	for _, conn := range conns {
+		conn.mu.Lock()
+		if conn.c != nil {
+			_ = conn.c.Close()
+		}
+		conn.mu.Unlock()
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	close(e.recv)
+	return nil
+}

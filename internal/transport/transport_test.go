@@ -1,0 +1,390 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+// recvOne waits for a message with a timeout.
+func recvOne(t *testing.T, ep Endpoint) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("recv channel closed")
+		}
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+	return Message{}
+}
+
+// networkUnderTest runs the same contract suite over both implementations.
+func networkUnderTest(t *testing.T, name string, mk func(t *testing.T) (Network, func(i int) Addr, func())) {
+	t.Run(name+"/round-trip", func(t *testing.T) {
+		net, addr, done := mk(t)
+		defer done()
+		a, err := net.Listen(addr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = a.Close() }()
+		b, err := net.Listen(addr(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = b.Close() }()
+
+		req := wire.Request{Client: "c", Seq: 7, Service: "svc", Payload: []byte("hi")}
+		if err := a.Send(b.Addr(), req); err != nil {
+			t.Fatal(err)
+		}
+		m := recvOne(t, b)
+		got, ok := m.Payload.(wire.Request)
+		if !ok {
+			t.Fatalf("payload type %T", m.Payload)
+		}
+		if got.Seq != 7 || string(got.Payload) != "hi" {
+			t.Errorf("payload = %+v", got)
+		}
+		if m.From != a.Addr() {
+			t.Errorf("From = %v, want %v", m.From, a.Addr())
+		}
+
+		// Reply using the received From address.
+		resp := wire.Response{Client: "c", Seq: 7, Replica: "r"}
+		if err := b.Send(m.From, resp); err != nil {
+			t.Fatal(err)
+		}
+		m2 := recvOne(t, a)
+		if _, ok := m2.Payload.(wire.Response); !ok {
+			t.Fatalf("reply type %T", m2.Payload)
+		}
+	})
+
+	t.Run(name+"/all-wire-types", func(t *testing.T) {
+		net, addr, done := mk(t)
+		defer done()
+		a, err := net.Listen(addr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = a.Close() }()
+		b, err := net.Listen(addr(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = b.Close() }()
+
+		payloads := []any{
+			wire.Request{Client: "c", Seq: 1},
+			wire.Response{Client: "c", Seq: 1, Perf: wire.PerfReport{ServiceTime: time.Millisecond}},
+			wire.Subscribe{Client: "c", Service: "s"},
+			wire.Unsubscribe{Client: "c", Service: "s"},
+			wire.PerfUpdate{Replica: "r", Service: "s"},
+			wire.Heartbeat{From: "r", Service: "s", View: 3},
+		}
+		for _, p := range payloads {
+			if err := a.Send(b.Addr(), p); err != nil {
+				t.Fatalf("send %T: %v", p, err)
+			}
+			m := recvOne(t, b)
+			if fmt.Sprintf("%T", m.Payload) != fmt.Sprintf("%T", p) {
+				t.Errorf("got %T, want %T", m.Payload, p)
+			}
+		}
+	})
+
+	t.Run(name+"/send-after-close", func(t *testing.T) {
+		net, addr, done := mk(t)
+		defer done()
+		a, err := net.Listen(addr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send(addr(2), wire.Request{}); err == nil {
+			t.Error("want error sending on closed endpoint")
+		}
+		if err := a.Close(); err != nil {
+			t.Errorf("second Close: %v", err)
+		}
+	})
+
+	t.Run(name+"/unknown-destination-drops", func(t *testing.T) {
+		net, addr, done := mk(t)
+		defer done()
+		a, err := net.Listen(addr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = a.Close() }()
+		// A send to nowhere either errors (TCP) or silently drops (inmem);
+		// it must not panic or block.
+		_ = a.Send(addr(9), wire.Request{})
+	})
+
+	t.Run(name+"/multicast", func(t *testing.T) {
+		net, addr, done := mk(t)
+		defer done()
+		a, err := net.Listen(addr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = a.Close() }()
+		var targets []Addr
+		var eps []Endpoint
+		for i := 2; i <= 4; i++ {
+			ep, err := net.Listen(addr(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = ep.Close() }()
+			targets = append(targets, ep.Addr())
+			eps = append(eps, ep)
+		}
+		if err := Multicast(a, targets, wire.Request{Seq: 9}); err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range eps {
+			m := recvOne(t, ep)
+			if r, ok := m.Payload.(wire.Request); !ok || r.Seq != 9 {
+				t.Errorf("multicast payload = %+v", m.Payload)
+			}
+		}
+	})
+}
+
+func TestNetworks(t *testing.T) {
+	networkUnderTest(t, "inmem", func(t *testing.T) (Network, func(int) Addr, func()) {
+		n := NewInMem()
+		return n, func(i int) Addr { return Addr(fmt.Sprintf("ep-%d", i)) }, func() { _ = n.Close() }
+	})
+	networkUnderTest(t, "tcp", func(t *testing.T) (Network, func(int) Addr, func()) {
+		return NewTCP(), func(i int) Addr { return "127.0.0.1:0" }, func() {}
+	})
+}
+
+func TestInMemDuplicateAddress(t *testing.T) {
+	n := NewInMem()
+	defer func() { _ = n.Close() }()
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); err == nil {
+		t.Error("want error for duplicate address")
+	}
+}
+
+func TestInMemLatencyInjection(t *testing.T) {
+	n := NewInMem(WithLinkPolicy(LinkPolicy{Delay: stats.Constant{Delay: 30 * time.Millisecond}}, 1))
+	defer func() { _ = n.Close() }()
+	a, _ := n.Listen("a")
+	b, _ := n.Listen("b")
+	start := time.Now()
+	if err := a.Send(b.Addr(), wire.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("message arrived after %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestInMemLossInjection(t *testing.T) {
+	n := NewInMem(WithLinkPolicy(LinkPolicy{LossProb: 1}, 1))
+	defer func() { _ = n.Close() }()
+	a, _ := n.Listen("a")
+	b, _ := n.Listen("b")
+	if err := a.Send(b.Addr(), wire.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("message %v arrived despite 100%% loss", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestInMemListenAfterNetworkClose(t *testing.T) {
+	n := NewInMem()
+	_ = n.Close()
+	if _, err := n.Listen("x"); err == nil {
+		t.Error("want error listening on closed network")
+	}
+}
+
+func TestTCPSendToUnreachable(t *testing.T) {
+	a, err := NewTCP().Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	// A port that nothing listens on: dial must fail, not hang.
+	if err := a.Send("127.0.0.1:1", wire.Request{}); err == nil {
+		t.Error("want error for unreachable destination")
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	net := NewTCP()
+	a, err := net.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b1, err := net.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr()
+	if err := a.Send(addr, wire.Request{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b1)
+	_ = b1.Close()
+
+	// Restart the peer on the same port.
+	b2, err := net.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b2.Close() }()
+	// The cached connection is dead. A write into it can succeed silently
+	// until the RST arrives (datagram semantics: that message is lost, as
+	// the layers above tolerate), but the endpoint must recover: within a
+	// few sends the write error triggers a redial and delivery resumes.
+	delivered := make(chan Message, 16)
+	go func() {
+		for m := range b2.Recv() {
+			delivered <- m
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	for attempt := 0; ; attempt++ {
+		_ = a.Send(addr, wire.Request{Seq: wire.SeqNo(attempt)})
+		select {
+		case <-delivered:
+			return // recovered
+		case <-time.After(100 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("endpoint never recovered after peer restart")
+		}
+	}
+}
+
+func TestCodecRejectsOversizedFrame(t *testing.T) {
+	big := wire.Request{Payload: make([]byte, maxFrameSize+1)}
+	if _, err := encodeFrame("a", big); err == nil {
+		t.Error("want error for oversized frame")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	frame, err := encodeFrame("from-addr", wire.PerfUpdate{
+		Replica: "r1",
+		Perf:    wire.PerfReport{ServiceTime: 5 * time.Millisecond, QueueLength: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := decodeFrame(bytesReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.From != "from-addr" {
+		t.Errorf("From = %v", env.From)
+	}
+	u, ok := env.Payload.(wire.PerfUpdate)
+	if !ok {
+		t.Fatalf("payload %T", env.Payload)
+	}
+	if u.Perf.QueueLength != 3 {
+		t.Errorf("QueueLength = %d", u.Perf.QueueLength)
+	}
+}
+
+// bytesReader adapts a frame to an io.Reader without importing bytes at the
+// top (keeps the test file import list minimal).
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+func TestDecodeTruncatedFrame(t *testing.T) {
+	frame, err := encodeFrame("a", wire.Request{Payload: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 2, 4, len(frame) / 2, len(frame) - 1} {
+		if _, err := decodeFrame(bytes.NewReader(frame[:cut])); err == nil {
+			t.Errorf("decoding %d/%d bytes succeeded", cut, len(frame))
+		}
+	}
+}
+
+func TestDecodeGarbageBody(t *testing.T) {
+	frame, err := encodeFrame("a", wire.Request{Payload: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := make([]byte, len(frame))
+	copy(corrupt, frame)
+	for i := 4; i < len(corrupt); i++ {
+		corrupt[i] ^= 0xFF
+	}
+	if _, err := decodeFrame(bytes.NewReader(corrupt)); err == nil {
+		t.Error("decoding corrupted body succeeded")
+	}
+}
+
+func TestDecodeHugeLengthHeaderRejected(t *testing.T) {
+	// A hostile 4GB length prefix must be rejected before allocation.
+	var hdr [8]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := decodeFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("oversized length header accepted")
+	}
+}
+
+func TestMalformedFrameDoesNotKillTCPEndpoint(t *testing.T) {
+	// A peer sending garbage must only cost its own connection; the
+	// endpoint keeps serving others.
+	netw := NewTCP()
+	ep, err := netw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ep.Close() }()
+
+	// Raw garbage connection.
+	raw, err := net.Dial("tcp", string(ep.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	_ = raw.Close()
+
+	// A well-formed peer still gets through.
+	good, err := netw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = good.Close() }()
+	if err := good.Send(ep.Addr(), wire.Request{Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, ep)
+	if r, ok := m.Payload.(wire.Request); !ok || r.Seq != 5 {
+		t.Errorf("got %+v after garbage peer", m.Payload)
+	}
+}

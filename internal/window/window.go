@@ -1,0 +1,91 @@
+// Package window implements the fixed-capacity sliding windows that the
+// gateway information repository keeps per replica (the paper's service time
+// vector and queuing delay vector, §5.2). A window retains the most recent l
+// measurements and evicts the oldest, so "obsolete measurements" age out as
+// the paper prescribes.
+package window
+
+import (
+	"fmt"
+	"time"
+)
+
+// Window is a fixed-capacity FIFO ring buffer of duration samples. The most
+// recent Cap() samples are retained. Window is not safe for concurrent use;
+// the repository serializes access.
+type Window struct {
+	buf   []time.Duration
+	head  int // index of the oldest sample
+	count int
+}
+
+// New returns a window retaining the most recent capacity samples.
+// It panics if capacity is not positive, because a zero-length history makes
+// the response-time model undefined; the capacity is a static configuration
+// value, so this is a programmer error rather than a runtime condition.
+func New(capacity int) *Window {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("window: capacity must be positive, got %d", capacity))
+	}
+	return &Window{buf: make([]time.Duration, 0, capacity)}
+}
+
+// Add appends a sample, evicting the oldest if the window is full.
+func (w *Window) Add(d time.Duration) {
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, d)
+		w.count++
+		return
+	}
+	w.buf[w.head] = d
+	w.head = (w.head + 1) % cap(w.buf)
+	w.count++
+}
+
+// Len returns the number of samples currently retained.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Cap returns the window capacity (the paper's l).
+func (w *Window) Cap() int { return cap(w.buf) }
+
+// Total returns the total number of samples ever added, including evicted
+// ones. It serves as a freshness/coverage indicator.
+func (w *Window) Total() int { return w.count }
+
+// Values returns the retained samples ordered oldest to newest. The returned
+// slice is freshly allocated; callers may keep it.
+func (w *Window) Values() []time.Duration {
+	out := make([]time.Duration, 0, len(w.buf))
+	for i := 0; i < len(w.buf); i++ {
+		out = append(out, w.buf[(w.head+i)%cap(w.buf)])
+	}
+	return out
+}
+
+// Last returns the most recent sample. ok is false if the window is empty.
+func (w *Window) Last() (d time.Duration, ok bool) {
+	if len(w.buf) == 0 {
+		return 0, false
+	}
+	idx := (w.head + len(w.buf) - 1) % cap(w.buf)
+	return w.buf[idx], true
+}
+
+// Reset discards all samples but keeps the capacity.
+func (w *Window) Reset() {
+	w.buf = w.buf[:0]
+	w.head = 0
+	w.count = 0
+}
+
+// Clone returns a deep copy of the window. Snapshots handed to the
+// response-time predictor are clones so the predictor can run without
+// holding repository locks.
+func (w *Window) Clone() *Window {
+	c := New(cap(w.buf))
+	for _, v := range w.Values() {
+		c.Add(v)
+	}
+	c.count = w.count
+	return c
+}

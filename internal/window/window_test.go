@@ -1,0 +1,141 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewPanicsOnNonPositiveCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", c)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+func TestAddAndValuesOrder(t *testing.T) {
+	w := New(3)
+	w.Add(1)
+	w.Add(2)
+	if got := w.Values(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Values() = %v, want [1 2]", got)
+	}
+	w.Add(3)
+	w.Add(4) // evicts 1
+	want := []time.Duration{2, 3, 4}
+	got := w.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Values() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Values()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvictionKeepsMostRecent(t *testing.T) {
+	w := New(5)
+	for i := 1; i <= 100; i++ {
+		w.Add(time.Duration(i))
+	}
+	got := w.Values()
+	if len(got) != 5 {
+		t.Fatalf("Len = %d, want 5", len(got))
+	}
+	for i, want := range []time.Duration{96, 97, 98, 99, 100} {
+		if got[i] != want {
+			t.Errorf("Values()[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	if w.Total() != 100 {
+		t.Errorf("Total() = %d, want 100", w.Total())
+	}
+}
+
+func TestLast(t *testing.T) {
+	w := New(2)
+	if _, ok := w.Last(); ok {
+		t.Error("Last() on empty window reported ok")
+	}
+	w.Add(7)
+	if d, ok := w.Last(); !ok || d != 7 {
+		t.Errorf("Last() = %v, %v; want 7, true", d, ok)
+	}
+	w.Add(8)
+	w.Add(9)
+	if d, _ := w.Last(); d != 9 {
+		t.Errorf("Last() = %v, want 9 after wraparound", d)
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := New(3)
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.Len() != 0 || w.Total() != 0 {
+		t.Errorf("after Reset: Len=%d Total=%d", w.Len(), w.Total())
+	}
+	if w.Cap() != 3 {
+		t.Errorf("Cap() = %d, want 3", w.Cap())
+	}
+	w.Add(5)
+	if got := w.Values(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("Values() after reset+add = %v", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	w := New(3)
+	w.Add(1)
+	w.Add(2)
+	c := w.Clone()
+	w.Add(3)
+	w.Add(4)
+	got := c.Values()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("clone values changed with original: %v", got)
+	}
+	if c.Total() != 2 {
+		t.Errorf("clone Total() = %d, want 2", c.Total())
+	}
+}
+
+// TestWindowSemanticsProperty checks the defining property against a naive
+// reference: after any sequence of adds, Values() equals the last min(n, cap)
+// items of the sequence in order.
+func TestWindowSemanticsProperty(t *testing.T) {
+	f := func(raw []int16, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		w := New(capacity)
+		var ref []time.Duration
+		for _, v := range raw {
+			d := time.Duration(v)
+			w.Add(d)
+			ref = append(ref, d)
+		}
+		if len(ref) > capacity {
+			ref = ref[len(ref)-capacity:]
+		}
+		got := w.Values()
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return w.Total() == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package wire defines the messages exchanged between AQuA gateways and the
+// domain types they carry: requests, responses with piggybacked performance
+// reports, performance updates pushed to subscribers, and QoS specifications.
+//
+// In the original system these flow as Maestro messages over Ensemble; here
+// they are Go structs encoded with encoding/gob and length-prefix framing
+// (see internal/transport).
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReplicaID identifies one replica of a service. In the real path it doubles
+// as a transport address; in simulation it is a synthetic name.
+type ReplicaID string
+
+// ClientID identifies a client gateway (for reply routing and performance
+// subscriptions).
+type ClientID string
+
+// Service names a replicated service (the paper assumes one method per
+// service; Method supports the paper's multi-interface extension).
+type Service string
+
+// QoS is a client's quality-of-service specification (§4): a response
+// deadline and the minimum probability with which the deadline must be met.
+type QoS struct {
+	// Deadline is the time by which the client wants a response after it
+	// transmits a request (the paper's t).
+	Deadline time.Duration
+	// MinProbability is the minimum probability with which the deadline
+	// should be met (the paper's Pc(t)), in [0, 1].
+	MinProbability float64
+}
+
+// Validate reports whether the specification is well-formed.
+func (q QoS) Validate() error {
+	if q.Deadline <= 0 {
+		return fmt.Errorf("wire: qos deadline must be positive, got %v", q.Deadline)
+	}
+	if q.MinProbability < 0 || q.MinProbability > 1 {
+		return fmt.Errorf("wire: qos probability %v out of range [0,1]", q.MinProbability)
+	}
+	return nil
+}
+
+func (q QoS) String() string {
+	return fmt.Sprintf("qos(t=%v, Pc=%.2f)", q.Deadline, q.MinProbability)
+}
+
+// PerfReport is the performance data a replica piggybacks on each response
+// and pushes to its subscribers (§5.4.1): the service duration ts, the
+// queuing delay tq = t3 − t2, and the replica's current queue length.
+type PerfReport struct {
+	// ServiceTime is the time the server spent processing the request (ts).
+	ServiceTime time.Duration
+	// QueueDelay is the time the request spent in the FIFO queue (tq).
+	QueueDelay time.Duration
+	// QueueLength is the number of outstanding requests in the replica's
+	// queue at publication time.
+	QueueLength int
+}
+
+// SeqNo orders a client's requests; the (ClientID, SeqNo) pair identifies a
+// request globally.
+type SeqNo uint64
+
+// Request is a client call forwarded by the timing fault handler to the
+// selected replica subset.
+type Request struct {
+	Client  ClientID
+	Seq     SeqNo
+	Service Service
+	Method  string
+	Payload []byte
+	// SentAt is the client-gateway transmission timestamp t1, echoed in the
+	// response so the client can compute the round-trip gateway delay
+	// without synchronized clocks (both endpoints of the interval are
+	// measured on the client's machine).
+	SentAt time.Time
+	// Probe marks an active probe (the paper's §8 suggestion for refreshing
+	// obsolete performance information): the server measures queueing and
+	// load exactly as for a real request but does not invoke the
+	// application handler, and the client records the performance data
+	// without counting the exchange in its request statistics.
+	Probe bool
+}
+
+// Response carries a replica's reply plus its piggybacked performance data.
+type Response struct {
+	Client  ClientID
+	Seq     SeqNo
+	Replica ReplicaID
+	Service Service
+	Payload []byte
+	// Err is a non-empty application error message, if the handler failed.
+	Err string
+	// Perf is the performance report for this request (§5.4.1).
+	Perf PerfReport
+	// SentAt echoes Request.SentAt.
+	SentAt time.Time
+	// Probe echoes Request.Probe.
+	Probe bool
+}
+
+// Subscribe registers a client gateway for performance updates from the
+// replicas of a service (§5.4: "client handlers ... multicast their
+// subscription request to the server replicas").
+type Subscribe struct {
+	Client  ClientID
+	Service Service
+}
+
+// Unsubscribe removes a performance-update subscription.
+type Unsubscribe struct {
+	Client  ClientID
+	Service Service
+}
+
+// PerfUpdate is a performance report pushed from a replica to a subscriber
+// outside of a response (the paper's server "publishes its performance
+// update to its subscribers each time it processes a request").
+type PerfUpdate struct {
+	Replica ReplicaID
+	Service Service
+	Method  string
+	Perf    PerfReport
+}
+
+// Heartbeat is exchanged by the group-communication failure detector.
+type Heartbeat struct {
+	From    ReplicaID
+	Service string // group name; string keeps gob encoding stable
+	View    uint64
+	At      time.Time
+}

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQoSValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		qos     QoS
+		wantErr bool
+	}{
+		{"valid", QoS{Deadline: time.Second, MinProbability: 0.9}, false},
+		{"pc zero", QoS{Deadline: time.Second, MinProbability: 0}, false},
+		{"pc one", QoS{Deadline: time.Second, MinProbability: 1}, false},
+		{"zero deadline", QoS{Deadline: 0, MinProbability: 0.5}, true},
+		{"negative deadline", QoS{Deadline: -time.Second, MinProbability: 0.5}, true},
+		{"pc negative", QoS{Deadline: time.Second, MinProbability: -0.1}, true},
+		{"pc above one", QoS{Deadline: time.Second, MinProbability: 1.1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.qos.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestQoSValidateProperty(t *testing.T) {
+	f := func(deadlineNs int64, pc float64) bool {
+		q := QoS{Deadline: time.Duration(deadlineNs), MinProbability: pc}
+		err := q.Validate()
+		wantOK := q.Deadline > 0 && pc >= 0 && pc <= 1
+		return (err == nil) == wantOK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQoSString(t *testing.T) {
+	s := QoS{Deadline: 150 * time.Millisecond, MinProbability: 0.9}.String()
+	if !strings.Contains(s, "150ms") || !strings.Contains(s, "0.90") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRequestResponsePairing(t *testing.T) {
+	req := Request{Client: "c", Seq: 42, Service: "s", Method: "m", SentAt: time.Now()}
+	resp := Response{Client: req.Client, Seq: req.Seq, Replica: "r", SentAt: req.SentAt}
+	if resp.Client != req.Client || resp.Seq != req.Seq {
+		t.Error("response does not identify its request")
+	}
+	if !resp.SentAt.Equal(req.SentAt) {
+		t.Error("SentAt echo broken")
+	}
+}
