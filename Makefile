@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments quick-experiments fuzz clean
+.PHONY: all check build vet test race bench predict-bench experiments quick-experiments fuzz clean
 
 all: build vet test
+
+# Full gate: compile, static analysis, tests, and the race detector.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -20,6 +23,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Before/after δ measurement for the prediction fast path (BENCH_predict.json).
+predict-bench:
+	$(GO) run ./cmd/aqua-exp -exp predict
 
 # Regenerate every paper figure and ablation (see EXPERIMENTS.md).
 experiments:

@@ -20,20 +20,21 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, v1, a1..a12, or all")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot  = flag.Bool("plot", false, "also render ASCII charts for fig4/fig5")
-		quick = flag.Bool("quick", false, "reduced iterations/runs for a fast pass")
+		exp        = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, v1, a1..a12, predict, or all")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot       = flag.Bool("plot", false, "also render ASCII charts for fig4/fig5")
+		quick      = flag.Bool("quick", false, "reduced iterations/runs for a fast pass")
+		predictOut = flag.String("predict-out", "BENCH_predict.json", "output file for the predict benchmark (-exp predict)")
 	)
 	flag.Parse()
 
-	if err := run(strings.ToLower(*exp), *csv, *quick, *plot); err != nil {
+	if err := run(strings.ToLower(*exp), *csv, *quick, *plot, *predictOut); err != nil {
 		fmt.Fprintln(os.Stderr, "aqua-exp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, csv, quick, plot bool) error {
+func run(exp string, csv, quick, plot bool, predictOut string) error {
 	emit := func(t *experiment.Table) error {
 		if csv {
 			return t.WriteCSV(os.Stdout)
@@ -94,6 +95,30 @@ func run(exp string, csv, quick, plot bool) error {
 			}
 			return nil
 		},
+		"predict": func() error {
+			cfg := experiment.DefaultPredictBenchConfig()
+			if quick {
+				cfg.WindowSize = 20
+			}
+			res, err := experiment.RunPredictBench(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit(experiment.PredictBenchTable(res)); err != nil {
+				return err
+			}
+			if predictOut != "" {
+				blob, err := experiment.MarshalPredictBench(res)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(predictOut, blob, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", predictOut)
+			}
+			return nil
+		},
 		"a1":  tableRunner(experiment.RunA1, emit),
 		"a2":  tableRunner(experiment.RunA2, emit),
 		"a3":  tableRunner(experiment.RunA3, emit),
@@ -138,7 +163,7 @@ func run(exp string, csv, quick, plot bool) error {
 	}
 	r, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want e0, fig3, fig4, fig5, v1, a1..a12, all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e0, fig3, fig4, fig5, v1, a1..a12, predict, all)", exp)
 	}
 	return r()
 }

@@ -233,44 +233,72 @@ func (s *Scheduler) Renegotiate(q wire.QoS) error {
 // Schedule runs the selection algorithm for a new request intercepted at t0
 // and returns the decision. The caller multicasts the request to
 // Decision.Targets and then calls Dispatched with the transmission time t1.
+//
+// The probability-table computation — the dominant cost, the paper's δ —
+// runs outside the scheduler's mutex: the repository snapshot and the
+// predictor are internally synchronized, so concurrent Schedule calls only
+// serialize on the cheap bookkeeping (sequence allocation, stats, and the
+// strategy invocation, which may be stateful).
 func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	start := time.Now() // δ is computational overhead: always wall clock
-	deadline := s.cfg.QoS.Deadline
+
+	s.mu.Lock()
+	qos := s.cfg.QoS
+	deadline := qos.Deadline
 	if s.cfg.CompensateOverhead {
 		delta := s.lastOverhead
 		if s.cfg.FixedOverhead > 0 {
 			delta = s.cfg.FixedOverhead
 		}
-		deadline -= delta
-		if deadline < 0 {
-			deadline = 0
+		// δ is a small correction for the algorithm's own latency. A
+		// pathological δ (GC pause, cold caches, or δ ≥ t outright) must not
+		// collapse the prediction horizon to 0: F_Ri(0) is 0 for every
+		// replica, which degenerates every selection into "all of M" churn.
+		// Cap the compensation at half the deadline so selection stays
+		// discriminating.
+		if delta > deadline/2 {
+			delta = deadline / 2
 		}
+		deadline -= delta
 	}
+	staleness := s.cfg.StalenessBound
+	s.mu.Unlock()
 
 	snaps := s.repo.Snapshot(method)
-	if len(snaps) == 0 {
-		return Decision{}, fmt.Errorf("core: no replicas available for service %q", s.cfg.Service)
-	}
-	if s.cfg.StalenessBound > 0 {
+	if staleness > 0 {
 		for i := range snaps {
-			if snaps[i].HasHistory && t0.Sub(snaps[i].LastUpdate) > s.cfg.StalenessBound {
+			if snaps[i].HasHistory && t0.Sub(snaps[i].LastUpdate) > staleness {
 				// Force a probe of the stale replica by treating it as cold.
 				snaps[i].HasHistory = false
 			}
 		}
 	}
-	table, cold, err := s.predictor.ProbabilityTable(snaps, deadline)
-	if err != nil {
-		return Decision{}, fmt.Errorf("core: predicting response times: %w", err)
+	var table []model.ReplicaProbability
+	var cold []repository.ReplicaSnapshot
+	var err error
+	if len(snaps) == 0 {
+		err = fmt.Errorf("core: no replicas available for service %q", s.cfg.Service)
+	} else {
+		table, cold, err = s.predictor.ProbabilityTable(snaps, deadline)
+		if err != nil {
+			err = fmt.Errorf("core: predicting response times: %w", err)
+		}
 	}
-	res := s.strategy.Select(selection.Input{Table: table, Cold: cold, QoS: s.cfg.QoS})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Record δ on every outcome, including failures: a transient predictor
+	// or strategy error must not leave a stale δ compensating the next
+	// request's deadline.
+	if err != nil {
+		s.lastOverhead = time.Since(start)
+		return Decision{}, err
+	}
+	res := s.strategy.Select(selection.Input{Table: table, Cold: cold, QoS: qos})
+	s.lastOverhead = time.Since(start)
 	if len(res.Selected) == 0 {
 		return Decision{}, fmt.Errorf("core: strategy %q selected no replicas", s.strategy.Name())
 	}
-	s.lastOverhead = time.Since(start)
 
 	seq := s.nextSeq
 	s.nextSeq++
@@ -426,9 +454,56 @@ func (s *Scheduler) Outstanding() int {
 }
 
 // OnMembershipChange reconciles the repository against a new group view.
-// Crashed replicas disappear from future selections (§5.4).
-func (s *Scheduler) OnMembershipChange(members []wire.ReplicaID) {
+// Crashed replicas disappear from future selections (§5.4). It also sweeps
+// pending requests whose entire target set left the view: no reply can ever
+// arrive for them, so without the sweep their tracking state would leak
+// forever in deployments that never fire OnDeadlineExpired or Forget. Swept
+// requests past their deadline are charged as deadline expiries; the first
+// resulting QoS violation (if any) is returned so the caller can surface it.
+func (s *Scheduler) OnMembershipChange(members []wire.ReplicaID) *ViolationReport {
+	return s.OnMembershipChangeAt(members, time.Now())
+}
+
+// OnMembershipChangeAt is OnMembershipChange with an explicit sweep time, so
+// drivers with virtual clocks (the simulator) charge deadline expiries
+// against their own notion of now.
+func (s *Scheduler) OnMembershipChangeAt(members []wire.ReplicaID, now time.Time) *ViolationReport {
 	s.repo.SetMembership(members)
+	// Membership churn can recreate a replica's windows; dropping the
+	// memoized distributions keeps the predictor from holding entries that
+	// can never be hit again.
+	s.predictor.FlushCache()
+
+	alive := make(map[wire.ReplicaID]bool, len(members))
+	for _, id := range members {
+		alive[id] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var report *ViolationReport
+	for seq, p := range s.pend {
+		doomed := true
+		for id := range p.targets {
+			if alive[id] {
+				doomed = false
+				break
+			}
+		}
+		if !doomed {
+			continue
+		}
+		if !p.firstDelivered && !p.failed && now.Sub(p.t0) > s.cfg.QoS.Deadline {
+			p.failed = true
+			s.stats.DeadlineExpiries++
+			var out ReplyOutcome
+			s.completeLocked(true, &out)
+			if report == nil {
+				report = out.Violation
+			}
+		}
+		delete(s.pend, seq)
+	}
+	return report
 }
 
 // OnPerfUpdate absorbs a pushed performance update from a replica (the

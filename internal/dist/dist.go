@@ -107,14 +107,63 @@ func FromBins(res time.Duration, bins map[int64]float64) (*PMF, error) {
 	return &PMF{res: res, bins: keys, prob: prob}, nil
 }
 
+// FromCounts builds an empirical pmf from an already-quantized histogram:
+// bins must be strictly increasing and counts positive, as maintained
+// incrementally by window.Window. Probabilities are count/total, exactly what
+// FromSamples computes, so the two constructors produce identical pmfs for
+// the same underlying samples — but FromCounts is O(k) with no map and no
+// sort.
+func FromCounts(res time.Duration, bins []int64, counts []int) (*PMF, error) {
+	if res <= 0 {
+		return nil, fmt.Errorf("dist: resolution must be positive, got %v", res)
+	}
+	if len(bins) == 0 || len(bins) != len(counts) {
+		return nil, fmt.Errorf("dist: need matching non-empty bins/counts, got %d/%d", len(bins), len(counts))
+	}
+	var total int
+	for i, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("dist: non-positive count %d at bin %d", c, bins[i])
+		}
+		if i > 0 && bins[i] <= bins[i-1] {
+			return nil, fmt.Errorf("dist: bins not strictly increasing at index %d", i)
+		}
+		total += c
+	}
+	b := make([]int64, len(bins))
+	copy(b, bins)
+	prob := make([]float64, len(counts))
+	n := float64(total)
+	for i, c := range counts {
+		prob[i] = float64(c) / n
+	}
+	return &PMF{res: res, bins: b, prob: prob}, nil
+}
+
 // quantize maps a duration to its bin index, rounding to nearest and
 // clamping negatives to zero (delays are physically non-negative).
 func quantize(d, res time.Duration) int64 {
+	if b := quantizeSigned(d, res); b > 0 {
+		return b
+	}
+	return 0
+}
+
+// quantizeSigned maps a duration to its bin index, rounding half away from
+// zero, without clamping. It is the one place signed rounding happens, so
+// Shift and quantize cannot disagree about where bin boundaries fall.
+func quantizeSigned(d, res time.Duration) int64 {
 	if d < 0 {
-		return 0
+		return -int64((-d + res/2) / res)
 	}
 	return int64((d + res/2) / res)
 }
+
+// Quantize exposes the pmf bin mapping: the index of the bin a duration
+// falls in at the given resolution (rounding to nearest, negatives clamped
+// to bin 0). Callers that maintain incremental histograms (internal/window)
+// must use this so their bins coincide exactly with FromSamples.
+func Quantize(d, res time.Duration) int64 { return quantize(d, res) }
 
 // Resolution returns the bin width.
 func (p *PMF) Resolution() time.Duration { return p.res }
@@ -155,12 +204,111 @@ func (p *PMF) Convolve(q *PMF) (*PMF, error) {
 	return &PMF{res: p.res, bins: bins, prob: prob}, nil
 }
 
+// maxDenseCells bounds the scratch array ConvolveDense may allocate. Support
+// ranges wider than this (pathological resolution/range combinations) fall
+// back to the map-based path rather than allocating tens of megabytes.
+const maxDenseCells = 1 << 22
+
+// ConvolveDense computes the same convolution as Convolve using a dense
+// scratch array indexed by output bin instead of a map, and no sort: output
+// bins are emitted in ascending order by construction. It is the selection
+// hot path; Convolve remains the reference implementation under test.
+func (p *PMF) ConvolveDense(q *PMF) (*PMF, error) {
+	if p.res != q.res {
+		return nil, fmt.Errorf("dist: resolution mismatch %v vs %v", p.res, q.res)
+	}
+	lo := p.bins[0] + q.bins[0]
+	hi := p.bins[len(p.bins)-1] + q.bins[len(q.bins)-1]
+	if hi-lo+1 > maxDenseCells {
+		return p.Convolve(q)
+	}
+	acc := make([]float64, hi-lo+1)
+	for i, bi := range p.bins {
+		pi := p.prob[i]
+		row := bi - lo
+		for j, bj := range q.bins {
+			acc[row+bj] += pi * q.prob[j]
+		}
+	}
+	support := 0
+	for _, v := range acc {
+		if v > 0 {
+			support++
+		}
+	}
+	bins := make([]int64, 0, support)
+	prob := make([]float64, 0, support)
+	for k, v := range acc {
+		if v > 0 {
+			bins = append(bins, lo+int64(k))
+			prob = append(prob, v)
+		}
+	}
+	return &PMF{res: p.res, bins: bins, prob: prob}, nil
+}
+
+// ConvolvedCDFAt evaluates F_{X+Y}(t) for independent X ~ p, Y ~ q without
+// materializing the product pmf: F(t) = Σ_i P(X=x_i)·F_Y(t − x_i). The
+// selection algorithm only needs F_Ri(t) at one point, so this replaces an
+// O(k²)-support convolution with an O(k_p·log k_q) evaluation and two small
+// allocations.
+func (p *PMF) ConvolvedCDFAt(q *PMF, t time.Duration) (float64, error) {
+	if p.res != q.res {
+		return 0, fmt.Errorf("dist: resolution mismatch %v vs %v", p.res, q.res)
+	}
+	if t < 0 {
+		return 0, nil
+	}
+	tb := quantize(t, p.res)
+	qBins, qCDF := q.CDFTable()
+	var f float64
+	for i, bi := range p.bins {
+		rem := tb - bi
+		if rem < qBins[0] {
+			// p.bins ascend, so rem only shrinks from here on.
+			break
+		}
+		f += p.prob[i] * CDFLookup(qBins, qCDF, rem)
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f, nil
+}
+
+// CDFTable returns the support bins and the running CDF (prefix sums of
+// probability) in ascending order. The prefix is accumulated left to right,
+// exactly the order CDF sums, so a CDFLookup on the table bit-matches a CDF
+// call on the pmf. Both slices are freshly allocated; callers (the model's
+// per-replica cache) may retain them.
+func (p *PMF) CDFTable() (bins []int64, cdf []float64) {
+	bins = make([]int64, len(p.bins))
+	copy(bins, p.bins)
+	cdf = make([]float64, len(p.prob))
+	var acc float64
+	for i, pr := range p.prob {
+		acc += pr
+		cdf[i] = acc
+	}
+	return bins, cdf
+}
+
+// CDFLookup evaluates a (bins, cdf) table produced by CDFTable at bin index
+// tb: the CDF value at the largest support bin ≤ tb, clamped to [0, 1].
+func CDFLookup(bins []int64, cdf []float64, tb int64) float64 {
+	idx := sort.Search(len(bins), func(i int) bool { return bins[i] > tb }) - 1
+	if idx < 0 {
+		return 0
+	}
+	if f := cdf[idx]; f < 1 {
+		return f
+	}
+	return 1
+}
+
 // Shift returns the pmf of X + d (d may be negative; support clamps at 0).
 func (p *PMF) Shift(d time.Duration) *PMF {
-	off := quantize(d, p.res)
-	if d < 0 {
-		off = -int64((-d + p.res/2) / p.res)
-	}
+	off := quantizeSigned(d, p.res)
 	acc := make(map[int64]float64, len(p.bins))
 	for i, b := range p.bins {
 		nb := b + off

@@ -74,7 +74,11 @@ func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
 		return nil, fmt.Errorf("experiment: iterations must be positive")
 	}
 	rng := stats.NewRand(cfg.Seed)
-	pred := model.NewPredictor()
+	// Figure 3 reproduces the PAPER's overhead: pmfs rebuilt from raw
+	// samples on every invocation. The reference path pins that formulation;
+	// the optimized fast path (histograms + memoization) is measured
+	// separately by RunPredictBench, which reports the before/after δ.
+	pred := model.NewPredictor(model.WithReferencePath())
 	strat := selection.NewDynamic()
 	qos := wire.QoS{Deadline: 150 * time.Millisecond, MinProbability: 0.9}
 

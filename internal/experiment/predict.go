@@ -1,0 +1,227 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/model"
+	"aqua/internal/repository"
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+// PredictBenchConfig parameterizes the fast-path δ benchmark: the
+// before/after measurement for the response-time model's optimized
+// prediction path (incremental histograms + dense convolution + memoized
+// F_Ri(t)) against the paper's reference formulation.
+type PredictBenchConfig struct {
+	Replicas   int
+	WindowSize int
+	Deadline   time.Duration
+	Seed       int64
+}
+
+// DefaultPredictBenchConfig is the ISSUE 1 target point: window l=100,
+// 8 replicas.
+func DefaultPredictBenchConfig() PredictBenchConfig {
+	return PredictBenchConfig{
+		Replicas:   8,
+		WindowSize: 100,
+		Deadline:   150 * time.Millisecond,
+		Seed:       1,
+	}
+}
+
+// PredictBenchStats summarizes one measured path.
+type PredictBenchStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// PredictBenchResult is the content of BENCH_predict.json. One op is a full
+// ProbabilityTable over all replicas (the distribution-computation share of
+// δ); the Delta fields are mean end-to-end Scheduler.Schedule overheads.
+type PredictBenchResult struct {
+	Replicas   int   `json:"replicas"`
+	WindowSize int   `json:"window_size"`
+	DeadlineMs int64 `json:"deadline_ms"`
+
+	Reference  PredictBenchStats `json:"reference"`
+	FastCold   PredictBenchStats `json:"fast_cold_cache"`
+	FastCached PredictBenchStats `json:"fast_cached"`
+
+	SpeedupCold      float64 `json:"speedup_cold"`
+	SpeedupCached    float64 `json:"speedup_cached"`
+	AllocRatioCold   float64 `json:"alloc_ratio_cold"`
+	AllocRatioCached float64 `json:"alloc_ratio_cached"`
+
+	DeltaReferenceNs float64 `json:"delta_reference_ns"`
+	DeltaFastNs      float64 `json:"delta_fast_ns"`
+}
+
+// RunPredictBench measures the prediction hot path three ways: the reference
+// map-based formulation, the fast path with a cold cache every invocation
+// (the first request after a window update), and the fast path with a warm
+// cache (back-to-back requests with an unchanged window).
+func RunPredictBench(cfg PredictBenchConfig) (*PredictBenchResult, error) {
+	if cfg.Replicas <= 0 || cfg.WindowSize <= 0 {
+		return nil, fmt.Errorf("experiment: predict bench needs positive replicas and window size")
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = DefaultPredictBenchConfig().Deadline
+	}
+	rng := stats.NewRand(cfg.Seed)
+	repo := syntheticRepo(cfg.Replicas, cfg.WindowSize, rng)
+	snaps := repo.Snapshot("")
+
+	measure := func(p *model.Predictor, flush bool) (PredictBenchStats, error) {
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if flush {
+					p.FlushCache()
+				}
+				table, _, err := p.ProbabilityTable(snaps, cfg.Deadline)
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				if len(table) != cfg.Replicas {
+					benchErr = fmt.Errorf("experiment: predicted %d of %d replicas", len(table), cfg.Replicas)
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return PredictBenchStats{}, benchErr
+		}
+		return PredictBenchStats{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}, nil
+	}
+
+	ref, err := measure(model.NewPredictor(model.WithReferencePath()), false)
+	if err != nil {
+		return nil, err
+	}
+	fast := model.NewPredictor()
+	cold, err := measure(fast, true)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the cache once, then measure pure hits.
+	if _, _, err := fast.ProbabilityTable(snaps, cfg.Deadline); err != nil {
+		return nil, err
+	}
+	cached, err := measure(fast, false)
+	if err != nil {
+		return nil, err
+	}
+
+	deltaRef, err := measureDelta(repo, cfg, model.WithReferencePath())
+	if err != nil {
+		return nil, err
+	}
+	deltaFast, err := measureDelta(repo, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PredictBenchResult{
+		Replicas:         cfg.Replicas,
+		WindowSize:       cfg.WindowSize,
+		DeadlineMs:       int64(cfg.Deadline / time.Millisecond),
+		Reference:        ref,
+		FastCold:         cold,
+		FastCached:       cached,
+		DeltaReferenceNs: deltaRef,
+		DeltaFastNs:      deltaFast,
+	}
+	if cold.NsPerOp > 0 {
+		res.SpeedupCold = ref.NsPerOp / cold.NsPerOp
+	}
+	if cached.NsPerOp > 0 {
+		res.SpeedupCached = ref.NsPerOp / cached.NsPerOp
+	}
+	if cold.AllocsPerOp > 0 {
+		res.AllocRatioCold = float64(ref.AllocsPerOp) / float64(cold.AllocsPerOp)
+	}
+	if cached.AllocsPerOp > 0 {
+		res.AllocRatioCached = float64(ref.AllocsPerOp) / float64(cached.AllocsPerOp)
+	}
+	return res, nil
+}
+
+// measureDelta reports the mean end-to-end Scheduler.Schedule overhead (the
+// paper's δ, as measured by the scheduler itself) with the given predictor
+// options, over repeated requests against an unchanged repository.
+func measureDelta(repo *repository.Repository, cfg PredictBenchConfig, opts ...model.PredictorOption) (float64, error) {
+	sched, err := core.NewScheduler(core.Config{
+		Service:    "predict-bench",
+		QoS:        wire.QoS{Deadline: cfg.Deadline, MinProbability: 0.9},
+		Predictor:  model.NewPredictor(opts...),
+		Repository: repo,
+	})
+	if err != nil {
+		return 0, err
+	}
+	const warmup, runs = 20, 200
+	var total time.Duration
+	for i := 0; i < warmup+runs; i++ {
+		d, err := sched.Schedule(time.Now(), "")
+		if err != nil {
+			return 0, err
+		}
+		sched.Forget(d.Seq)
+		if i >= warmup {
+			total += d.Overhead
+		}
+	}
+	return float64(total) / float64(runs), nil
+}
+
+// PredictBenchTable renders the result for aqua-exp's table output.
+func PredictBenchTable(r *PredictBenchResult) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Predict: fast-path δ benchmark (l=%d, %d replicas, one op = full probability table)",
+			r.WindowSize, r.Replicas),
+		Columns: []string{"path", "ns_op", "allocs_op", "bytes_op", "speedup", "alloc_ratio"},
+		Notes: []string{
+			fmt.Sprintf("scheduler δ: reference %.0f ns vs fast %.0f ns", r.DeltaReferenceNs, r.DeltaFastNs),
+			"fast_cold = windows changed since last request; fast_cached = unchanged windows",
+		},
+	}
+	row := func(name string, s PredictBenchStats, speedup, ratio float64) []string {
+		return []string{
+			name,
+			fmt.Sprintf("%.0f", s.NsPerOp),
+			fmt.Sprintf("%d", s.AllocsPerOp),
+			fmt.Sprintf("%d", s.BytesPerOp),
+			f2(speedup),
+			f2(ratio),
+		}
+	}
+	t.Rows = append(t.Rows, row("reference", r.Reference, 1, 1))
+	t.Rows = append(t.Rows, row("fast_cold", r.FastCold, r.SpeedupCold, r.AllocRatioCold))
+	t.Rows = append(t.Rows, row("fast_cached", r.FastCached, r.SpeedupCached, r.AllocRatioCached))
+	return t
+}
+
+// MarshalPredictBench renders the result as the indented JSON written to
+// BENCH_predict.json.
+func MarshalPredictBench(r *PredictBenchResult) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -404,7 +404,13 @@ func (h *TimingFaultHandler) handleMessage(msg transport.Message, now time.Time)
 		if out.Violation != nil && h.cfg.OnViolation != nil {
 			h.cfg.OnViolation(*out.Violation)
 		}
-		if out.First {
+		// Deliver to the waiting Call on the first reply — or on a reply the
+		// scheduler no longer tracks (pending state dropped by Forget's grace
+		// timer or the membership sweep while the reply was in flight).
+		// Sequence numbers are never reused, so a reply matching a live
+		// waiter is that call's response; without this, an orphaned reply
+		// strands the caller until MaxWait.
+		if out.First || out.Unknown {
 			h.mu.Lock()
 			w := h.waiters[m.Seq]
 			h.mu.Unlock()

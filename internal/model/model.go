@@ -7,14 +7,32 @@
 // responds within t, is the CDF of the discrete convolution of the three.
 // Equation 1 combines per-replica probabilities into the probability that a
 // subset produces at least one timely response.
+//
+// The model's cost is the paper's own overhead term δ (§5.3.3), so the
+// package keeps two arithmetically equivalent implementations:
+//
+//   - a reference path that rebuilds map-backed pmfs from the raw window
+//     samples on every call (the original formulation, kept under test);
+//   - a fast path that consumes the repository's incrementally maintained
+//     bin-count histograms (dist.FromCounts), convolves over dense arrays
+//     (dist.ConvolveDense), and memoizes each replica's convolved S+W CDF
+//     table keyed by the window versions, so back-to-back requests with an
+//     unchanged window reuse the cached F_Ri(t) at the cost of two bin
+//     lookups.
+//
+// The fast path engages automatically when a snapshot carries histograms at
+// the predictor's resolution; equivalence tests pin it to the reference path
+// within 1e-12.
 package model
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"aqua/internal/dist"
 	"aqua/internal/repository"
+	"aqua/internal/wire"
 )
 
 // defaultMaxSupport caps the number of pmf support points carried through a
@@ -22,12 +40,41 @@ import (
 // to a coarser resolution first, bounding the (k²) convolution cost.
 const defaultMaxSupport = 4096
 
-// Predictor computes F_Ri(t) from repository snapshots. The zero value is
-// not usable; construct with NewPredictor.
+// maxCacheEntries bounds the memoization table. Steady state needs one entry
+// per (replica, method); the bound only matters under extreme method or
+// membership churn, where the whole table is dropped and rebuilt.
+const maxCacheEntries = 8192
+
+// cacheKey identifies one memoized convolved distribution. Window versions
+// are globally unique and bumped on every mutation, so equal keys guarantee
+// identical window contents even across replica removal/re-addition.
+type cacheKey struct {
+	replica wire.ReplicaID
+	method  string
+	sVer    uint64
+	wVer    uint64
+}
+
+// cachedCDF is the convolved, support-bounded S+W distribution as a CDF
+// table. The gateway-delay shift T is applied at lookup time (a point mass
+// only offsets bins), so the entry stays valid while T fluctuates.
+type cachedCDF struct {
+	res  time.Duration // resolution after support bounding (≥ predictor resolution)
+	bins []int64
+	cdf  []float64
+}
+
+// Predictor computes F_Ri(t) from repository snapshots. It is safe for
+// concurrent use. The zero value is not usable; construct with NewPredictor.
 type Predictor struct {
-	resolution time.Duration
-	maxSupport int
-	queueAware bool
+	resolution    time.Duration
+	maxSupport    int
+	queueAware    bool
+	referenceOnly bool
+	cacheOff      bool
+
+	mu    sync.Mutex
+	cache map[cacheKey]*cachedCDF
 }
 
 // PredictorOption configures a Predictor.
@@ -46,9 +93,24 @@ func WithMaxSupport(n int) PredictorOption {
 // WithQueueAwareWait replaces the paper's windowed W pmf with a model-based
 // one: the wait for a request arriving at a queue of length q is the q-fold
 // convolution of the service-time pmf (FIFO, one server). This is the A6
-// ablation from DESIGN.md, not the paper's formulation.
+// ablation from DESIGN.md, not the paper's formulation. The fast path does
+// not apply (W depends on the live queue length, not just the windows).
 func WithQueueAwareWait() PredictorOption {
 	return func(p *Predictor) { p.queueAware = true }
+}
+
+// WithReferencePath forces the original map-based formulation: pmfs rebuilt
+// from raw samples, map convolution, no memoization. Equivalence tests and
+// the δ benchmark harness use it as the ground truth.
+func WithReferencePath() PredictorOption {
+	return func(p *Predictor) { p.referenceOnly = true }
+}
+
+// WithoutCache keeps the fast arithmetic (histogram pmfs, dense convolution,
+// single-point ConvolvedCDFAt evaluation) but disables memoization. Useful
+// when snapshots are one-shot and cache residency would be wasted.
+func WithoutCache() PredictorOption {
+	return func(p *Predictor) { p.cacheOff = true }
 }
 
 // NewPredictor returns a configured predictor.
@@ -56,6 +118,7 @@ func NewPredictor(opts ...PredictorOption) *Predictor {
 	p := &Predictor{
 		resolution: dist.DefaultResolution,
 		maxSupport: defaultMaxSupport,
+		cache:      make(map[cacheKey]*cachedCDF),
 	}
 	for _, o := range opts {
 		o(p)
@@ -72,6 +135,55 @@ func NewPredictor(opts ...PredictorOption) *Predictor {
 // Resolution returns the pmf bin width used by the predictor.
 func (p *Predictor) Resolution() time.Duration { return p.resolution }
 
+// FlushCache drops every memoized distribution. The scheduler calls it on
+// membership changes; it is also the safety valve for any event that could
+// otherwise leave stale entries resident (they would never be hit again, but
+// would hold memory).
+func (p *Predictor) FlushCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cache = make(map[cacheKey]*cachedCDF)
+}
+
+// CacheSize returns the number of memoized distributions (for tests and
+// introspection).
+func (p *Predictor) CacheSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
+
+// fastEligible reports whether the snapshot can take the histogram fast
+// path: matching resolution, both histograms present, plain windowed W, and
+// a non-negative gateway delay (Shift's clamp-at-zero merging only occurs
+// for negative shifts, which the fast lookup does not model).
+func (p *Predictor) fastEligible(snap repository.ReplicaSnapshot) bool {
+	return !p.referenceOnly && !p.queueAware &&
+		snap.HasHistory &&
+		snap.Resolution == p.resolution &&
+		snap.ServiceHist.OK() && snap.QueueHist.OK() &&
+		snap.GatewayDelay >= 0
+}
+
+// inputPMFs builds the S and W pmfs for a snapshot, from the incremental
+// histograms when available (O(k), no map, no sort) and from the raw samples
+// otherwise.
+func (p *Predictor) inputPMFs(snap repository.ReplicaSnapshot) (s, w *dist.PMF, err error) {
+	if !p.referenceOnly && snap.Resolution == p.resolution && snap.ServiceHist.OK() {
+		s, err = dist.FromCounts(p.resolution, snap.ServiceHist.Bins, snap.ServiceHist.Counts)
+	} else {
+		s, err = dist.FromSamples(snap.ServiceTimes, p.resolution)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("model: service-time pmf for %q: %w", snap.ID, err)
+	}
+	w, err = p.waitPMF(snap, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, w, nil
+}
+
 // ResponsePMF computes the pmf of R_i for one replica snapshot. It fails if
 // the snapshot has no history (the scheduler's cold-start rule selects all
 // replicas instead of predicting).
@@ -79,11 +191,7 @@ func (p *Predictor) ResponsePMF(snap repository.ReplicaSnapshot) (*dist.PMF, err
 	if !snap.HasHistory {
 		return nil, fmt.Errorf("model: replica %q has no performance history", snap.ID)
 	}
-	s, err := dist.FromSamples(snap.ServiceTimes, p.resolution)
-	if err != nil {
-		return nil, fmt.Errorf("model: service-time pmf for %q: %w", snap.ID, err)
-	}
-	w, err := p.waitPMF(snap, s)
+	s, w, err := p.inputPMFs(snap)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +200,7 @@ func (p *Predictor) ResponsePMF(snap repository.ReplicaSnapshot) (*dist.PMF, err
 	if err != nil {
 		return nil, fmt.Errorf("model: aligning S and W for %q: %w", snap.ID, err)
 	}
-	sw, err := s.Convolve(w)
+	sw, err := p.convolve(s, w)
 	if err != nil {
 		return nil, fmt.Errorf("model: convolving S and W for %q: %w", snap.ID, err)
 	}
@@ -101,10 +209,26 @@ func (p *Predictor) ResponsePMF(snap repository.ReplicaSnapshot) (*dist.PMF, err
 	return p.bound(sw).Shift(snap.GatewayDelay), nil
 }
 
+// convolve dispatches between the dense fast convolution and the map-based
+// reference implementation.
+func (p *Predictor) convolve(s, w *dist.PMF) (*dist.PMF, error) {
+	if p.referenceOnly {
+		return s.Convolve(w)
+	}
+	return s.ConvolveDense(w)
+}
+
 // waitPMF returns the queuing-delay pmf: the paper's empirical window pmf,
 // or the queue-length-aware variant when configured.
 func (p *Predictor) waitPMF(snap repository.ReplicaSnapshot, service *dist.PMF) (*dist.PMF, error) {
 	if !p.queueAware {
+		if !p.referenceOnly && snap.Resolution == p.resolution && snap.QueueHist.OK() {
+			w, err := dist.FromCounts(p.resolution, snap.QueueHist.Bins, snap.QueueHist.Counts)
+			if err != nil {
+				return nil, fmt.Errorf("model: queuing-delay pmf for %q: %w", snap.ID, err)
+			}
+			return w, nil
+		}
 		w, err := dist.FromSamples(snap.QueueDelays, p.resolution)
 		if err != nil {
 			return nil, fmt.Errorf("model: queuing-delay pmf for %q: %w", snap.ID, err)
@@ -117,7 +241,7 @@ func (p *Predictor) waitPMF(snap repository.ReplicaSnapshot, service *dist.PMF) 
 		return nil, err
 	}
 	for i := 0; i < snap.QueueLength; i++ {
-		w, err = p.bound(w).Convolve(service)
+		w, err = p.convolve(p.bound(w), service)
 		if err != nil {
 			return nil, fmt.Errorf("model: queue-aware wait for %q: %w", snap.ID, err)
 		}
@@ -154,9 +278,105 @@ func (p *Predictor) bound(pmf *dist.PMF) *dist.PMF {
 	return pmf
 }
 
+// buildSW computes the support-bounded S+W distribution for a fast-eligible
+// snapshot and returns it as a CDF table.
+func (p *Predictor) buildSW(snap repository.ReplicaSnapshot) (*cachedCDF, error) {
+	s, w, err := p.inputPMFs(snap)
+	if err != nil {
+		return nil, err
+	}
+	s, w = p.bound(s), p.bound(w)
+	s, w, err = align(s, w)
+	if err != nil {
+		return nil, fmt.Errorf("model: aligning S and W for %q: %w", snap.ID, err)
+	}
+	sw, err := s.ConvolveDense(w)
+	if err != nil {
+		return nil, fmt.Errorf("model: convolving S and W for %q: %w", snap.ID, err)
+	}
+	sw = p.bound(sw)
+	bins, cdf := sw.CDFTable()
+	return &cachedCDF{res: sw.Resolution(), bins: bins, cdf: cdf}, nil
+}
+
+// fastProbability evaluates F_Ri(t) via the memoized CDF table. ok is false
+// when the snapshot is not fast-eligible; the caller then takes the
+// reference route.
+func (p *Predictor) fastProbability(snap repository.ReplicaSnapshot, t time.Duration) (v float64, ok bool, err error) {
+	if !p.fastEligible(snap) {
+		return 0, false, nil
+	}
+	if p.cacheOff {
+		return p.uncachedFastProbability(snap, t)
+	}
+	key := cacheKey{replica: snap.ID, method: snap.Method, sVer: snap.ServiceHist.Version, wVer: snap.QueueHist.Version}
+	p.mu.Lock()
+	entry := p.cache[key]
+	p.mu.Unlock()
+	if entry == nil {
+		entry, err = p.buildSW(snap)
+		if err != nil {
+			return 0, false, err
+		}
+		p.mu.Lock()
+		if len(p.cache) >= maxCacheEntries {
+			p.cache = make(map[cacheKey]*cachedCDF)
+		}
+		p.cache[key] = entry
+		p.mu.Unlock()
+	}
+	if t < 0 {
+		return 0, true, nil
+	}
+	// Shifting by the point mass T offsets every support bin by
+	// Quantize(T); evaluating the shifted CDF at t is a lookup at
+	// Quantize(t) − Quantize(T) on the unshifted table.
+	target := dist.Quantize(t, entry.res) - dist.Quantize(snap.GatewayDelay, entry.res)
+	return dist.CDFLookup(entry.bins, entry.cdf, target), true, nil
+}
+
+// uncachedFastProbability evaluates F_Ri(t) with ConvolvedCDFAt, never
+// materializing the S+W product. Only safe when the product's support could
+// not have exceeded maxSupport (otherwise the reference path would rebin,
+// and results would diverge); wider products fall back.
+func (p *Predictor) uncachedFastProbability(snap repository.ReplicaSnapshot, t time.Duration) (v float64, ok bool, err error) {
+	s, w, err := p.inputPMFs(snap)
+	if err != nil {
+		return 0, false, err
+	}
+	s, w = p.bound(s), p.bound(w)
+	s, w, err = align(s, w)
+	if err != nil {
+		return 0, false, nil
+	}
+	productRange := (s.Max()+w.Max()-s.Min()-w.Min())/s.Resolution() + 1
+	if s.Support()*w.Support() > p.maxSupport && int(productRange) > p.maxSupport {
+		return 0, false, nil
+	}
+	if t < 0 {
+		return 0, true, nil
+	}
+	target := dist.Quantize(t, s.Resolution()) - dist.Quantize(snap.GatewayDelay, s.Resolution())
+	if target < 0 {
+		return 0, true, nil
+	}
+	// target*res is exactly the center of bin `target`, so ConvolvedCDFAt
+	// re-quantizes it to the same bin the reference CDF would use.
+	f, err := s.ConvolvedCDFAt(w, time.Duration(target)*s.Resolution())
+	if err != nil {
+		return 0, false, err
+	}
+	return f, true, nil
+}
+
 // Probability computes F_Ri(t): the probability that replica i responds
 // within t. Callers compensating for scheduler overhead pass t − δ (§5.3.3).
 func (p *Predictor) Probability(snap repository.ReplicaSnapshot, t time.Duration) (float64, error) {
+	if v, ok, err := p.fastProbability(snap, t); err != nil {
+		return 0, err
+	} else if ok {
+		return v, nil
+	}
 	pmf, err := p.ResponsePMF(snap)
 	if err != nil {
 		return 0, err

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"aqua/internal/dist"
 	"aqua/internal/window"
 	"aqua/internal/wire"
 )
@@ -52,7 +53,8 @@ type replicaState struct {
 type Repository struct {
 	mu           sync.RWMutex
 	windowSize   int
-	gatewayHist  int // gateway-delay window size; 1 = paper behaviour (most recent value only)
+	gatewayHist  int           // gateway-delay window size; 1 = paper behaviour (most recent value only)
+	resolution   time.Duration // histogram quantization; 0 disables incremental histograms
 	entries      map[methodKey]*entry
 	replicas     map[wire.ReplicaID]*replicaState
 	updatesByRep map[wire.ReplicaID]uint64 // count of perf reports absorbed, per replica
@@ -75,11 +77,22 @@ func WithGatewayHistory(n int) Option {
 	return func(r *Repository) { r.gatewayHist = n }
 }
 
+// WithResolution sets the quantization resolution of the incremental
+// per-window histograms handed to the response-time model's fast path. It
+// must match the predictor's resolution for the fast path to engage; a
+// non-positive value disables histograms (predictions then rebuild pmfs from
+// raw samples). The default is dist.DefaultResolution, matching the default
+// predictor.
+func WithResolution(res time.Duration) Option {
+	return func(r *Repository) { r.resolution = res }
+}
+
 // New returns an empty repository.
 func New(opts ...Option) *Repository {
 	r := &Repository{
 		windowSize:   DefaultWindowSize,
 		gatewayHist:  1,
+		resolution:   dist.DefaultResolution,
 		entries:      make(map[methodKey]*entry),
 		replicas:     make(map[wire.ReplicaID]*replicaState),
 		updatesByRep: make(map[wire.ReplicaID]uint64),
@@ -93,7 +106,17 @@ func New(opts ...Option) *Repository {
 	if r.gatewayHist <= 0 {
 		r.gatewayHist = 1
 	}
+	if r.resolution < 0 {
+		r.resolution = 0
+	}
 	return r
+}
+
+// Resolution returns the histogram quantization resolution (0 = disabled).
+func (r *Repository) Resolution() time.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resolution
 }
 
 // WindowSize returns the configured sliding-window size l.
@@ -180,9 +203,15 @@ func (r *Repository) entryLocked(id wire.ReplicaID, method string) *entry {
 	k := methodKey{replica: id, method: method}
 	e, ok := r.entries[k]
 	if !ok {
+		newWindow := func() *window.Window {
+			if r.resolution > 0 {
+				return window.NewHistogrammed(r.windowSize, r.resolution)
+			}
+			return window.New(r.windowSize)
+		}
 		e = &entry{
-			service: window.New(r.windowSize),
-			queue:   window.New(r.windowSize),
+			service: newWindow(),
+			queue:   newWindow(),
 			gateway: window.New(r.gatewayHist),
 		}
 		r.entries[k] = e
@@ -238,15 +267,36 @@ func (r *Repository) UpdateCount(id wire.ReplicaID) uint64 {
 	return r.updatesByRep[id]
 }
 
+// HistView is an immutable copy of a window's incremental histogram: distinct
+// quantized bins in ascending order, their positive counts, and the window
+// version the copy was taken at. The zero value (empty Bins) means "no
+// histogram available".
+type HistView struct {
+	Bins    []int64
+	Counts  []int
+	Version uint64
+}
+
+// OK reports whether the view carries a usable histogram.
+func (h HistView) OK() bool { return len(h.Bins) > 0 }
+
 // ReplicaSnapshot is an immutable copy of one replica's history handed to
 // the response-time predictor, so prediction runs without repository locks.
 type ReplicaSnapshot struct {
 	ID           wire.ReplicaID
+	Method       string
 	ServiceTimes []time.Duration // oldest → newest
 	QueueDelays  []time.Duration // oldest → newest
 	GatewayDelay time.Duration   // most recent T (or mean of the T window if enabled)
 	QueueLength  int
 	LastUpdate   time.Time
+	// Resolution, ServiceHist, and QueueHist feed the predictor's fast path:
+	// pre-quantized bin counts maintained incrementally by the windows, so
+	// prediction needs neither the raw samples nor a per-call sort. They are
+	// unset when the repository was configured without histograms.
+	Resolution  time.Duration
+	ServiceHist HistView
+	QueueHist   HistView
 	// HasHistory is false until at least one service-time and one queuing
 	// delay sample exist; the scheduler must fall back to selecting all
 	// replicas (the paper's cold-start rule, §5.4.1).
@@ -262,12 +312,22 @@ func (r *Repository) Snapshot(method string) []ReplicaSnapshot {
 	for id, st := range r.replicas {
 		snap := ReplicaSnapshot{
 			ID:          id,
+			Method:      method,
 			QueueLength: st.queueLength,
 			LastUpdate:  st.lastUpdate,
 		}
 		if e, ok := r.entries[methodKey{replica: id, method: method}]; ok {
 			snap.ServiceTimes = e.service.Values()
 			snap.QueueDelays = e.queue.Values()
+			if r.resolution > 0 {
+				snap.Resolution = r.resolution
+				if bins, counts, ok := e.service.HistCounts(); ok {
+					snap.ServiceHist = HistView{Bins: bins, Counts: counts, Version: e.service.Version()}
+				}
+				if bins, counts, ok := e.queue.HistCounts(); ok {
+					snap.QueueHist = HistView{Bins: bins, Counts: counts, Version: e.queue.Version()}
+				}
+			}
 			if td, ok := e.gateway.Last(); ok {
 				if r.gatewayHist > 1 {
 					// Extension: smooth over the configured T window.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"aqua/internal/dist"
 	"aqua/internal/wire"
 )
 
@@ -224,5 +225,97 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if got := r.UpdateCount("a"); got == 0 {
 		t.Error("no updates recorded under concurrency")
+	}
+}
+
+func TestSnapshotCarriesHistograms(t *testing.T) {
+	r := New(WithWindowSize(3)) // default resolution: histograms on
+	r.AddReplica("a")
+	now := time.Now()
+	for i, s := range []time.Duration{10 * ms, 10 * ms, 20 * ms, 30 * ms} { // 4 samples: one eviction
+		r.RecordPerf("a", "m", perf(s, time.Duration(i)*ms, 0), now)
+	}
+	snap, err := r.SnapshotOne("a", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Method != "m" {
+		t.Errorf("snapshot method %q, want m", snap.Method)
+	}
+	if snap.Resolution != dist.DefaultResolution {
+		t.Errorf("snapshot resolution %v, want %v", snap.Resolution, dist.DefaultResolution)
+	}
+	if !snap.ServiceHist.OK() || !snap.QueueHist.OK() {
+		t.Fatal("snapshot missing histograms")
+	}
+	// Window holds {10, 20, 30}: the first 10ms was evicted.
+	if got := snap.ServiceHist.Bins; len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Errorf("service hist bins = %v, want [10 20 30]", got)
+	}
+	for _, c := range snap.ServiceHist.Counts {
+		if c != 1 {
+			t.Errorf("service hist counts = %v, want all 1", snap.ServiceHist.Counts)
+		}
+	}
+	if snap.ServiceHist.Version == 0 || snap.ServiceHist.Version == snap.QueueHist.Version {
+		t.Errorf("versions not distinct/monotonic: S=%d W=%d", snap.ServiceHist.Version, snap.QueueHist.Version)
+	}
+	// A further report must change both versions.
+	before := snap.ServiceHist.Version
+	r.RecordPerf("a", "m", perf(10*ms, ms, 0), now)
+	snap2, err := r.SnapshotOne("a", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.ServiceHist.Version == before {
+		t.Error("service hist version unchanged after RecordPerf")
+	}
+}
+
+func TestWithResolutionDisablesHistograms(t *testing.T) {
+	r := New(WithResolution(0))
+	r.AddReplica("a")
+	r.RecordPerf("a", "", perf(10*ms, 5*ms, 0), time.Now())
+	snap, err := r.SnapshotOne("a", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Resolution != 0 || snap.ServiceHist.OK() || snap.QueueHist.OK() {
+		t.Errorf("histograms present despite WithResolution(0): %+v", snap)
+	}
+	if !snap.HasHistory {
+		t.Error("raw history should still be present")
+	}
+	if r.Resolution() != 0 {
+		t.Errorf("Resolution() = %v, want 0", r.Resolution())
+	}
+}
+
+func TestHistogramMatchesRawSamplesAcrossEvictions(t *testing.T) {
+	r := New(WithWindowSize(5), WithResolution(2*ms))
+	r.AddReplica("a")
+	now := time.Now()
+	for i := 0; i < 40; i++ {
+		r.RecordPerf("a", "", perf(time.Duration(i%13)*ms, time.Duration(i%7)*ms, 0), now)
+		snap, err := r.SnapshotOne("a", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int64]int{}
+		for _, v := range snap.ServiceTimes {
+			want[dist.Quantize(v, 2*ms)]++
+		}
+		got := map[int64]int{}
+		for j, b := range snap.ServiceHist.Bins {
+			got[b] = snap.ServiceHist.Counts[j]
+		}
+		if len(want) != len(got) {
+			t.Fatalf("iteration %d: hist %v, want %v", i, got, want)
+		}
+		for b, c := range want {
+			if got[b] != c {
+				t.Fatalf("iteration %d: hist %v, want %v", i, got, want)
+			}
+		}
 	}
 }

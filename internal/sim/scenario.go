@@ -233,7 +233,7 @@ func Run(s Scenario) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: client %d: %w", i, err)
 		}
-		sched.OnMembershipChange(liveIDs)
+		sched.OnMembershipChangeAt(liveIDs, k.NowTime())
 
 		giveUp := 10 * spec.QoS.Deadline
 		if giveUp < time.Second {
@@ -281,7 +281,7 @@ func Run(s Scenario) (*Result, error) {
 				}
 			}
 			for _, c := range clients {
-				c.sched.OnMembershipChange(live)
+				c.sched.OnMembershipChangeAt(live, k.NowTime())
 			}
 			s.Trace.Record(trace.Event{
 				At: k.Now(), Kind: trace.KindMembership, Targets: live,

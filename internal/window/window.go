@@ -3,20 +3,42 @@
 // vector and queuing delay vector, §5.2). A window retains the most recent l
 // measurements and evicts the oldest, so "obsolete measurements" age out as
 // the paper prescribes.
+//
+// A window can additionally maintain an incremental bin-count histogram of
+// its contents at a fixed quantization resolution: each Add increments the
+// new sample's bin and decrements the evicted sample's bin. The histogram is
+// exactly the bin/count multiset dist.FromSamples would compute from
+// Values(), but costs O(log k) per update instead of O(l log l) per
+// prediction, which is what makes the response-time model's fast path cheap.
 package window
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
+
+	"aqua/internal/dist"
 )
+
+// versionCounter issues window versions. It is global and monotonic so a
+// version is never reused across window instances: a replica that is removed
+// and re-added gets fresh versions, and any cache keyed by version cannot
+// alias stale state.
+var versionCounter atomic.Uint64
 
 // Window is a fixed-capacity FIFO ring buffer of duration samples. The most
 // recent Cap() samples are retained. Window is not safe for concurrent use;
 // the repository serializes access.
 type Window struct {
-	buf   []time.Duration
-	head  int // index of the oldest sample
-	count int
+	buf     []time.Duration
+	head    int // index of the oldest sample
+	count   int
+	version uint64
+
+	// Incremental histogram state; res == 0 disables it.
+	res       time.Duration
+	bins      []int64 // sorted ascending, distinct
+	binCounts []int   // parallel to bins, each > 0
 }
 
 // New returns a window retaining the most recent capacity samples.
@@ -27,19 +49,86 @@ func New(capacity int) *Window {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("window: capacity must be positive, got %d", capacity))
 	}
-	return &Window{buf: make([]time.Duration, 0, capacity)}
+	return &Window{buf: make([]time.Duration, 0, capacity), version: versionCounter.Add(1)}
+}
+
+// NewHistogrammed returns a window that additionally maintains an incremental
+// histogram of its contents quantized at res (see HistCounts). It panics on
+// non-positive capacity or resolution, both static configuration values.
+func NewHistogrammed(capacity int, res time.Duration) *Window {
+	if res <= 0 {
+		panic(fmt.Sprintf("window: histogram resolution must be positive, got %v", res))
+	}
+	w := New(capacity)
+	w.res = res
+	return w
 }
 
 // Add appends a sample, evicting the oldest if the window is full.
 func (w *Window) Add(d time.Duration) {
+	w.version = versionCounter.Add(1)
 	if len(w.buf) < cap(w.buf) {
 		w.buf = append(w.buf, d)
 		w.count++
+		w.histAdd(d)
 		return
 	}
+	evicted := w.buf[w.head]
 	w.buf[w.head] = d
 	w.head = (w.head + 1) % cap(w.buf)
 	w.count++
+	w.histRemove(evicted)
+	w.histAdd(d)
+}
+
+// histAdd increments the bin holding d, inserting the bin if new.
+func (w *Window) histAdd(d time.Duration) {
+	if w.res == 0 {
+		return
+	}
+	b := dist.Quantize(d, w.res)
+	i := w.searchBin(b)
+	if i < len(w.bins) && w.bins[i] == b {
+		w.binCounts[i]++
+		return
+	}
+	w.bins = append(w.bins, 0)
+	copy(w.bins[i+1:], w.bins[i:])
+	w.bins[i] = b
+	w.binCounts = append(w.binCounts, 0)
+	copy(w.binCounts[i+1:], w.binCounts[i:])
+	w.binCounts[i] = 1
+}
+
+// histRemove decrements the bin holding d, removing the bin at count zero.
+func (w *Window) histRemove(d time.Duration) {
+	if w.res == 0 {
+		return
+	}
+	b := dist.Quantize(d, w.res)
+	i := w.searchBin(b)
+	if i >= len(w.bins) || w.bins[i] != b {
+		panic(fmt.Sprintf("window: histogram out of sync, missing bin %d", b))
+	}
+	w.binCounts[i]--
+	if w.binCounts[i] == 0 {
+		w.bins = append(w.bins[:i], w.bins[i+1:]...)
+		w.binCounts = append(w.binCounts[:i], w.binCounts[i+1:]...)
+	}
+}
+
+// searchBin returns the insertion index for bin b in the sorted bin list.
+func (w *Window) searchBin(b int64) int {
+	lo, hi := 0, len(w.bins)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.bins[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Len returns the number of samples currently retained.
@@ -51,6 +140,32 @@ func (w *Window) Cap() int { return cap(w.buf) }
 // Total returns the total number of samples ever added, including evicted
 // ones. It serves as a freshness/coverage indicator.
 func (w *Window) Total() int { return w.count }
+
+// Version returns a value that changes on every mutation and is never reused
+// by any other window instance in the process. Equal versions therefore
+// guarantee identical window contents, which is what the response-time
+// model's memoization keys on.
+func (w *Window) Version() uint64 { return w.version }
+
+// HistResolution returns the histogram quantization resolution, or 0 when
+// the window does not maintain a histogram.
+func (w *Window) HistResolution() time.Duration { return w.res }
+
+// HistCounts returns a copy of the incremental histogram: distinct bins in
+// ascending order with their positive counts. ok is false when the window
+// keeps no histogram or is empty. The bins are dist.Quantize(v, res) for the
+// retained values v, so dist.FromCounts over the result equals
+// dist.FromSamples over Values().
+func (w *Window) HistCounts() (bins []int64, counts []int, ok bool) {
+	if w.res == 0 || len(w.bins) == 0 {
+		return nil, nil, false
+	}
+	bins = make([]int64, len(w.bins))
+	copy(bins, w.bins)
+	counts = make([]int, len(w.binCounts))
+	copy(counts, w.binCounts)
+	return bins, counts, true
+}
 
 // Values returns the retained samples ordered oldest to newest. The returned
 // slice is freshly allocated; callers may keep it.
@@ -71,18 +186,23 @@ func (w *Window) Last() (d time.Duration, ok bool) {
 	return w.buf[idx], true
 }
 
-// Reset discards all samples but keeps the capacity.
+// Reset discards all samples but keeps the capacity and resolution.
 func (w *Window) Reset() {
 	w.buf = w.buf[:0]
 	w.head = 0
 	w.count = 0
+	w.version = versionCounter.Add(1)
+	w.bins = w.bins[:0]
+	w.binCounts = w.binCounts[:0]
 }
 
 // Clone returns a deep copy of the window. Snapshots handed to the
 // response-time predictor are clones so the predictor can run without
-// holding repository locks.
+// holding repository locks. The clone gets its own version (its histories
+// diverge from here on).
 func (w *Window) Clone() *Window {
 	c := New(cap(w.buf))
+	c.res = w.res
 	for _, v := range w.Values() {
 		c.Add(v)
 	}

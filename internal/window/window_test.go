@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"aqua/internal/dist"
 )
 
 func TestNewPanicsOnNonPositiveCapacity(t *testing.T) {
@@ -138,4 +140,124 @@ func TestWindowSemanticsProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
+}
+
+// histEqualsNaive checks the incremental histogram against a recount of the
+// retained values.
+func histEqualsNaive(w *Window) bool {
+	bins, counts, ok := w.HistCounts()
+	want := map[int64]int{}
+	for _, v := range w.Values() {
+		want[dist.Quantize(v, w.HistResolution())]++
+	}
+	if !ok {
+		return len(want) == 0
+	}
+	if len(bins) != len(want) {
+		return false
+	}
+	for i, b := range bins {
+		if i > 0 && bins[i-1] >= b {
+			return false // not strictly sorted
+		}
+		if counts[i] != want[b] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHistogramTracksAddAndEviction(t *testing.T) {
+	w := NewHistogrammed(3, time.Millisecond)
+	if _, _, ok := w.HistCounts(); ok {
+		t.Error("empty window reported a histogram")
+	}
+	seq := []time.Duration{
+		10 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+		30 * time.Millisecond, // evicts a 10ms
+		30 * time.Millisecond, // evicts the other 10ms
+		5 * time.Millisecond,  // evicts 20ms
+	}
+	for _, d := range seq {
+		w.Add(d)
+		if !histEqualsNaive(w) {
+			t.Fatalf("histogram out of sync after Add(%v)", d)
+		}
+	}
+	bins, counts, _ := w.HistCounts()
+	if len(bins) != 2 || bins[0] != 5 || bins[1] != 30 || counts[0] != 1 || counts[1] != 2 {
+		t.Errorf("final histogram bins=%v counts=%v, want [5 30]/[1 2]", bins, counts)
+	}
+}
+
+// TestHistogramProperty drives random sequences (including half-bin values
+// that exercise rounding) and checks the incremental histogram always equals
+// a recount.
+func TestHistogramProperty(t *testing.T) {
+	f := func(raw []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		w := NewHistogrammed(capacity, time.Millisecond)
+		for _, v := range raw {
+			w.Add(time.Duration(v) * time.Millisecond / 2)
+			if !histEqualsNaive(w) {
+				return false
+			}
+		}
+		w.Reset()
+		if _, _, ok := w.HistCounts(); ok {
+			return false
+		}
+		w.Add(time.Millisecond)
+		return histEqualsNaive(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVersionChangesOnEveryMutationAndIsGloballyUnique(t *testing.T) {
+	w := New(2)
+	v0 := w.Version()
+	w.Add(1)
+	v1 := w.Version()
+	if v1 == v0 {
+		t.Error("Add did not change version")
+	}
+	w.Reset()
+	if w.Version() == v1 {
+		t.Error("Reset did not change version")
+	}
+	// A fresh window (e.g. a removed-and-re-added replica) must never reuse
+	// an earlier version, or memoized predictions could alias stale state.
+	w2 := New(2)
+	w2.Add(1)
+	if w2.Version() == v1 || w2.Version() == v0 {
+		t.Error("new window reused a version")
+	}
+}
+
+func TestCloneKeepsHistogram(t *testing.T) {
+	w := NewHistogrammed(3, time.Millisecond)
+	w.Add(4 * time.Millisecond)
+	w.Add(6 * time.Millisecond)
+	c := w.Clone()
+	if c.HistResolution() != time.Millisecond {
+		t.Fatalf("clone resolution %v", c.HistResolution())
+	}
+	w.Add(9 * time.Millisecond)
+	if !histEqualsNaive(c) || !histEqualsNaive(w) {
+		t.Error("histograms diverged from values after clone")
+	}
+	if c.Version() == w.Version() {
+		t.Error("clone shares the original's version")
+	}
+}
+
+func TestNewHistogrammedPanicsOnBadResolution(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogrammed(1, 0) did not panic")
+		}
+	}()
+	NewHistogrammed(1, 0)
 }
