@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench experiments quick-experiments fuzz clean
+.PHONY: all check build vet test race bench predict-bench experiments quick-experiments faults fuzz clean
 
 all: build vet test
 
@@ -34,6 +34,11 @@ experiments:
 
 quick-experiments:
 	$(GO) run ./cmd/aqua-exp -exp all -quick
+
+# Fault-injection experiment: timely-response rate under injected loss and
+# delay spikes, headless with the fixed default seed (see README).
+faults:
+	$(GO) run ./cmd/aqua-exp -exp faults
 
 # Short fuzzing pass over the wire codec.
 fuzz:

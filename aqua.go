@@ -176,12 +176,14 @@ type Cluster struct {
 	mu       sync.Mutex
 	replicas map[ReplicaID]*Replica
 	clients  map[*Client]bool
+	gateways map[*Gateway]*gateway.TimingFaultHandler // this cluster's handler in each multi-service gateway
 	nextID   int
 	viewNum  uint64
 	handler  Handler
 	load     stats.DelayDist
 	seed     int64
 	selfHeal bool
+	faults   *FaultInjector
 	manager  *proteus.Manager
 	closed   bool
 }
@@ -196,15 +198,20 @@ func (c *Cluster) membershipLocked() map[wire.ReplicaID]transport.Addr {
 	return m
 }
 
-// notifyClients pushes the current membership to every live client, as the
-// group-communication layer would after a view change, and feeds the
-// dependability manager when self-healing is on.
+// notifyClients pushes the current membership to every live client and
+// every registered multi-service gateway handler, as the group-communication
+// layer would after a view change, and feeds the dependability manager when
+// self-healing is on.
 func (c *Cluster) notifyClients() {
 	c.mu.Lock()
 	m := c.membershipLocked()
 	clients := make([]*Client, 0, len(c.clients))
 	for cl := range c.clients {
 		clients = append(clients, cl)
+	}
+	handlers := make([]*gateway.TimingFaultHandler, 0, len(c.gateways))
+	for _, h := range c.gateways {
+		handlers = append(handlers, h)
 	}
 	c.viewNum++
 	view := group.View{Number: c.viewNum, Members: make([]wire.ReplicaID, 0, len(m))}
@@ -215,6 +222,9 @@ func (c *Cluster) notifyClients() {
 	c.mu.Unlock()
 	for _, cl := range clients {
 		cl.handler.UpdateMembership(m)
+	}
+	for _, h := range handlers {
+		h.UpdateMembership(m)
 	}
 	if mgr != nil {
 		mgr.ObserveView(view)
@@ -268,6 +278,48 @@ func WithSelfHealing() ClusterOption {
 	return func(c *Cluster) { c.selfHeal = true }
 }
 
+// Addr is a transport address, re-exported for fault-injection rules. Get a
+// replica's address from Replica.Addr().
+type Addr = transport.Addr
+
+// AnyAddr is the wildcard side of a fault-injection link rule.
+const AnyAddr = transport.Any
+
+// FaultPolicy describes the faults injected on one link: probabilistic
+// drop, added delay, duplication, reordering, or a full partition.
+type FaultPolicy = transport.FaultPolicy
+
+// FaultInjector is the runtime handle for flipping faults on a cluster's
+// transport mid-run. Create with NewFaultInjector, attach with
+// WithFaultInjection, and adjust from any goroutine while traffic flows.
+type FaultInjector = transport.Injector
+
+// NewFaultInjector returns an injector with no faults configured. The seed
+// drives every probabilistic fault decision, so fault sequences over the
+// in-memory transport are reproducible.
+func NewFaultInjector(seed int64) *FaultInjector { return transport.NewInjector(seed) }
+
+// WithFaultInjection wraps the cluster's transport (in-memory or TCP) in a
+// fault-injection layer driven by inj: every message between clients and
+// replicas is subject to the injector's per-link policies. This reproduces
+// the paper's timing-fault environment — overloaded links, lost messages,
+// unreachable replicas — on demand; see DESIGN.md for the mapping to §5.4.
+//
+// Clusters that must share one gateway (WithSharedNetwork) need to share
+// the same injector-wrapped network, so apply fault injection to the
+// network-owning cluster only.
+func WithFaultInjection(inj *FaultInjector) ClusterOption {
+	return func(c *Cluster) { c.faults = inj }
+}
+
+// FaultInjector returns the injector attached with WithFaultInjection, or
+// nil when fault injection is off.
+func (c *Cluster) FaultInjector() *FaultInjector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
 // NewCluster starts n replicas of service running handler.
 func NewCluster(service Service, n int, handler Handler, opts ...ClusterOption) (*Cluster, error) {
 	if service == "" {
@@ -286,11 +338,17 @@ func NewCluster(service Service, n int, handler Handler, opts ...ClusterOption) 
 		inmem:    inmem,
 		replicas: make(map[ReplicaID]*Replica),
 		clients:  make(map[*Client]bool),
+		gateways: make(map[*Gateway]*gateway.TimingFaultHandler),
 		handler:  handler,
 		seed:     1,
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.faults != nil {
+		// Wrap whatever transport the options picked, so fault injection
+		// composes with WithTCP and WithSharedNetwork alike.
+		c.network = transport.NewFaulty(c.network, c.faults)
 	}
 	for i := 0; i < n; i++ {
 		if _, err := c.AddReplica(); err != nil {
@@ -361,6 +419,14 @@ func (c *Cluster) AddReplica() (*Replica, error) {
 	}
 	r := &Replica{srv: srv}
 	c.mu.Lock()
+	if c.closed {
+		// Close ran while the lock was dropped to start the server: this
+		// replica must not outlive the cluster, and must not be re-inserted
+		// into the membership table Close already emptied.
+		c.mu.Unlock()
+		srv.Stop()
+		return nil, fmt.Errorf("aqua: cluster closed")
+	}
 	c.replicas[id] = r
 	c.mu.Unlock()
 	c.notifyClients()
@@ -371,10 +437,25 @@ func (c *Cluster) AddReplica() (*Replica, error) {
 // ephemeral loopback port on TCP.
 func (c *Cluster) listen(name string) (transport.Endpoint, error) {
 	addr := transport.Addr(name)
-	if _, ok := c.network.(*transport.InMem); !ok {
+	if !isInMemBacked(c.network) {
 		addr = "127.0.0.1:0"
 	}
 	return c.network.Listen(addr)
+}
+
+// isInMemBacked reports whether n bottoms out at the in-memory transport,
+// unwrapping any fault-injection layers on the way down.
+func isInMemBacked(n transport.Network) bool {
+	for {
+		switch v := n.(type) {
+		case *transport.InMem:
+			return true
+		case *transport.Faulty:
+			n = v.Inner()
+		default:
+			return false
+		}
+	}
 }
 
 // Replicas returns handles for the currently running replicas.
@@ -515,7 +596,7 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 		c.mu.Lock()
 		static := c.membershipLocked()
 		c.mu.Unlock()
-		if _, err := mg.LoadHandler(gateway.Config{
+		h, err := mg.LoadHandler(gateway.Config{
 			Service:            c.service,
 			QoS:                cfg.QoS,
 			Strategy:           cfg.Strategy,
@@ -523,13 +604,32 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 			CompensateOverhead: cfg.CompensateOverhead,
 			OnViolation:        cfg.OnViolation,
 			StaticReplicas:     static,
-		}); err != nil {
+		})
+		if err != nil {
+			g.unregister()
 			mg.Close()
 			return nil, fmt.Errorf("aqua: loading handler for %q: %w", c.service, err)
 		}
+		// Register the handler for view changes — AddReplica/StopReplica
+		// must reach it like any single-service client — and re-push the
+		// membership to cover a change that raced the snapshot above.
+		c.mu.Lock()
+		c.gateways[g] = h
+		current := c.membershipLocked()
+		c.mu.Unlock()
+		h.UpdateMembership(current)
 		g.clusters[c.service] = c
 	}
 	return g, nil
+}
+
+// unregister detaches the gateway's handlers from view-change delivery.
+func (g *Gateway) unregister() {
+	for _, c := range g.clusters {
+		c.mu.Lock()
+		delete(c.gateways, g)
+		c.mu.Unlock()
+	}
 }
 
 // Call invokes a service through its loaded handler.
@@ -556,7 +656,10 @@ func (g *Gateway) Renegotiate(service Service, q QoS) error {
 }
 
 // Close releases the gateway and all its handlers.
-func (g *Gateway) Close() { g.mg.Close() }
+func (g *Gateway) Close() {
+	g.unregister()
+	g.mg.Close()
+}
 
 // PassiveClient is a client using AQuA's passive-replication handler:
 // requests go to a single primary with failover on timeout, the

@@ -441,6 +441,165 @@ func TestGatewayMultiService(t *testing.T) {
 	}
 }
 
+func TestGatewayTracksViewChanges(t *testing.T) {
+	// Regression: gateway handlers must be registered for membership updates.
+	// Before the fix they kept the static replica snapshot forever, so a
+	// stopped replica stayed in the selection pool and a newcomer was never
+	// considered.
+	c := newTestCluster(t, 2, aqua.WithSimulatedLoad(5*ms, ms))
+	g, err := aqua.NewGateway("vc", map[*aqua.Cluster]aqua.ClientConfig{
+		c: {
+			QoS:      aqua.QoS{Deadline: 300 * ms, MinProbability: 0.9},
+			Strategy: aqua.AllSelection(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+	call := func() {
+		t.Helper()
+		if _, err := g.Call(ctx, "svc", "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call()
+	st0, err := g.Stats("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.SelectedTotal != 2 {
+		t.Fatalf("SelectedTotal = %d after one all-replica call, want 2", st0.SelectedTotal)
+	}
+	// Crash one replica: with the All strategy, each call now selects exactly
+	// the one survivor — if the stopped replica were still in the gateway's
+	// view it would keep being selected.
+	if err := c.StopReplica(c.Replicas()[0].ID()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		call()
+	}
+	st1, err := g.Stats("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st1.SelectedTotal - st0.SelectedTotal; got != 3 {
+		t.Errorf("gateway selected %d replica slots over 3 calls after the crash, want 3 (stopped replica still in view)", got)
+	}
+	// The reverse direction: a newcomer must become visible too.
+	if _, err := c.AddReplica(); err != nil {
+		t.Fatal(err)
+	}
+	call()
+	st2, err := g.Stats("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.SelectedTotal - st1.SelectedTotal; got != 2 {
+		t.Errorf("gateway selected %d replica slots after the join, want 2 (newcomer invisible)", got)
+	}
+}
+
+func TestAddReplicaCloseRaceLeavesNoOrphans(t *testing.T) {
+	// Regression: AddReplica drops the cluster lock to start the server. If
+	// Close runs in that window, the new replica must be stopped and must not
+	// be re-inserted into the membership table Close already emptied.
+	for i := 0; i < 20; i++ {
+		c, err := aqua.NewCluster("race", 1, echo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 5; j++ {
+				if _, err := c.AddReplica(); err != nil {
+					return // cluster closed underneath us: expected
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			c.Close()
+		}()
+		close(start)
+		wg.Wait()
+		if got := len(c.Replicas()); got != 0 {
+			t.Fatalf("iteration %d: %d replicas survive Close", i, got)
+		}
+	}
+}
+
+func TestPartitionedReplicaDoesNotBlockCalls(t *testing.T) {
+	// Acceptance: one blackholed replica — alive but unreachable, the worst
+	// case for a synchronous transport — must not push end-to-end calls past
+	// their deadline. Runs over real TCP sockets with the fault injector
+	// supplying the blackhole.
+	inj := aqua.NewFaultInjector(1)
+	c := newTestCluster(t, 3,
+		aqua.WithTCP(),
+		aqua.WithFaultInjection(inj),
+		aqua.WithSimulatedLoad(5*ms, ms),
+		aqua.WithSeed(9))
+	if c.FaultInjector() != inj {
+		t.Fatal("FaultInjector() does not return the attached injector")
+	}
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "blackhole",
+		QoS:  aqua.QoS{Deadline: 500 * ms, MinProbability: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	victim := c.Replicas()[0]
+	inj.Partition(aqua.Addr(victim.Addr()))
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatalf("call %d with blackholed replica: %v", i, err)
+		}
+		if elapsed := time.Since(start); elapsed > 500*ms {
+			t.Errorf("call %d took %v with one blackholed replica, want sub-deadline", i, elapsed)
+		}
+	}
+
+	// Healing mid-run brings the replica back into service.
+	served := victim.Served()
+	inj.Heal(aqua.Addr(victim.Addr()))
+	all, err := c.NewClient(aqua.ClientConfig{
+		Name:     "post-heal",
+		QoS:      aqua.QoS{Deadline: 500 * ms, MinProbability: 0.9},
+		Strategy: aqua.AllSelection(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer all.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for victim.Served() == served && time.Now().Before(deadline) {
+		if _, err := all.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if victim.Served() == served {
+		t.Error("healed replica never served a request")
+	}
+}
+
 func TestGatewayValidation(t *testing.T) {
 	c := newTestCluster(t, 1)
 	if _, err := aqua.NewGateway("", map[*aqua.Cluster]aqua.ClientConfig{

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, v1, a1..a12, predict, or all")
+		exp        = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, faults, v1, a1..a12, predict, or all")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot       = flag.Bool("plot", false, "also render ASCII charts for fig4/fig5")
 		quick      = flag.Bool("quick", false, "reduced iterations/runs for a fast pass")
@@ -95,6 +95,18 @@ func run(exp string, csv, quick, plot bool, predictOut string) error {
 			}
 			return nil
 		},
+		"faults": func() error {
+			cfg := experiment.DefaultFaultsConfig()
+			if quick {
+				cfg.Warmup = 15
+				cfg.Requests = 40
+			}
+			res, err := experiment.RunFaults(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(experiment.FaultsTable(res))
+		},
 		"predict": func() error {
 			cfg := experiment.DefaultPredictBenchConfig()
 			if quick {
@@ -154,7 +166,7 @@ func run(exp string, csv, quick, plot bool, predictOut string) error {
 				return err
 			}
 		}
-		for _, id := range []string{"e0", "fig3", "v1", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12"} {
+		for _, id := range []string{"e0", "fig3", "faults", "v1", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12"} {
 			if err := runners[id](); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -163,7 +175,7 @@ func run(exp string, csv, quick, plot bool, predictOut string) error {
 	}
 	r, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want e0, fig3, fig4, fig5, v1, a1..a12, predict, all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e0, fig3, fig4, fig5, faults, v1, a1..a12, predict, all)", exp)
 	}
 	return r()
 }

@@ -25,6 +25,40 @@ func TestRunnersQuick(t *testing.T) {
 	}
 }
 
+// TestRunFaultsSmoke runs the fault-injection experiment on a scaled-down
+// configuration: the full CLI path would take tens of seconds (the passive
+// baseline pays a failover timeout per slow attempt), so the smoke test keeps
+// the shape — warmup, mid-run fault arming, three handlers — and shrinks the
+// counts.
+func TestRunFaultsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-cluster experiment is slow")
+	}
+	cfg := experiment.DefaultFaultsConfig()
+	cfg.Replicas = 4
+	cfg.SlowReplicas = 2
+	cfg.Warmup = 5
+	cfg.Requests = 15
+	res, err := experiment.RunFaults(cfg)
+	if err != nil {
+		t.Fatalf("RunFaults: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (dynamic, single-best, passive)", len(res.Rows))
+	}
+	if res.Dropped == 0 && res.Delayed == 0 {
+		t.Error("injector saw no faults; arming did not take effect")
+	}
+	for _, row := range res.Rows {
+		if row.Requests != cfg.Requests {
+			t.Errorf("%s measured %d requests, want %d", row.Handler, row.Requests, cfg.Requests)
+		}
+	}
+	if err := experiment.FaultsTable(res).WriteText(os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunPredictWritesJSON runs the δ benchmark harness in quick mode and
 // checks the emitted BENCH_predict.json parses and records an improvement.
 func TestRunPredictWritesJSON(t *testing.T) {

@@ -42,6 +42,7 @@ const neverCrash = time.Duration(1<<62 - 1)
 // completion times are computed directly — so the virtual run is exact.
 type Replica struct {
 	ID      wire.ReplicaID
+	index   int // position in Scenario.Replicas, for link-fault matching
 	kernel  *Kernel
 	service stats.DelayDist
 	rng     *stats.Rand
@@ -156,6 +157,7 @@ type Client struct {
 	kernel   *Kernel
 	sched    *core.Scheduler
 	network  NetworkModel
+	faults   []LinkFault
 	rng      *stats.Rand
 	replicas map[wire.ReplicaID]*Replica
 
@@ -242,6 +244,11 @@ func (c *Client) issueOne() {
 			continue
 		}
 		reqDelay := c.network.delay(c.rng)
+		drop, extra := c.linkFault(rep, t0v)
+		if drop {
+			continue // request lost on the faulty link
+		}
+		reqDelay += extra
 		seq := d.Seq
 		c.kernel.After(reqDelay, func() {
 			done, perf, ok := rep.process(c.kernel.Now())
@@ -249,6 +256,11 @@ func (c *Client) issueOne() {
 				return // crashed before completing: reply never sent
 			}
 			respDelay := c.network.delay(c.rng)
+			drop, extra := c.linkFault(rep, done)
+			if drop {
+				return // reply lost on the faulty link
+			}
+			respDelay += extra
 			replica := rep.ID
 			c.kernel.At(done+respDelay, func() {
 				c.onReply(seq, replica, perf)
@@ -278,6 +290,24 @@ func (c *Client) issueOne() {
 			c.kernel.After(c.think, c.issueNext)
 		}
 	})
+}
+
+// linkFault evaluates the scenario's link faults for one message crossing
+// rep's link at virtual time at: whether the message is lost, and how much
+// extra one-way latency the active faults add. Matching faults stack.
+func (c *Client) linkFault(rep *Replica, at time.Duration) (drop bool, extra time.Duration) {
+	for _, f := range c.faults {
+		if !f.active(rep.index, at) {
+			continue
+		}
+		if f.Loss > 0 && c.rng.Float64() < f.Loss {
+			drop = true
+		}
+		if f.ExtraDelay != nil {
+			extra += f.ExtraDelay.Sample(c.rng)
+		}
+	}
+	return drop, extra
 }
 
 // onReply delivers one replica reply to the shared scheduler code.

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/selection"
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+func TestLinkFaultValidation(t *testing.T) {
+	base := Scenario{
+		Replicas: []ReplicaSpec{{Service: stats.Constant{Delay: ms}}},
+		Clients:  []ClientSpec{{QoS: wire.QoS{Deadline: 100 * ms}, Requests: 1}},
+	}
+	s := base
+	s.Faults = []LinkFault{{Replica: 3}}
+	if _, err := Run(s); err == nil {
+		t.Error("want error for out-of-range replica index")
+	}
+	s = base
+	s.Faults = []LinkFault{{Replica: -1, Loss: 1.5}}
+	if _, err := Run(s); err == nil {
+		t.Error("want error for loss > 1")
+	}
+}
+
+func TestLinkFaultLossWindow(t *testing.T) {
+	// Total loss on the only replica for the first 500ms of virtual time:
+	// the request issued inside the window is lost (no reply at all); once
+	// the window closes, the closed loop recovers and every later request
+	// succeeds.
+	res, err := Run(Scenario{
+		Replicas: []ReplicaSpec{{Service: stats.Constant{Delay: 10 * ms}}},
+		Clients: []ClientSpec{{
+			QoS:      wire.QoS{Deadline: 100 * ms, MinProbability: 0.9},
+			Requests: 5,
+			Think:    50 * ms,
+		}},
+		Faults: []LinkFault{{Replica: 0, Loss: 1, Until: 500 * ms}},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Clients[0].Records
+	if len(recs) != 5 {
+		t.Fatalf("records = %d, want 5", len(recs))
+	}
+	if !recs[0].Failure || recs[0].GotReply {
+		t.Errorf("first record = %+v, want lost request (failure, no reply)", recs[0])
+	}
+	for i, r := range recs[1:] {
+		if r.Failure || !r.GotReply {
+			t.Errorf("post-window record %d = %+v, want clean success", i+1, r)
+		}
+	}
+}
+
+func TestLinkFaultExtraDelayCausesTimingFailures(t *testing.T) {
+	// A delay fault leaves replies intact but pushes them past the deadline:
+	// the request and response each gain 200ms on a 100ms deadline, so every
+	// record is a timing failure that still got its (late) reply.
+	res, err := Run(Scenario{
+		Replicas: []ReplicaSpec{{Service: stats.Constant{Delay: 10 * ms}}},
+		Clients: []ClientSpec{{
+			QoS:      wire.QoS{Deadline: 100 * ms, MinProbability: 0.9},
+			Requests: 5,
+			Think:    50 * ms,
+		}},
+		Faults: []LinkFault{{Replica: -1, ExtraDelay: stats.Constant{Delay: 200 * ms}}},
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Clients[0].Records {
+		if !r.GotReply {
+			t.Errorf("record %d got no reply, want a late one", i)
+		}
+		if !r.Failure {
+			t.Errorf("record %d = %+v, want timing failure from added delay", i, r)
+		}
+		if r.GotReply && r.ResponseTime < 400*ms {
+			t.Errorf("record %d response time %v, want >= ~410ms", i, r.ResponseTime)
+		}
+	}
+}
+
+// faultedScenario models the ISSUE acceptance environment inside the
+// deterministic kernel: background message loss on every link plus a delay
+// spike (2× the deadline, each way) on half the replica pool.
+func faultedScenario(strategy selection.Strategy, seed int64) Scenario {
+	const (
+		deadline = 150 * ms
+		pc       = 0.9
+	)
+	replicas := make([]ReplicaSpec, 6)
+	for i := range replicas {
+		replicas[i] = ReplicaSpec{Service: stats.Normal{Mu: 100 * ms, Sigma: 20 * ms}}
+	}
+	faults := []LinkFault{{Replica: -1, Loss: 0.1}}
+	for i := 0; i < 3; i++ {
+		faults = append(faults, LinkFault{
+			Replica:    i,
+			ExtraDelay: stats.Constant{Delay: 2 * deadline},
+		})
+	}
+	return Scenario{
+		Replicas: replicas,
+		Clients: []ClientSpec{{
+			QoS:      wire.QoS{Deadline: deadline, MinProbability: pc},
+			Requests: 400,
+			Think:    10 * ms,
+			Strategy: strategy,
+		}},
+		Network: NetworkModel{Base: stats.Constant{Delay: 500 * time.Microsecond}},
+		Faults:  faults,
+		Seed:    seed,
+	}
+}
+
+func TestLinkFaultsDynamicMeetsQoSWhereSingleBestViolates(t *testing.T) {
+	// The ISSUE acceptance claim, run in virtual time: under 10% loss on
+	// every link and a 2×-deadline delay spike on half the pool, the dynamic
+	// handler's timely-response rate stays within 0.05 of Pc = 0.9 while the
+	// single-best baseline visibly violates the contract.
+	dyn, err := Run(faultedScenario(nil, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Run(faultedScenario(selection.SingleBest{}, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynFail := dyn.Clients[0].FailureProbability()
+	bestFail := best.Clients[0].FailureProbability()
+	t.Logf("failure probability: dynamic=%.3f single-best=%.3f", dynFail, bestFail)
+	if dynFail > 1-0.9+0.05 {
+		t.Errorf("dynamic failure probability %.3f, want <= 0.15 (Pc-0.05 bar)", dynFail)
+	}
+	if bestFail <= 1-0.9 {
+		t.Errorf("single-best failure probability %.3f, want > 0.10 (it should violate Pc)", bestFail)
+	}
+	if bestFail <= dynFail {
+		t.Errorf("single-best (%.3f) should fail more often than dynamic (%.3f)", bestFail, dynFail)
+	}
+}

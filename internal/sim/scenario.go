@@ -48,12 +48,48 @@ type ClientSpec struct {
 	Arrival stats.DelayDist
 }
 
+// LinkFault injects timing faults on the simulated client↔replica links,
+// mirroring the transport package's fault injector inside the virtual-time
+// kernel. Each message crossing a matching link — request and response
+// directions alike — draws its own loss coin and delay sample while the
+// fault is active.
+type LinkFault struct {
+	// Replica is the index into Scenario.Replicas whose links are faulty;
+	// -1 applies the fault to every replica.
+	Replica int
+	// From is the virtual time the fault switches on (0 = run start).
+	From time.Duration
+	// Until is the virtual time it switches off; 0 means the whole run.
+	Until time.Duration
+	// Loss is the per-message drop probability in each direction.
+	Loss float64
+	// ExtraDelay adds a per-message one-way latency drawn from this
+	// distribution (nil = none).
+	ExtraDelay stats.DelayDist
+}
+
+// active reports whether the fault applies to replica index idx at virtual
+// time t.
+func (f LinkFault) active(idx int, t time.Duration) bool {
+	if f.Replica >= 0 && f.Replica != idx {
+		return false
+	}
+	if t < f.From {
+		return false
+	}
+	return f.Until <= 0 || t < f.Until
+}
+
 // Scenario is a full simulated experiment.
 type Scenario struct {
 	Replicas []ReplicaSpec
 	Clients  []ClientSpec
 	// Network shapes one-way delays; the zero value means an ideal LAN.
 	Network NetworkModel
+	// Faults injects message loss and added delay on specific links for
+	// specific virtual-time windows (the paper's §5.4 timing-fault classes:
+	// overloaded links and lost messages).
+	Faults []LinkFault
 	// WindowSize is the repository sliding window l (0 = paper default 5).
 	WindowSize int
 	// GatewayHistory sets the sliding-window size for the gateway delay T
@@ -184,6 +220,15 @@ func Run(s Scenario) (*Result, error) {
 		s.MaxTime = time.Hour
 	}
 
+	for i, f := range s.Faults {
+		if f.Replica < -1 || f.Replica >= len(s.Replicas) {
+			return nil, fmt.Errorf("sim: fault %d targets replica %d, have %d replicas", i, f.Replica, len(s.Replicas))
+		}
+		if f.Loss < 0 || f.Loss > 1 {
+			return nil, fmt.Errorf("sim: fault %d loss %v outside [0,1]", i, f.Loss)
+		}
+	}
+
 	k := NewKernel()
 	root := stats.NewRand(s.Seed)
 
@@ -197,6 +242,7 @@ func Run(s Scenario) (*Result, error) {
 		}
 		id := wire.ReplicaID(fmt.Sprintf("replica-%02d", i))
 		replicas[i] = newReplica(k, id, spec.Service, root.Split())
+		replicas[i].index = i
 		if spec.Workers > 1 {
 			replicas[i].setWorkers(spec.Workers)
 		}
@@ -244,6 +290,7 @@ func Run(s Scenario) (*Result, error) {
 			kernel:   k,
 			sched:    sched,
 			network:  s.Network,
+			faults:   s.Faults,
 			rng:      root.Split(),
 			replicas: byID,
 			think:    spec.Think,

@@ -1,0 +1,329 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"aqua/internal/stats"
+)
+
+// Any is the wildcard address in injector link rules: a rule keyed
+// (Any, b) applies to every message destined for b regardless of sender,
+// and (a, Any) to every message a sends.
+const Any Addr = "*"
+
+// FaultPolicy describes the faults injected on one directed link. The zero
+// value injects nothing. Policies from matching rules STACK: each matching
+// rule draws its own loss/duplication coins and its delays add, so a global
+// background loss rate composes with a per-replica delay spike without the
+// rules overwriting each other.
+type FaultPolicy struct {
+	// DropProb silently discards a message with this probability. The
+	// sender sees a successful send (exactly like a datagram lost on the
+	// wire), which is what the layers above are designed to tolerate.
+	DropProb float64
+	// DupProb delivers the message a second time with this probability,
+	// modelling retransmission and group-layer duplicate delivery.
+	DupProb float64
+	// ReorderProb holds the message back for a short random interval so
+	// later traffic on the link overtakes it.
+	ReorderProb float64
+	// Delay adds a per-message latency drawn from this distribution
+	// (nil = none). Fixed delay: stats.Constant; jittered: stats.Normal etc.
+	Delay stats.DelayDist
+	// Partition drops every message on the link, modelling a full network
+	// partition of that path.
+	Partition bool
+}
+
+// zero reports whether the policy injects nothing.
+func (p FaultPolicy) zero() bool {
+	return p.DropProb == 0 && p.DupProb == 0 && p.ReorderProb == 0 &&
+		p.Delay == nil && !p.Partition
+}
+
+// FaultStats counts injector decisions, for experiment reporting and tests.
+type FaultStats struct {
+	Sent       uint64 // messages offered to the injector
+	Dropped    uint64 // lost to DropProb or a partition
+	Delayed    uint64 // deferred by Delay or ReorderProb
+	Duplicated uint64 // delivered twice
+	Reordered  uint64 // held back by ReorderProb
+}
+
+// reorderHoldMin/Max bound the extra hold applied to a reordered message:
+// long enough that back-to-back traffic overtakes it, short enough not to
+// read as a delay spike.
+const (
+	reorderHoldMin = 1 * time.Millisecond
+	reorderHoldMax = 8 * time.Millisecond
+)
+
+type link struct{ from, to Addr }
+
+// Injector is the shared, runtime-adjustable fault plan for a Faulty
+// network. All methods are safe for concurrent use, so a test or experiment
+// can flip faults while traffic is flowing. Randomness is seeded, making
+// fault sequences reproducible on the deterministic in-memory transport.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *stats.Rand
+	def         FaultPolicy
+	links       map[link]FaultPolicy
+	partitioned map[Addr]bool
+	stats       FaultStats
+}
+
+// NewInjector returns an injector with no faults configured.
+func NewInjector(seed int64) *Injector {
+	return &Injector{
+		rng:         stats.NewRand(seed),
+		links:       make(map[link]FaultPolicy),
+		partitioned: make(map[Addr]bool),
+	}
+}
+
+// SetDefault installs the policy applied to every message on every link.
+func (i *Injector) SetDefault(p FaultPolicy) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.def = p
+}
+
+// SetLink installs the policy for the directed link from → to. Either side
+// may be Any. Setting a zero policy is equivalent to ClearLink.
+func (i *Injector) SetLink(from, to Addr, p FaultPolicy) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if p.zero() {
+		delete(i.links, link{from, to})
+		return
+	}
+	i.links[link{from, to}] = p
+}
+
+// ClearLink removes the rule for the directed link from → to.
+func (i *Injector) ClearLink(from, to Addr) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.links, link{from, to})
+}
+
+// Partition isolates addr: every message to or from it is dropped until
+// Heal. This is the blackhole/crash-without-crash fault: the process is
+// alive but unreachable, exactly the case failure detection must cover.
+func (i *Injector) Partition(addr Addr) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.partitioned[addr] = true
+}
+
+// Heal reconnects a partitioned address.
+func (i *Injector) Heal(addr Addr) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	delete(i.partitioned, addr)
+}
+
+// Reset removes every rule, partition, and the default policy (counters are
+// kept; they are cumulative over the injector's lifetime).
+func (i *Injector) Reset() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.def = FaultPolicy{}
+	i.links = make(map[link]FaultPolicy)
+	i.partitioned = make(map[Addr]bool)
+}
+
+// Stats returns a snapshot of the decision counters.
+func (i *Injector) Stats() FaultStats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}
+
+// delivery is one planned handoff of the message to the real network.
+type delivery struct{ after time.Duration }
+
+// plan decides the fate of one message: dropped, or delivered once or twice
+// with per-delivery added delay. Coins and delay draws happen under the
+// injector lock so the seeded stream is consistent.
+func (i *Injector) plan(from, to Addr) (out []delivery, drop bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.stats.Sent++
+	if i.partitioned[from] || i.partitioned[to] {
+		i.stats.Dropped++
+		return nil, true
+	}
+	var delay time.Duration
+	dup, reorder := false, false
+	for _, p := range i.matchesLocked(from, to) {
+		if p.Partition || (p.DropProb > 0 && i.rng.Float64() < p.DropProb) {
+			i.stats.Dropped++
+			return nil, true
+		}
+		if p.Delay != nil {
+			delay += p.Delay.Sample(i.rng)
+		}
+		if p.DupProb > 0 && i.rng.Float64() < p.DupProb {
+			dup = true
+		}
+		if p.ReorderProb > 0 && i.rng.Float64() < p.ReorderProb {
+			reorder = true
+		}
+	}
+	if reorder {
+		hold := reorderHoldMin +
+			time.Duration(i.rng.Float64()*float64(reorderHoldMax-reorderHoldMin))
+		delay += hold
+		i.stats.Reordered++
+	}
+	if delay > 0 {
+		i.stats.Delayed++
+	}
+	out = append(out, delivery{after: delay})
+	if dup {
+		i.stats.Duplicated++
+		out = append(out, delivery{after: delay})
+	}
+	return out, false
+}
+
+// matchesLocked collects the policies applying to from → to, least to most
+// specific. Caller holds i.mu.
+func (i *Injector) matchesLocked(from, to Addr) []FaultPolicy {
+	out := make([]FaultPolicy, 0, 4)
+	if !i.def.zero() {
+		out = append(out, i.def)
+	}
+	if p, ok := i.links[link{Any, to}]; ok {
+		out = append(out, p)
+	}
+	if p, ok := i.links[link{from, Any}]; ok {
+		out = append(out, p)
+	}
+	if p, ok := i.links[link{from, to}]; ok {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Faulty wraps a Network so that every endpoint minted from it routes sends
+// through a shared Injector. It composes with both the in-memory and the
+// TCP transport: faults are applied on the sending side, before the message
+// reaches the real network, so a drop costs nothing downstream and a delay
+// never blocks the caller (delayed messages are handed off by a timer).
+type Faulty struct {
+	inner Network
+	inj   *Injector
+}
+
+var _ Network = (*Faulty)(nil)
+
+// NewFaulty wraps inner with fault injection driven by inj. A nil inj gets
+// a fresh, fault-free injector (useful as a placeholder to arm later).
+func NewFaulty(inner Network, inj *Injector) *Faulty {
+	if inj == nil {
+		inj = NewInjector(0)
+	}
+	return &Faulty{inner: inner, inj: inj}
+}
+
+// Inner returns the wrapped network.
+func (f *Faulty) Inner() Network { return f.inner }
+
+// Injector returns the shared fault plan handle.
+func (f *Faulty) Injector() *Injector { return f.inj }
+
+// Listen materializes a fault-injecting endpoint at addr.
+func (f *Faulty) Listen(addr Addr) (Endpoint, error) {
+	ep, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyEndpoint{
+		inner:  ep,
+		inj:    f.inj,
+		timers: make(map[*time.Timer]struct{}),
+	}, nil
+}
+
+// faultyEndpoint applies the injector's plan to outbound messages. Inbound
+// traffic passes straight through: with both sides of a conversation on the
+// same Faulty network every direction crosses some wrapped Send.
+type faultyEndpoint struct {
+	inner Endpoint
+	inj   *Injector
+
+	mu     sync.Mutex
+	timers map[*time.Timer]struct{} // pending delayed deliveries
+	closed bool
+}
+
+var _ Endpoint = (*faultyEndpoint)(nil)
+
+func (e *faultyEndpoint) Addr() Addr { return e.inner.Addr() }
+
+func (e *faultyEndpoint) Recv() <-chan Message { return e.inner.Recv() }
+
+// Send applies the fault plan. A fault-dropped message reports success —
+// indistinguishable from a datagram lost in flight, which is the point.
+func (e *faultyEndpoint) Send(to Addr, payload any) error {
+	deliveries, drop := e.inj.plan(e.inner.Addr(), to)
+	if drop {
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return nil
+	}
+	var firstErr error
+	for _, d := range deliveries {
+		if d.after <= 0 {
+			if err := e.inner.Send(to, payload); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.sendLater(d.after, to, payload)
+	}
+	return firstErr
+}
+
+// sendLater schedules a delayed handoff to the real network. The timer is
+// tracked so Close can cancel long holds instead of leaking them.
+func (e *faultyEndpoint) sendLater(after time.Duration, to Addr, payload any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(after, func() {
+		e.mu.Lock()
+		delete(e.timers, t)
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		_ = e.inner.Send(to, payload)
+	})
+	e.timers[t] = struct{}{}
+}
+
+func (e *faultyEndpoint) Close() error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		for t := range e.timers {
+			t.Stop()
+		}
+		e.timers = nil
+	}
+	e.mu.Unlock()
+	return e.inner.Close()
+}

@@ -1,0 +1,304 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+// faultyPair builds a faulty in-memory network with two endpoints.
+func faultyPair(t *testing.T, inj *Injector) (a, b Endpoint, done func()) {
+	t.Helper()
+	inner := NewInMem()
+	f := NewFaulty(inner, inj)
+	a, err := f.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = f.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, func() { _ = inner.Close() }
+}
+
+func TestFaultyPassThroughByDefault(t *testing.T) {
+	a, b, done := faultyPair(t, NewInjector(1))
+	defer done()
+	if err := a.Send(b.Addr(), wire.Request{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if r, ok := m.Payload.(wire.Request); !ok || r.Seq != 3 {
+		t.Errorf("got %+v", m.Payload)
+	}
+	if m.From != a.Addr() {
+		t.Errorf("From = %v, want %v (wrapper must not change addressing)", m.From, a.Addr())
+	}
+}
+
+func TestFaultyDropAll(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetDefault(FaultPolicy{DropProb: 1})
+	a, b, done := faultyPair(t, inj)
+	defer done()
+	if err := a.Send(b.Addr(), wire.Request{}); err != nil {
+		t.Fatalf("a dropped message must look like a successful send, got %v", err)
+	}
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("message %v arrived despite 100%% drop", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if s := inj.Stats(); s.Dropped != 1 || s.Sent != 1 {
+		t.Errorf("stats = %+v, want 1 sent, 1 dropped", s)
+	}
+}
+
+func TestFaultyDelay(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetLink("a", "b", FaultPolicy{Delay: stats.Constant{Delay: 40 * time.Millisecond}})
+	a, b, done := faultyPair(t, inj)
+	defer done()
+	start := time.Now()
+	if err := a.Send(b.Addr(), wire.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("delayed message arrived after %v, want >= ~40ms", elapsed)
+	}
+	// The reverse direction has no rule and stays immediate.
+	start = time.Now()
+	if err := b.Send(a.Addr(), wire.Response{}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, a)
+	if elapsed := time.Since(start); elapsed > 25*time.Millisecond {
+		t.Errorf("reverse direction delayed by %v, want immediate", elapsed)
+	}
+}
+
+func TestFaultyDuplicate(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetLink("a", "b", FaultPolicy{DupProb: 1})
+	a, b, done := faultyPair(t, inj)
+	defer done()
+	if err := a.Send(b.Addr(), wire.Request{Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m := recvOne(t, b)
+		if r, ok := m.Payload.(wire.Request); !ok || r.Seq != 5 {
+			t.Fatalf("copy %d: got %+v", i, m.Payload)
+		}
+	}
+	if s := inj.Stats(); s.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", s.Duplicated)
+	}
+}
+
+func TestFaultyReorder(t *testing.T) {
+	inj := NewInjector(1)
+	a, b, done := faultyPair(t, inj)
+	defer done()
+	// Hold exactly the first message; the second must overtake it.
+	inj.SetLink("a", "b", FaultPolicy{ReorderProb: 1})
+	if err := a.Send(b.Addr(), wire.Request{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	inj.ClearLink("a", "b")
+	if err := a.Send(b.Addr(), wire.Request{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	first := recvOne(t, b)
+	second := recvOne(t, b)
+	if first.Payload.(wire.Request).Seq != 2 || second.Payload.(wire.Request).Seq != 1 {
+		t.Errorf("order = %v, %v; want 2 then 1",
+			first.Payload.(wire.Request).Seq, second.Payload.(wire.Request).Seq)
+	}
+}
+
+func TestFaultyPartitionAndHeal(t *testing.T) {
+	inj := NewInjector(1)
+	a, b, done := faultyPair(t, inj)
+	defer done()
+
+	inj.Partition("b")
+	_ = a.Send(b.Addr(), wire.Request{Seq: 1}) // both directions die
+	_ = b.Send(a.Addr(), wire.Response{Seq: 1})
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("partitioned b received %v", m)
+	case m := <-a.Recv():
+		t.Fatalf("message from partitioned b delivered: %v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	inj.Heal("b")
+	if err := a.Send(b.Addr(), wire.Request{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b)
+	if r := m.Payload.(wire.Request); r.Seq != 2 {
+		t.Errorf("after heal got %+v", r)
+	}
+}
+
+func TestFaultyPoliciesStack(t *testing.T) {
+	// A default delay and a per-link delay must add, not overwrite.
+	inj := NewInjector(1)
+	inj.SetDefault(FaultPolicy{Delay: stats.Constant{Delay: 20 * time.Millisecond}})
+	inj.SetLink(Any, "b", FaultPolicy{Delay: stats.Constant{Delay: 20 * time.Millisecond}})
+	a, b, done := faultyPair(t, inj)
+	defer done()
+	start := time.Now()
+	if err := a.Send(b.Addr(), wire.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 32*time.Millisecond {
+		t.Errorf("stacked delays gave %v, want >= ~40ms", elapsed)
+	}
+}
+
+func TestFaultySeededLossIsDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		inj := NewInjector(seed)
+		inj.SetDefault(FaultPolicy{DropProb: 0.5})
+		a, b, done := faultyPair(t, inj)
+		defer done()
+		var outcomes []bool
+		for i := 0; i < 64; i++ {
+			if err := a.Send(b.Addr(), wire.Request{Seq: wire.SeqNo(i)}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-b.Recv():
+				outcomes = append(outcomes, true)
+			case <-time.After(20 * time.Millisecond):
+				outcomes = append(outcomes, false)
+			}
+		}
+		return outcomes
+	}
+	x, y := run(7), run(7)
+	if fmt.Sprint(x) != fmt.Sprint(y) {
+		t.Error("equal seeds gave different loss sequences")
+	}
+	delivered := 0
+	for _, ok := range x {
+		if ok {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == len(x) {
+		t.Errorf("50%% loss delivered %d/%d", delivered, len(x))
+	}
+}
+
+func TestFaultyRuntimeFlip(t *testing.T) {
+	// Faults must be adjustable mid-run through the shared handle.
+	inj := NewInjector(1)
+	a, b, done := faultyPair(t, inj)
+	defer done()
+	if err := a.Send(b.Addr(), wire.Request{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+
+	inj.SetDefault(FaultPolicy{DropProb: 1})
+	_ = a.Send(b.Addr(), wire.Request{Seq: 2})
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("received %v after faults armed", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	inj.Reset()
+	if err := a.Send(b.Addr(), wire.Request{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if r := recvOne(t, b).Payload.(wire.Request); r.Seq != 3 {
+		t.Errorf("after reset got %+v", r)
+	}
+}
+
+func TestFaultyCloseCancelsDelayedDeliveries(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetDefault(FaultPolicy{Delay: stats.Constant{Delay: 200 * time.Millisecond}})
+	inner := NewInMem()
+	f := NewFaulty(inner, inj)
+	a, err := f.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(b.Addr(), wire.Request{}); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Close() // cancels the pending delayed handoff
+	select {
+	case m, ok := <-b.Recv():
+		if ok {
+			t.Fatalf("delayed message %v escaped a closed endpoint", m)
+		}
+	case <-time.After(300 * time.Millisecond):
+	}
+	_ = b.Close()
+	_ = inner.Close()
+}
+
+func TestFaultyOverTCP(t *testing.T) {
+	// The wrapper must compose with the real socket transport too.
+	inj := NewInjector(1)
+	f := NewFaulty(NewTCP(), inj)
+	a, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := f.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	if err := a.Send(b.Addr(), wire.Request{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if r := recvOne(t, b).Payload.(wire.Request); r.Seq != 1 {
+		t.Errorf("got %+v", r)
+	}
+
+	inj.Partition(b.Addr())
+	_ = a.Send(b.Addr(), wire.Request{Seq: 2})
+	select {
+	case m := <-b.Recv():
+		t.Fatalf("partitioned TCP peer received %v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	inj.Heal(b.Addr())
+	if err := a.Send(b.Addr(), wire.Request{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if r := recvOne(t, b).Payload.(wire.Request); r.Seq != 3 {
+		t.Errorf("after heal got %+v", r)
+	}
+}
+
+func TestFaultyNetworkContractSuite(t *testing.T) {
+	// A fault-free Faulty wrapper must satisfy the full Network contract.
+	networkUnderTest(t, "faulty-inmem", func(t *testing.T) (Network, func(int) Addr, func()) {
+		inner := NewInMem()
+		return NewFaulty(inner, NewInjector(1)),
+			func(i int) Addr { return Addr(fmt.Sprintf("fep-%d", i)) },
+			func() { _ = inner.Close() }
+	})
+}

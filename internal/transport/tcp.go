@@ -1,19 +1,43 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
 
-// dialTimeout bounds connection establishment to an unresponsive peer; the
-// layers above treat a failed send as a lost datagram.
-const dialTimeout = 2 * time.Second
+const (
+	// dialTimeout bounds connection establishment to an unresponsive peer.
+	dialTimeout = 2 * time.Second
+	// writeTimeout bounds one frame write so a peer that stops reading
+	// (full socket buffers, frozen process) cannot wedge the sender.
+	writeTimeout = 2 * time.Second
+	// sendQueueLen bounds the per-destination outbound queue. When the
+	// queue is full the frame is dropped and Send reports backpressure —
+	// bounded memory under overload, never a blocked caller.
+	sendQueueLen = 256
+	// redialBackoffMin/Max shape the capped exponential backoff after a
+	// failed dial. While backing off, frames to that destination are
+	// dropped immediately (the link is treated as down) instead of paying
+	// a dial timeout per message.
+	redialBackoffMin = 50 * time.Millisecond
+	redialBackoffMax = 2 * time.Second
+)
+
+// ErrBackpressure reports a frame dropped because the destination's send
+// queue was full. The message is lost (datagram semantics); the layers
+// above tolerate loss by design, but the caller gets to count it.
+var ErrBackpressure = errors.New("transport: send queue full")
 
 // TCP is a Network whose endpoints listen on real sockets and exchange
-// gob-encoded, length-prefixed frames. Outbound connections are cached per
-// destination and re-dialed on failure.
+// gob-encoded, length-prefixed frames. Sends are asynchronous: each
+// destination gets its own bounded queue and writer goroutine, so a slow,
+// partitioned, or dead peer never blocks callers or traffic to other
+// destinations. Connections are cached per destination, written with a
+// deadline, and re-dialed on failure with capped exponential backoff.
 type TCP struct{}
 
 var _ Network = TCP{}
@@ -28,13 +52,16 @@ func (TCP) Listen(addr Addr) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	dialCtx, dialCancel := context.WithCancel(context.Background())
 	ep := &tcpEndpoint{
-		listener: l,
-		addr:     Addr(l.Addr().String()),
-		recv:     make(chan Message, recvBuffer),
-		conns:    make(map[Addr]*tcpConn),
-		inbound:  make(map[net.Conn]bool),
-		done:     make(chan struct{}),
+		listener:   l,
+		addr:       Addr(l.Addr().String()),
+		recv:       make(chan Message, recvBuffer),
+		senders:    make(map[Addr]*tcpSender),
+		inbound:    make(map[net.Conn]bool),
+		done:       make(chan struct{}),
+		dialCtx:    dialCtx,
+		dialCancel: dialCancel,
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -47,16 +74,61 @@ type tcpEndpoint struct {
 	recv     chan Message
 	done     chan struct{}
 	wg       sync.WaitGroup
+	// dialCtx is canceled on Close so writer goroutines blocked mid-dial
+	// return promptly instead of holding shutdown for the dial timeout.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
 
 	mu      sync.Mutex
-	conns   map[Addr]*tcpConn // outbound connection cache
-	inbound map[net.Conn]bool // accepted connections, closed on shutdown
+	senders map[Addr]*tcpSender // per-destination writer state
+	inbound map[net.Conn]bool   // accepted connections, closed on shutdown
 	closed  bool
 }
 
-type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
+// tcpSender owns the outbound path to one destination: a bounded frame
+// queue drained by a dedicated goroutine that dials, writes, and re-dials.
+// The current connection is reachable under mu so Close can sever it and
+// unblock an in-flight write.
+type tcpSender struct {
+	to     Addr
+	frames chan []byte
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (s *tcpSender) haveConn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn != nil
+}
+
+func (s *tcpSender) setConn(c net.Conn) {
+	s.mu.Lock()
+	s.conn = c
+	s.mu.Unlock()
+}
+
+func (s *tcpSender) closeConn() {
+	s.mu.Lock()
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+	}
+	s.mu.Unlock()
+}
+
+// write sends one frame on the current connection under a write deadline.
+func (s *tcpSender) write(frame []byte) error {
+	s.mu.Lock()
+	c := s.conn
+	s.mu.Unlock()
+	if c == nil {
+		return errors.New("transport: connection closed")
+	}
+	_ = c.SetWriteDeadline(time.Now().Add(writeTimeout))
+	_, err := c.Write(frame)
+	return err
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
@@ -111,55 +183,120 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 	}
 }
 
-// Send writes one frame to the destination, dialing (or re-dialing) as
-// needed. A peer that cannot be reached loses the message, mirroring the
-// datagram semantics of the in-memory network; the error reports it.
+// Send queues one frame for the destination and returns immediately. The
+// destination's writer goroutine dials (or re-dials) and writes it. A
+// frame that cannot be delivered — queue full, link in backoff, peer
+// unreachable — is lost like a datagram; only queue overflow is reported
+// (ErrBackpressure), because it is the one failure the caller caused.
 func (e *tcpEndpoint) Send(to Addr, payload any) error {
+	frame, err := encodeFrame(e.addr, payload)
+	if err != nil {
+		return err
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	conn, ok := e.conns[to]
+	s, ok := e.senders[to]
 	if !ok {
-		conn = &tcpConn{}
-		e.conns[to] = conn
+		s = &tcpSender{to: to, frames: make(chan []byte, sendQueueLen)}
+		e.senders[to] = s
+		e.wg.Add(1)
+		go e.runSender(s)
 	}
 	e.mu.Unlock()
 
-	frame, err := encodeFrame(e.addr, payload)
-	if err != nil {
-		return err
+	select {
+	case s.frames <- frame:
+		return nil
+	default:
+		return fmt.Errorf("transport: to %s: %w", to, ErrBackpressure)
 	}
-
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if conn.c == nil {
-		c, err := net.DialTimeout("tcp", string(to), dialTimeout)
-		if err != nil {
-			return fmt.Errorf("transport: dial %s: %w", to, err)
-		}
-		conn.c = c
-	}
-	if _, err := conn.c.Write(frame); err != nil {
-		// One reconnect attempt: the cached connection may have been
-		// closed by a peer restart.
-		_ = conn.c.Close()
-		c, derr := net.DialTimeout("tcp", string(to), dialTimeout)
-		if derr != nil {
-			conn.c = nil
-			return fmt.Errorf("transport: redial %s after write error (%v): %w", to, err, derr)
-		}
-		conn.c = c
-		if _, err := conn.c.Write(frame); err != nil {
-			_ = conn.c.Close()
-			conn.c = nil
-			return fmt.Errorf("transport: write to %s: %w", to, err)
-		}
-	}
-	return nil
 }
 
+// runSender drains one destination's queue. Dial failures start a capped
+// exponential backoff during which frames are dropped on arrival; a write
+// failure gets one immediate redial-and-retry (the cached connection was
+// likely killed by a peer restart) before the link is declared down. A
+// failed dial never leaves poisoned state behind: the next frame after the
+// backoff window re-dials from scratch.
+func (e *tcpEndpoint) runSender(s *tcpSender) {
+	defer e.wg.Done()
+	defer s.closeConn()
+	backoff := redialBackoffMin
+	var downUntil time.Time
+	for {
+		select {
+		case <-e.done:
+			return
+		case frame := <-s.frames:
+			if !downUntil.IsZero() {
+				if time.Now().Before(downUntil) {
+					continue // link down: frame dropped
+				}
+				downUntil = time.Time{}
+			}
+			if !s.haveConn() {
+				if !e.dial(s) {
+					downUntil = time.Now().Add(backoff)
+					backoff = nextBackoff(backoff)
+					continue
+				}
+				backoff = redialBackoffMin
+			}
+			if err := s.write(frame); err == nil {
+				continue
+			}
+			s.closeConn()
+			if !e.dial(s) {
+				downUntil = time.Now().Add(backoff)
+				backoff = nextBackoff(backoff)
+				continue
+			}
+			if err := s.write(frame); err != nil {
+				s.closeConn()
+				downUntil = time.Now().Add(backoff)
+				backoff = nextBackoff(backoff)
+				continue
+			}
+			backoff = redialBackoffMin
+		}
+	}
+}
+
+func nextBackoff(b time.Duration) time.Duration {
+	b *= 2
+	if b > redialBackoffMax {
+		b = redialBackoffMax
+	}
+	return b
+}
+
+// dial connects the sender to its destination. It returns false on failure
+// or shutdown; nothing is cached on failure, so the next attempt starts
+// clean.
+func (e *tcpEndpoint) dial(s *tcpSender) bool {
+	d := net.Dialer{Timeout: dialTimeout}
+	c, err := d.DialContext(e.dialCtx, "tcp", string(s.to))
+	if err != nil {
+		return false
+	}
+	select {
+	case <-e.done:
+		_ = c.Close()
+		return false
+	default:
+	}
+	s.setConn(c)
+	return true
+}
+
+// Close shuts the endpoint down: no new sends are accepted, writer
+// goroutines stop (in-flight dials are canceled, in-flight writes severed),
+// inbound connections close, and — after every goroutine has drained — the
+// receive channel is closed. Frames already pushed into the receive buffer
+// remain readable until the consumer drains them.
 func (e *tcpEndpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -167,9 +304,9 @@ func (e *tcpEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	conns := make([]*tcpConn, 0, len(e.conns))
-	for _, c := range e.conns {
-		conns = append(conns, c)
+	senders := make([]*tcpSender, 0, len(e.senders))
+	for _, s := range e.senders {
+		senders = append(senders, s)
 	}
 	inbound := make([]net.Conn, 0, len(e.inbound))
 	for c := range e.inbound {
@@ -178,13 +315,10 @@ func (e *tcpEndpoint) Close() error {
 	e.mu.Unlock()
 
 	close(e.done)
+	e.dialCancel()
 	_ = e.listener.Close()
-	for _, conn := range conns {
-		conn.mu.Lock()
-		if conn.c != nil {
-			_ = conn.c.Close()
-		}
-		conn.mu.Unlock()
+	for _, s := range senders {
+		s.closeConn()
 	}
 	for _, c := range inbound {
 		_ = c.Close()
