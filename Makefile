@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench experiments quick-experiments faults fuzz clean
+.PHONY: all check build vet test race bench predict-bench experiments quick-experiments faults metrics-smoke fuzz clean
 
 all: build vet test
 
@@ -39,6 +39,12 @@ quick-experiments:
 # delay spikes, headless with the fixed default seed (see README).
 faults:
 	$(GO) run ./cmd/aqua-exp -exp faults
+
+# Observability smoke: boots a real cluster, drives traffic, serves the
+# metrics endpoint, and validates the Prometheus and JSON scrape shapes
+# against the scheduler's own counters.
+metrics-smoke:
+	$(GO) test . -run TestMetricsEndToEnd -count=1 -v
 
 # Short fuzzing pass over the wire codec.
 fuzz:

@@ -42,6 +42,7 @@ import (
 	"aqua/internal/core"
 	"aqua/internal/gateway"
 	"aqua/internal/group"
+	"aqua/internal/metrics"
 	"aqua/internal/proteus"
 	"aqua/internal/selection"
 	"aqua/internal/server"
@@ -89,6 +90,33 @@ func SingleBestSelection() Strategy { return selection.SingleBest{} }
 
 // AllSelection multicasts to every replica — AQuA's active replication.
 func AllSelection() Strategy { return selection.All{} }
+
+// MetricsRegistry holds named counters, gauges, and latency histograms.
+// Every component reports to the process-wide default registry unless a
+// cluster is built with WithMetrics.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's instruments.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsServer is a running metrics/pprof HTTP endpoint.
+type MetricsServer = metrics.Server
+
+// NewMetricsRegistry returns an empty, isolated metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// Metrics snapshots the process-wide default registry: every scheduler,
+// gateway, prober, and transport not explicitly given its own registry
+// reports here.
+func Metrics() MetricsSnapshot { return metrics.Default().Snapshot() }
+
+// ServeMetrics starts an HTTP server on addr (":0" picks a free port; read
+// it back with Addr) exposing reg — or the default registry when reg is nil
+// — as Prometheus text at /metrics, JSON at /metrics.json, and the standard
+// pprof handlers under /debug/pprof/.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return metrics.Serve(addr, metrics.OrDefault(reg))
+}
 
 // ClientConfig configures a service client.
 type ClientConfig struct {
@@ -185,6 +213,7 @@ type Cluster struct {
 	selfHeal bool
 	faults   *FaultInjector
 	manager  *proteus.Manager
+	reg      *metrics.Registry // nil = process-wide default
 	closed   bool
 }
 
@@ -271,6 +300,14 @@ func WithSharedNetwork(other *Cluster) ClusterOption {
 	}
 }
 
+// WithMetrics directs every instrument of this cluster — its transport,
+// every client handler minted from it, their schedulers and probers — to reg
+// instead of the process-wide default registry. Isolates concurrent clusters
+// (tests, multi-tenant processes) from each other's counters.
+func WithMetrics(reg *MetricsRegistry) ClusterOption {
+	return func(c *Cluster) { c.reg = reg }
+}
+
 // WithSelfHealing keeps the replica pool at its initial size: a Proteus
 // dependability manager observes membership and starts a fresh replica
 // whenever one crash-stops (§2: Proteus "manages the replication level").
@@ -345,6 +382,18 @@ func NewCluster(service Service, n int, handler Handler, opts ...ClusterOption) 
 	for _, o := range opts {
 		o(c)
 	}
+	if c.reg != nil {
+		// Rebind the transport to the custom registry. Nothing has listened
+		// yet, so the network picked by the options can be swapped wholesale;
+		// shared networks stay with their owner's registry.
+		if c.inmem != nil {
+			_ = c.inmem.Close()
+			c.inmem = transport.NewInMem(transport.WithMetrics(c.reg))
+			c.network = c.inmem
+		} else if _, ok := c.network.(transport.TCP); ok {
+			c.network = transport.NewTCPWithMetrics(c.reg)
+		}
+	}
 	if c.faults != nil {
 		// Wrap whatever transport the options picked, so fault injection
 		// composes with WithTCP and WithSharedNetwork alike.
@@ -380,6 +429,18 @@ func NewCluster(service Service, n int, handler Handler, opts ...ClusterOption) 
 		mgr.Run()
 	}
 	return c, nil
+}
+
+// Metrics snapshots the cluster's metrics registry — the one given with
+// WithMetrics, or the process-wide default.
+func (c *Cluster) Metrics() MetricsSnapshot {
+	return metrics.OrDefault(c.reg).Snapshot()
+}
+
+// MetricsRegistry returns the registry this cluster's components report to,
+// for serving over HTTP (ServeMetrics) or creating custom instruments.
+func (c *Cluster) MetricsRegistry() *MetricsRegistry {
+	return metrics.OrDefault(c.reg)
 }
 
 // Manager returns the dependability manager, or nil when self-healing is
@@ -510,6 +571,7 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 		ProbeInterval:      cfg.ProbeInterval,
 		MaxWait:            cfg.MaxWait,
 		StaticReplicas:     static,
+		Metrics:            c.reg,
 	})
 	if err != nil {
 		_ = ep.Close()
@@ -604,6 +666,7 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 			CompensateOverhead: cfg.CompensateOverhead,
 			OnViolation:        cfg.OnViolation,
 			StaticReplicas:     static,
+			Metrics:            c.reg,
 		})
 		if err != nil {
 			g.unregister()

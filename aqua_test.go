@@ -2,7 +2,10 @@ package aqua_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -722,5 +725,108 @@ func TestChurnSoak(t *testing.T) {
 	}
 	if got := len(c.Replicas()); got != 4 {
 		t.Errorf("pool = %d after churn, want healed to 4", got)
+	}
+}
+
+// TestMetricsEndToEnd is the observability smoke test: a cluster with an
+// isolated registry serves a scrape whose headline series agree exactly with
+// the scheduler's own counters.
+func TestMetricsEndToEnd(t *testing.T) {
+	reg := aqua.NewMetricsRegistry()
+	c := newTestCluster(t, 3, aqua.WithMetrics(reg), aqua.WithSimulatedLoad(2*ms, ms))
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "metrics-smoke",
+		QoS:  aqua.QoS{Deadline: 500 * ms, MinProbability: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	defaultBefore := aqua.Metrics().Counter("aqua_sched_selections_total")
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		if _, err := client.Call(context.Background(), "m", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let straggler duplicate replies drain so Replies is stable.
+	time.Sleep(50 * ms)
+
+	st := client.Stats()
+	snap := c.Metrics()
+	if got := snap.Counter("aqua_sched_selections_total"); got != st.Requests {
+		t.Errorf("selections counter = %d, Stats().Requests = %d", got, st.Requests)
+	}
+	if got := snap.Counter("aqua_sched_timing_failures_total"); got != st.TimingFailures {
+		t.Errorf("timing failures counter = %d, Stats() = %d", got, st.TimingFailures)
+	}
+	if got := snap.Counter("aqua_sched_replies_total"); got != st.Replies {
+		t.Errorf("replies counter = %d, Stats() = %d", got, st.Replies)
+	}
+	targets, ok := snap.Histogram("aqua_sched_targets")
+	if !ok {
+		t.Fatal("no |K| histogram in snapshot")
+	}
+	if targets.Count != st.Requests {
+		t.Errorf("|K| histogram count = %d, want %d", targets.Count, st.Requests)
+	}
+	if got := uint64(targets.Sum + 0.5); got != st.SelectedTotal {
+		t.Errorf("|K| histogram sum = %d, Stats().SelectedTotal = %d", got, st.SelectedTotal)
+	}
+	var perReplica uint64
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "aqua_replica_response_seconds{") {
+			perReplica += h.Count
+		}
+	}
+	if perReplica != st.Replies {
+		t.Errorf("per-replica response observations = %d, Stats().Replies = %d", perReplica, st.Replies)
+	}
+	// The cluster's isolated registry must not leak into the process default
+	// (other tests in this binary report there, so compare as a delta).
+	if got := aqua.Metrics().Counter("aqua_sched_selections_total"); got != defaultBefore {
+		t.Errorf("default registry selections went %d -> %d during an isolated cluster's run", defaultBefore, got)
+	}
+
+	// The same numbers are served over HTTP, in both exposition formats.
+	srv, err := aqua.ServeMetrics("127.0.0.1:0", c.MetricsRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body)
+	}
+	prom := get("/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("aqua_sched_selections_total %d", st.Requests),
+		fmt.Sprintf("aqua_sched_targets_count %d", st.Requests),
+		"aqua_sched_timing_failures_total",
+		`aqua_replica_response_seconds_bucket{replica="svc-r1",le=`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	var parsed struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &parsed); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if parsed.Counters["aqua_sched_selections_total"] != st.Requests {
+		t.Errorf("/metrics.json selections = %d, want %d", parsed.Counters["aqua_sched_selections_total"], st.Requests)
 	}
 }

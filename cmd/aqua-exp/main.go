@@ -14,23 +14,71 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"aqua/internal/experiment"
+	"aqua/internal/metrics"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, faults, v1, a1..a12, predict, or all")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot       = flag.Bool("plot", false, "also render ASCII charts for fig4/fig5")
-		quick      = flag.Bool("quick", false, "reduced iterations/runs for a fast pass")
-		predictOut = flag.String("predict-out", "BENCH_predict.json", "output file for the predict benchmark (-exp predict)")
+		exp          = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, faults, v1, a1..a12, predict, or all")
+		csv          = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot         = flag.Bool("plot", false, "also render ASCII charts for fig4/fig5")
+		quick        = flag.Bool("quick", false, "reduced iterations/runs for a fast pass")
+		predictOut   = flag.String("predict-out", "BENCH_predict.json", "output file for the predict benchmark (-exp predict)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (\":0\" picks a free port): Prometheus text at /metrics, JSON at /metrics.json, pprof under /debug/pprof/")
+		metricsEvery = flag.Duration("metrics-every", 0, "periodically dump a metrics snapshot as JSON to stderr (0 = off)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, err := metrics.Serve(*metricsAddr, metrics.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aqua-exp: metrics server:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "aqua-exp: metrics on http://%s/metrics\n", srv.Addr())
+	}
+	if *metricsEvery > 0 {
+		stop := startMetricsDumper(*metricsEvery)
+		defer stop()
+	}
 
 	if err := run(strings.ToLower(*exp), *csv, *quick, *plot, *predictOut); err != nil {
 		fmt.Fprintln(os.Stderr, "aqua-exp:", err)
 		os.Exit(1)
+	}
+}
+
+// startMetricsDumper writes the default registry to stderr every interval,
+// and once more on stop, so long runs leave a metrics trail even when no one
+// scrapes the HTTP endpoint.
+func startMetricsDumper(every time.Duration) (stop func()) {
+	dump := func() {
+		fmt.Fprintf(os.Stderr, "aqua-exp: metrics @ %s\n", time.Now().Format(time.RFC3339))
+		_ = metrics.Default().WriteJSON(os.Stderr)
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				dump()
+			case <-done:
+				dump()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }
 

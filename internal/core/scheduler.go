@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"aqua/internal/metrics"
 	"aqua/internal/model"
 	"aqua/internal/repository"
 	"aqua/internal/selection"
@@ -68,6 +69,10 @@ type Config struct {
 	// MinSamplesForViolation gates the QoS-violation check; zero means
 	// DefaultMinSamplesForViolation.
 	MinSamplesForViolation int
+	// Metrics receives live counters and histograms (selections, |K|,
+	// predicted P_K(t), δ, failures, per-replica response times); nil means
+	// the process-wide default registry.
+	Metrics *metrics.Registry
 }
 
 // Decision is the outcome of scheduling one request.
@@ -159,6 +164,38 @@ type pending struct {
 	method         string
 }
 
+// schedInstruments are the scheduler's live metrics, resolved once at
+// construction so the hot path touches only atomics — no registry lookups.
+type schedInstruments struct {
+	selections       *metrics.Counter
+	errors           *metrics.Counter
+	replies          *metrics.Counter
+	duplicates       *metrics.Counter
+	timingFailures   *metrics.Counter
+	deadlineExpiries *metrics.Counter
+	violations       *metrics.Counter
+	pending          *metrics.Gauge
+	targets          *metrics.Histogram
+	predicted        *metrics.Histogram
+	overhead         *metrics.Histogram
+}
+
+func resolveSchedInstruments(r *metrics.Registry) schedInstruments {
+	return schedInstruments{
+		selections:       r.Counter(metrics.SchedSelections),
+		errors:           r.Counter(metrics.SchedErrors),
+		replies:          r.Counter(metrics.SchedReplies),
+		duplicates:       r.Counter(metrics.SchedDuplicates),
+		timingFailures:   r.Counter(metrics.SchedTimingFailures),
+		deadlineExpiries: r.Counter(metrics.SchedDeadlineExpiries),
+		violations:       r.Counter(metrics.SchedViolations),
+		pending:          r.Gauge(metrics.SchedPending),
+		targets:          r.Histogram(metrics.SchedTargets, metrics.TargetBuckets),
+		predicted:        r.Histogram(metrics.SchedPredicted, metrics.ProbabilityBuckets),
+		overhead:         r.Histogram(metrics.SchedOverheadSeconds, metrics.OverheadBuckets),
+	}
+}
+
 // Scheduler is the timing fault handler's local scheduling agent. It is safe
 // for concurrent use.
 type Scheduler struct {
@@ -167,9 +204,12 @@ type Scheduler struct {
 	repo      *repository.Repository
 	predictor *model.Predictor
 	strategy  selection.Strategy
+	reg       *metrics.Registry
+	met       schedInstruments
 
 	nextSeq      wire.SeqNo
 	pend         map[wire.SeqNo]*pending
+	replicaHist  map[wire.ReplicaID]*metrics.Histogram
 	lastOverhead time.Duration
 	stats        Stats
 	notified     bool // violation callback already fired since last renegotiation
@@ -195,12 +235,16 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	if cfg.MinSamplesForViolation <= 0 {
 		cfg.MinSamplesForViolation = DefaultMinSamplesForViolation
 	}
+	reg := metrics.OrDefault(cfg.Metrics)
 	return &Scheduler{
-		cfg:       cfg,
-		repo:      cfg.Repository,
-		predictor: cfg.Predictor,
-		strategy:  cfg.Strategy,
-		pend:      make(map[wire.SeqNo]*pending),
+		cfg:         cfg,
+		repo:        cfg.Repository,
+		predictor:   cfg.Predictor,
+		strategy:    cfg.Strategy,
+		reg:         reg,
+		met:         resolveSchedInstruments(reg),
+		pend:        make(map[wire.SeqNo]*pending),
+		replicaHist: make(map[wire.ReplicaID]*metrics.Histogram),
 	}, nil
 }
 
@@ -292,11 +336,13 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 	// request's deadline.
 	if err != nil {
 		s.lastOverhead = time.Since(start)
+		s.met.errors.Inc()
 		return Decision{}, err
 	}
 	res := s.strategy.Select(selection.Input{Table: table, Cold: cold, QoS: qos})
 	s.lastOverhead = time.Since(start)
 	if len(res.Selected) == 0 {
+		s.met.errors.Inc()
 		return Decision{}, fmt.Errorf("core: strategy %q selected no replicas", s.strategy.Name())
 	}
 
@@ -312,6 +358,11 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 	if res.UsedAll {
 		s.stats.UsedAllCount++
 	}
+	s.met.selections.Inc()
+	s.met.pending.Add(1)
+	s.met.targets.Observe(float64(len(res.Selected)))
+	s.met.predicted.Observe(res.Predicted)
+	s.met.overhead.ObserveDuration(s.lastOverhead)
 	return Decision{
 		Seq:       seq,
 		Targets:   res.Selected,
@@ -353,6 +404,8 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 	}
 	s.stats.Replies++
 	p.replies++
+	s.met.replies.Inc()
+	s.replicaResponseLocked(replica).ObserveDuration(t4.Sub(p.t0))
 
 	// Harvest performance data from every reply, duplicates included
 	// (§5.4.1): record (ts, tq, queue length) and the derived round-trip
@@ -369,8 +422,9 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 	if p.firstDelivered {
 		out.Duplicate = true
 		s.stats.Duplicates++
+		s.met.duplicates.Inc()
 		if p.replies >= len(p.targets) {
-			delete(s.pend, seq)
+			s.dropPendingLocked(seq)
 		}
 		return out
 	}
@@ -387,9 +441,28 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 		s.completeLocked(failed, &out)
 	}
 	if p.replies >= len(p.targets) {
-		delete(s.pend, seq)
+		s.dropPendingLocked(seq)
 	}
 	return out
+}
+
+// replicaResponseLocked returns the per-replica response-time histogram,
+// creating it on the replica's first reply. Caller holds s.mu; after the
+// first lookup the registry is not consulted again for that replica.
+func (s *Scheduler) replicaResponseLocked(id wire.ReplicaID) *metrics.Histogram {
+	h, ok := s.replicaHist[id]
+	if !ok {
+		h = s.reg.Histogram(metrics.Label(metrics.ReplicaResponseSeconds, "replica", string(id)), metrics.LatencyBuckets)
+		s.replicaHist[id] = h
+	}
+	return h
+}
+
+// dropPendingLocked removes one tracked request and keeps the pending gauge
+// in step. Caller holds s.mu; the seq must exist.
+func (s *Scheduler) dropPendingLocked(seq wire.SeqNo) {
+	delete(s.pend, seq)
+	s.met.pending.Add(-1)
 }
 
 // OnDeadlineExpired charges a timing failure for a request whose deadline
@@ -405,6 +478,7 @@ func (s *Scheduler) OnDeadlineExpired(seq wire.SeqNo) *ViolationReport {
 	}
 	p.failed = true
 	s.stats.DeadlineExpiries++
+	s.met.deadlineExpiries.Inc()
 	var out ReplyOutcome
 	s.completeLocked(true, &out)
 	return out.Violation
@@ -417,6 +491,7 @@ func (s *Scheduler) completeLocked(failed bool, out *ReplyOutcome) {
 	if failed {
 		s.stats.TimingFailures++
 		s.stats.ConsecutiveFails++
+		s.met.timingFailures.Inc()
 	} else {
 		s.stats.ConsecutiveFails = 0
 	}
@@ -435,6 +510,7 @@ func (s *Scheduler) completeLocked(failed bool, out *ReplyOutcome) {
 			ConsecutiveFails: s.stats.ConsecutiveFails,
 		}
 		s.notified = true
+		s.met.violations.Inc()
 	}
 }
 
@@ -443,7 +519,9 @@ func (s *Scheduler) completeLocked(failed bool, out *ReplyOutcome) {
 func (s *Scheduler) Forget(seq wire.SeqNo) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.pend, seq)
+	if _, ok := s.pend[seq]; ok {
+		s.dropPendingLocked(seq)
+	}
 }
 
 // Outstanding returns the number of in-flight requests being tracked.
@@ -495,13 +573,14 @@ func (s *Scheduler) OnMembershipChangeAt(members []wire.ReplicaID, now time.Time
 		if !p.firstDelivered && !p.failed && now.Sub(p.t0) > s.cfg.QoS.Deadline {
 			p.failed = true
 			s.stats.DeadlineExpiries++
+			s.met.deadlineExpiries.Inc()
 			var out ReplyOutcome
 			s.completeLocked(true, &out)
 			if report == nil {
 				report = out.Violation
 			}
 		}
-		delete(s.pend, seq)
+		s.dropPendingLocked(seq)
 	}
 	return report
 }

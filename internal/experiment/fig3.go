@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"aqua/internal/metrics"
 	"aqua/internal/model"
 	"aqua/internal/repository"
 	"aqua/internal/selection"
@@ -64,6 +65,22 @@ func syntheticRepo(n, windowSize int, rng *stats.Rand) *repository.Repository {
 	return repo
 }
 
+// observeReplicaResponses projects each replica's synthetic measurement
+// window into its per-replica response-time histogram, the same series a
+// live scheduler populates from replies: ts + tq + gateway delay.
+func observeReplicaResponses(met *metrics.Registry, snaps []repository.ReplicaSnapshot) {
+	for _, s := range snaps {
+		h := met.Histogram(metrics.Label(metrics.ReplicaResponseSeconds, "replica", string(s.ID)), metrics.LatencyBuckets)
+		n := len(s.ServiceTimes)
+		if len(s.QueueDelays) < n {
+			n = len(s.QueueDelays)
+		}
+		for i := 0; i < n; i++ {
+			h.ObserveDuration(s.ServiceTimes[i] + s.QueueDelays[i] + s.GatewayDelay)
+		}
+	}
+}
+
 // RunFig3 measures the selection algorithm's per-request overhead, split
 // into its two phases exactly as the paper reports them: "Computing the
 // distribution function contributes to 90% of these overheads while
@@ -82,11 +99,25 @@ func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
 	strat := selection.NewDynamic()
 	qos := wire.QoS{Deadline: 150 * time.Millisecond, MinProbability: 0.9}
 
+	// Fig3 drives the predictor and strategy directly (no scheduler in the
+	// loop), so it feeds the scheduler's instruments itself: a live scrape
+	// during the run shows the same selection/|K|/δ series a production
+	// gateway would emit. The timing-failure counter is registered up front
+	// so it appears (at zero — no requests are dispatched here) in every
+	// scrape alongside the rest.
+	met := metrics.Default()
+	mSelections := met.Counter(metrics.SchedSelections)
+	mTargets := met.Histogram(metrics.SchedTargets, metrics.TargetBuckets)
+	mPredicted := met.Histogram(metrics.SchedPredicted, metrics.ProbabilityBuckets)
+	mOverhead := met.Histogram(metrics.SchedOverheadSeconds, metrics.OverheadBuckets)
+	met.Counter(metrics.SchedTimingFailures)
+
 	var rows []Fig3Row
 	for _, l := range cfg.WindowSizes {
 		for _, n := range cfg.ReplicaCounts {
 			repo := syntheticRepo(n, l, rng)
 			snaps := repo.Snapshot("")
+			observeReplicaResponses(met, snaps)
 
 			var distTotal, selTotal time.Duration
 			for it := 0; it < cfg.Iterations; it++ {
@@ -102,6 +133,10 @@ func RunFig3(cfg Fig3Config) ([]Fig3Row, error) {
 				if len(res.Selected) == 0 {
 					return nil, fmt.Errorf("experiment: fig3 empty selection")
 				}
+				mSelections.Inc()
+				mTargets.Observe(float64(len(res.Selected)))
+				mPredicted.Observe(res.Predicted)
+				mOverhead.ObserveDuration(distElapsed + selElapsed)
 				distTotal += distElapsed
 				selTotal += selElapsed
 			}

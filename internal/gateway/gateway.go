@@ -19,6 +19,7 @@ import (
 
 	"aqua/internal/core"
 	"aqua/internal/group"
+	"aqua/internal/metrics"
 	"aqua/internal/model"
 	"aqua/internal/repository"
 	"aqua/internal/selection"
@@ -75,6 +76,10 @@ type Config struct {
 	// requests that refresh the repository without counting in the client's
 	// statistics.
 	ProbeInterval time.Duration
+	// Metrics receives the handler's live counters (calls, errors) and is
+	// forwarded to the scheduler and prober; nil means the process-wide
+	// default registry.
+	Metrics *metrics.Registry
 }
 
 // TimingFaultHandler is the client-side protocol handler for tolerating
@@ -86,6 +91,9 @@ type TimingFaultHandler struct {
 	node   *group.Node
 	prober *prober
 	epoch  time.Time // trace timestamps are offsets from creation
+
+	metCalls      *metrics.Counter
+	metCallErrors *metrics.Counter
 
 	mu         sync.Mutex
 	addrOf     map[wire.ReplicaID]transport.Addr
@@ -111,6 +119,7 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 		return nil, fmt.Errorf("gateway: client ID is required")
 	}
 	repo := repository.New(repository.WithWindowSize(cfg.WindowSize))
+	reg := metrics.OrDefault(cfg.Metrics)
 	sched, err := core.NewScheduler(core.Config{
 		Service:            cfg.Service,
 		QoS:                cfg.QoS,
@@ -119,19 +128,22 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 		Repository:         repo,
 		CompensateOverhead: cfg.CompensateOverhead,
 		StalenessBound:     cfg.StalenessBound,
+		Metrics:            reg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("gateway: %w", err)
 	}
 	h := &TimingFaultHandler{
-		cfg:        cfg,
-		ep:         ep,
-		sched:      sched,
-		epoch:      time.Now(),
-		addrOf:     make(map[wire.ReplicaID]transport.Addr),
-		waiters:    make(map[wire.SeqNo]chan wire.Response),
-		subscribed: make(map[wire.ReplicaID]bool),
-		stop:       make(chan struct{}),
+		cfg:           cfg,
+		ep:            ep,
+		sched:         sched,
+		epoch:         time.Now(),
+		metCalls:      reg.Counter(metrics.GatewayCalls),
+		metCallErrors: reg.Counter(metrics.GatewayCallErrors),
+		addrOf:        make(map[wire.ReplicaID]transport.Addr),
+		waiters:       make(map[wire.SeqNo]chan wire.Response),
+		subscribed:    make(map[wire.ReplicaID]bool),
+		stop:          make(chan struct{}),
 	}
 	for id, addr := range cfg.StaticReplicas {
 		h.addrOf[id] = addr
@@ -222,12 +234,14 @@ func (h *TimingFaultHandler) UpdateMembership(replicas map[wire.ReplicaID]transp
 	}
 	h.mu.Unlock()
 	h.sched.OnMembershipChange(ids)
+	h.prober.onMembershipChange(ids)
 	h.subscribeAll(ids)
 }
 
 // onViewChange reconciles membership and subscribes to newcomers.
 func (h *TimingFaultHandler) onViewChange(v group.View) {
 	h.sched.OnMembershipChange(v.Members)
+	h.prober.onMembershipChange(v.Members)
 	h.subscribeAll(v.Members)
 }
 
@@ -269,7 +283,13 @@ func (h *TimingFaultHandler) resolve(id wire.ReplicaID) (transport.Addr, bool) {
 // Call issues one request and blocks until the earliest reply, the context
 // is done, or MaxWait elapses. A late first reply is returned to the caller
 // (with the timing failure already recorded), as in the paper.
-func (h *TimingFaultHandler) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+func (h *TimingFaultHandler) Call(ctx context.Context, method string, payload []byte) (_ []byte, retErr error) {
+	h.metCalls.Inc()
+	defer func() {
+		if retErr != nil {
+			h.metCallErrors.Inc()
+		}
+	}()
 	t0 := time.Now()
 	d, err := h.sched.Schedule(t0, method)
 	if err != nil {

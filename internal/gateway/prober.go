@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"aqua/internal/metrics"
 	"aqua/internal/wire"
 )
 
@@ -20,6 +21,11 @@ type prober struct {
 	interval time.Duration
 	bound    time.Duration
 
+	metSent        *metrics.Counter
+	metAnswered    *metrics.Counter
+	metLost        *metrics.Counter
+	metOutstanding *metrics.Gauge
+
 	mu      sync.Mutex
 	sentAt  map[wire.ReplicaID]time.Time // outstanding probe guard
 	nextSeq wire.SeqNo
@@ -30,18 +36,30 @@ type prober struct {
 }
 
 // probeSeqBase keeps probe sequence numbers out of the scheduler's space so
-// a probe reply can never collide with a pending request.
+// a probe reply can never collide with a pending request. The scheduler
+// allocates call sequence numbers for the same ClientID counting up from 0;
+// the prober counts up from 1<<62, so the two spaces stay disjoint for any
+// realistic request volume (2^62 calls at 1M req/s is ~146 millennia). The
+// spaces are additionally separated by the Probe flag, which every reply
+// echoes and the gateway demultiplexes on before sequence matching; the
+// disjoint numbering is defense in depth, fenced by tests in
+// prober_test.go.
 const probeSeqBase wire.SeqNo = 1 << 62
 
 // newProber starts probing for the handler.
 func newProber(h *TimingFaultHandler, interval, bound time.Duration) *prober {
+	reg := metrics.OrDefault(h.cfg.Metrics)
 	p := &prober{
-		h:        h,
-		interval: interval,
-		bound:    bound,
-		sentAt:   make(map[wire.ReplicaID]time.Time),
-		nextSeq:  probeSeqBase,
-		stop:     make(chan struct{}),
+		h:              h,
+		interval:       interval,
+		bound:          bound,
+		metSent:        reg.Counter(metrics.ProbeSent),
+		metAnswered:    reg.Counter(metrics.ProbeAnswered),
+		metLost:        reg.Counter(metrics.ProbeLost),
+		metOutstanding: reg.Gauge(metrics.ProbeOutstanding),
+		sentAt:         make(map[wire.ReplicaID]time.Time),
+		nextSeq:        probeSeqBase,
+		stop:           make(chan struct{}),
 	}
 	p.wg.Add(1)
 	go p.loop()
@@ -58,6 +76,13 @@ func (p *prober) Sent() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.sent
+}
+
+// Outstanding returns how many probes are awaiting replies.
+func (p *prober) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.sentAt)
 }
 
 func (p *prober) loop() {
@@ -82,14 +107,22 @@ func (p *prober) sweep(now time.Time) {
 			continue
 		}
 		p.mu.Lock()
-		if last, ok := p.sentAt[snap.ID]; ok && now.Sub(last) < p.bound {
-			p.mu.Unlock()
-			continue // probe already in flight
+		if last, ok := p.sentAt[snap.ID]; ok {
+			if now.Sub(last) < p.bound {
+				p.mu.Unlock()
+				continue // probe already in flight
+			}
+			// The previous probe aged out unanswered; count it lost and
+			// re-probe.
+			p.metLost.Inc()
+			p.metOutstanding.Add(-1)
 		}
 		p.sentAt[snap.ID] = now
+		p.metOutstanding.Add(1)
 		seq := p.nextSeq
 		p.nextSeq++
 		p.sent++
+		p.metSent.Inc()
 		p.mu.Unlock()
 
 		addr, ok := p.h.resolve(snap.ID)
@@ -119,6 +152,35 @@ func (p *prober) onProbeReply(m wire.Response, t4 time.Time) {
 		repo.RecordGatewayDelay(m.Replica, "", td)
 	}
 	p.mu.Lock()
-	delete(p.sentAt, m.Replica)
+	if _, ok := p.sentAt[m.Replica]; ok {
+		delete(p.sentAt, m.Replica)
+		p.metAnswered.Inc()
+		p.metOutstanding.Add(-1)
+	}
+	p.mu.Unlock()
+}
+
+// onMembershipChange prunes outstanding-probe guards for replicas that left
+// the view. A probe sent to a replica that then crashed would otherwise pin
+// its sentAt entry forever — the reply that deletes it can never arrive and
+// the sweep only iterates live replicas, so the map grew monotonically
+// under membership churn. Nil-safe, so handlers without probing need no
+// guard.
+func (p *prober) onMembershipChange(members []wire.ReplicaID) {
+	if p == nil {
+		return
+	}
+	alive := make(map[wire.ReplicaID]bool, len(members))
+	for _, id := range members {
+		alive[id] = true
+	}
+	p.mu.Lock()
+	for id := range p.sentAt {
+		if !alive[id] {
+			delete(p.sentAt, id)
+			p.metLost.Inc()
+			p.metOutstanding.Add(-1)
+		}
+	}
 	p.mu.Unlock()
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"aqua/internal/metrics"
 	"aqua/internal/server"
 	"aqua/internal/stats"
 	"aqua/internal/transport"
@@ -123,6 +124,138 @@ func TestProbeSkipsApplicationHandler(t *testing.T) {
 	}
 	if called {
 		t.Error("application handler invoked for a probe")
+	}
+}
+
+// TestProberPrunesRemovedReplicas is the regression fence for the sentAt
+// leak: a probe sent to a replica that then leaves the view can never be
+// answered, so without pruning on membership change the outstanding-probe
+// map grows monotonically under churn.
+func TestProberPrunesRemovedReplicas(t *testing.T) {
+	f := newFixture(t, 2, nil)
+	// r1 goes dark before probing starts: probes to it are never answered,
+	// so its guard entry can only be cleared by the membership prune.
+	f.replicas["r1"].Stop()
+	reg := metrics.NewRegistry()
+	h := f.handler(Config{
+		Client: "prune", Service: "svc",
+		QoS:            wire.QoS{Deadline: 300 * ms, MinProbability: 0},
+		ProbeInterval:  10 * ms,
+		StalenessBound: 10 * time.Second, // in-flight probes never age out
+		Metrics:        reg,
+	})
+	outstandingTo := func(id wire.ReplicaID) bool {
+		h.prober.mu.Lock()
+		defer h.prober.mu.Unlock()
+		_, ok := h.prober.sentAt[id]
+		return ok
+	}
+	waitFor(t, 2*time.Second, func() bool { return outstandingTo("r1") },
+		"probe outstanding to the dead replica")
+
+	// Shrink the view to r0 only. Re-applying the update inside the poll
+	// makes the check immune to a sweep that snapshotted the old view
+	// concurrently with the first call.
+	view := map[wire.ReplicaID]transport.Addr{"r0": f.replicas["r0"].Addr()}
+	waitFor(t, 2*time.Second, func() bool {
+		h.UpdateMembership(view)
+		return !outstandingTo("r1")
+	}, "sentAt entry for the removed replica pruned")
+
+	// The pruned probe is accounted as lost, and the outstanding gauge only
+	// reflects live-view replicas from here on.
+	snap := reg.Snapshot()
+	if snap.Counter(metrics.ProbeLost) == 0 {
+		t.Error("pruned probe not counted as lost")
+	}
+	if n := h.prober.Outstanding(); n > 1 {
+		t.Errorf("Outstanding = %d after prune, want <= 1 (only r0 can be in flight)", n)
+	}
+}
+
+// TestProbeSeqSpaceDisjoint fences the satellite audit: scheduler call
+// sequence numbers count up from 0 and probe sequence numbers from
+// probeSeqBase, so the two spaces cannot collide for any realistic volume.
+func TestProbeSeqSpaceDisjoint(t *testing.T) {
+	f := newFixture(t, 2, stats.Constant{Delay: ms})
+	h := f.handler(Config{
+		Client: "seqspace", Service: "svc",
+		QoS:           wire.QoS{Deadline: 300 * ms, MinProbability: 0},
+		ProbeInterval: 5 * ms,
+	})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := h.Call(ctx, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool { return h.ProbesSent() > 0 },
+		"at least one probe dispatched")
+
+	// The scheduler's next sequence number is still tiny...
+	d, err := h.sched.Schedule(time.Now(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sched.Forget(d.Seq)
+	if d.Seq >= probeSeqBase {
+		t.Errorf("call seq %d reached the probe space (base %d)", d.Seq, probeSeqBase)
+	}
+	// ...while every probe sequence number sits at or above the base.
+	h.prober.mu.Lock()
+	next := h.prober.nextSeq
+	sent := h.prober.sent
+	h.prober.mu.Unlock()
+	if next < probeSeqBase {
+		t.Errorf("probe nextSeq %d below probeSeqBase %d", next, probeSeqBase)
+	}
+	if got := next - probeSeqBase; uint64(got) != sent {
+		t.Errorf("probe seqs consumed = %d, probes sent = %d", got, sent)
+	}
+}
+
+// TestProbeReplyCannotCompleteCall checks the other half of the collision
+// defense: even if a probe reply carried a sequence number equal to a
+// pending call's, the Probe flag demultiplexes it into the repository path
+// before sequence matching, so it can never complete the call.
+func TestProbeReplyCannotCompleteCall(t *testing.T) {
+	f := newFixture(t, 1, nil)
+	h := f.handler(Config{
+		Client: "demux", Service: "svc",
+		QoS:           wire.QoS{Deadline: 300 * ms, MinProbability: 0},
+		ProbeInterval: time.Hour, // prober exists but never sweeps
+	})
+	d, err := h.sched.Schedule(time.Now(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.sched.Dispatched(d.Seq, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	repo := h.sched.Repository()
+	before := repo.UpdateCount("r0")
+
+	// A probe reply forged with the pending call's sequence number.
+	h.handleMessage(transport.Message{From: "r0", Payload: wire.Response{
+		Client: "demux", Seq: d.Seq, Replica: "r0", Probe: true,
+		Perf:   wire.PerfReport{ServiceTime: ms, QueueDelay: ms},
+		SentAt: time.Now().Add(-5 * ms),
+	}}, time.Now())
+
+	if st := h.Stats(); st.Completed != 0 {
+		t.Errorf("probe reply completed a call: %+v", st)
+	}
+	if repo.UpdateCount("r0") <= before {
+		t.Error("probe reply did not refresh the repository")
+	}
+
+	// The genuine reply (Probe false) still completes the call.
+	h.handleMessage(transport.Message{From: "r0", Payload: wire.Response{
+		Client: "demux", Seq: d.Seq, Replica: "r0",
+		Perf: wire.PerfReport{ServiceTime: ms, QueueDelay: ms},
+	}}, time.Now())
+	if st := h.Stats(); st.Completed != 1 {
+		t.Errorf("real reply did not complete the call: %+v", st)
 	}
 }
 

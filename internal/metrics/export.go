@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the registry snapshot as one JSON document (expvar
+// style): {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot()); err != nil {
+		return fmt.Errorf("metrics: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// WritePrometheus writes the registry snapshot in the Prometheus text
+// exposition format. Instruments that share a base name but differ in
+// labels (e.g. per-replica histograms) are emitted as one metric family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+
+	writeFamily(&b, s.Counters, "counter", func(b *strings.Builder, name string, v uint64) {
+		fmt.Fprintf(b, "%s %d\n", name, v)
+	})
+	writeFamily(&b, s.Gauges, "gauge", func(b *strings.Builder, name string, v int64) {
+		fmt.Fprintf(b, "%s %d\n", name, v)
+	})
+	writeFamily(&b, s.Histograms, "histogram", func(b *strings.Builder, name string, h HistogramSnapshot) {
+		base, labels := splitName(name)
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = strconv.FormatFloat(h.Bounds[i], 'g', -1, 64)
+			}
+			fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", base, labelPrefix(labels), le, cum)
+		}
+		fmt.Fprintf(b, "%s_sum%s %s\n", base, labelSuffix(labels), strconv.FormatFloat(h.Sum, 'g', -1, 64))
+		fmt.Fprintf(b, "%s_count%s %d\n", base, labelSuffix(labels), h.Count)
+	})
+
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("metrics: writing exposition: %w", err)
+	}
+	return nil
+}
+
+// writeFamily groups same-base metrics into families (TYPE header emitted
+// once, members contiguous and sorted) and renders each member with emit.
+func writeFamily[V any](b *strings.Builder, m map[string]V, typ string, emit func(*strings.Builder, string, V)) {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		bi, _ := splitName(names[i])
+		bj, _ := splitName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
+	lastBase := ""
+	for _, n := range names {
+		base, _ := splitName(n)
+		if base != lastBase {
+			fmt.Fprintf(b, "# TYPE %s %s\n", base, typ)
+			lastBase = base
+		}
+		emit(b, n, m[n])
+	}
+}
+
+// labelPrefix renders labels for inclusion before an additional label:
+// `a="b"` → `a="b",`; empty stays empty.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// labelSuffix renders labels as a complete label set: `a="b"` → `{a="b"}`;
+// empty stays empty.
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

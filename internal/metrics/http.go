@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux returns an HTTP mux exposing the registry and the runtime
+// profiler:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  expvar-style JSON snapshot
+//	/debug/pprof/  net/http/pprof (profile, heap, goroutine, trace, ...)
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running metrics HTTP server. Create with Serve; release with
+// Close.
+type Server struct {
+	listener net.Listener
+	srv      *http.Server
+	done     chan struct{}
+}
+
+// Serve starts an HTTP server for the registry on addr (":0" picks a free
+// port — read it back with Addr). The server runs until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		listener: l,
+		srv: &http.Server{
+			Handler:           NewMux(r),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(l)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address ("host:port").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the server and waits for its serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

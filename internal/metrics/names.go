@@ -1,0 +1,101 @@
+package metrics
+
+import "strings"
+
+// Metric names are defined centrally so producers (core, gateway, transport)
+// and consumers (exports, tests, dashboards) agree on the vocabulary. The
+// names follow Prometheus conventions: a subsystem prefix, base units
+// (seconds), and a _total suffix on counters.
+const (
+	// Scheduler (internal/core) — the paper's evaluation series, live.
+	SchedSelections       = "aqua_sched_selections_total"        // selection decisions (Figure 4/5 x-axis denominator)
+	SchedErrors           = "aqua_sched_errors_total"            // Schedule calls that failed
+	SchedReplies          = "aqua_sched_replies_total"           // replies harvested (duplicates included)
+	SchedDuplicates       = "aqua_sched_duplicates_total"        // redundant replies discarded after harvesting
+	SchedTimingFailures   = "aqua_sched_timing_failures_total"   // tr > t (Figure 4 complement)
+	SchedDeadlineExpiries = "aqua_sched_deadline_expiries_total" // failures charged with no reply at all
+	SchedViolations       = "aqua_sched_violations_total"        // QoS-violation callbacks issued
+	SchedPending          = "aqua_sched_pending"                 // in-flight tracked requests (gauge)
+	SchedTargets          = "aqua_sched_targets"                 // |K| per selection (Figure 5 series)
+	SchedPredicted        = "aqua_sched_predicted"               // P_K(t) per Equation 1
+	SchedOverheadSeconds  = "aqua_sched_overhead_seconds"        // δ per selection (Figure 3 series)
+
+	// Per-replica response times observed by the scheduler (t4 − t0 per
+	// harvested reply). Labelled by replica.
+	ReplicaResponseSeconds = "aqua_replica_response_seconds"
+
+	// Gateway (internal/gateway).
+	GatewayCalls      = "aqua_gateway_calls_total"
+	GatewayCallErrors = "aqua_gateway_call_errors_total"
+
+	// Active prober (internal/gateway/prober.go).
+	ProbeSent        = "aqua_probe_sent_total"
+	ProbeAnswered    = "aqua_probe_answered_total"
+	ProbeLost        = "aqua_probe_lost_total" // re-probed after an unanswered probe aged out
+	ProbeOutstanding = "aqua_probe_outstanding"
+
+	// Transport (internal/transport). Networks report to the Default
+	// registry unless constructed with an explicit one (transport.WithMetrics,
+	// NewTCPWithMetrics, or a cluster built with aqua.WithMetrics).
+	TransportFramesSent        = "aqua_transport_frames_sent_total"
+	TransportFramesReceived    = "aqua_transport_frames_received_total"
+	TransportBackpressureDrops = "aqua_transport_backpressure_drops_total"
+	TransportRecvDrops         = "aqua_transport_recv_drops_total" // receiver queue overflow
+	TransportLinkDrops         = "aqua_transport_link_drops_total" // in-memory link-policy loss
+	TransportDials             = "aqua_transport_dials_total"
+	TransportDialFailures      = "aqua_transport_dial_failures_total"
+	TransportQueueDepth        = "aqua_transport_queue_depth" // per-destination gauge
+)
+
+// Standard bucket sets.
+var (
+	// LatencyBuckets covers LAN round trips through overloaded-replica
+	// tails, in seconds.
+	LatencyBuckets = []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.075, 0.1, 0.15, 0.25, 0.5, 1, 2.5,
+	}
+	// OverheadBuckets covers the selection overhead δ, in seconds: the
+	// optimized path sits in single-digit microseconds, the reference path
+	// in milliseconds.
+	OverheadBuckets = []float64{
+		1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4,
+		2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2,
+	}
+	// TargetBuckets counts |K| (whole replicas; the paper sweeps 2..8).
+	TargetBuckets = []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	// ProbabilityBuckets resolves the high end of P_K(t), where selection
+	// decisions are made.
+	ProbabilityBuckets = []float64{0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+)
+
+// Label appends one key="value" label to a metric name, producing
+// `name{key="value"}` (or merging into an existing label set). Quotes and
+// backslashes in the value are escaped per the Prometheus text format.
+func Label(name, key, value string) string {
+	var b strings.Builder
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		b.WriteString(name[:len(name)-1])
+		b.WriteString(",")
+	} else {
+		b.WriteString(name)
+		b.WriteString("{")
+	}
+	b.WriteString(key)
+	b.WriteString(`="`)
+	esc.WriteString(&b, value)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// splitName separates a metric name into its base and label portion:
+// `m{a="b"}` → (`m`, `a="b"`). Names without labels return an empty label
+// string.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}

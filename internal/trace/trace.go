@@ -5,13 +5,20 @@
 // The paper evaluates its algorithm by exactly these series — which
 // replicas were selected, with what predicted probability, and whether the
 // response was timely — so the trace schema mirrors the evaluation.
+//
+// The recorder keeps a bounded ring of the most recent events (long runs no
+// longer grow memory without bound; Dropped reports how many old events
+// were overwritten) and can stream every event to a JSONL sink as it is
+// recorded, for full-fidelity capture of arbitrarily long runs.
 package trace
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -44,17 +51,58 @@ type Event struct {
 	Duration time.Duration     `json:"duration,omitempty"` // response time, overhead, …
 }
 
-// Recorder collects events. It is safe for concurrent use. The zero value
-// is ready and records nothing until enabled; construct with New for an
-// enabled recorder.
+// DefaultCapacity bounds the event ring when no explicit capacity is given:
+// enough to hold the complete trace of every experiment in EXPERIMENTS.md,
+// small enough (~10 MB of events) that a long-lived gateway cannot exhaust
+// memory by tracing.
+const DefaultCapacity = 1 << 16
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithCapacity bounds the in-memory event ring to n events; once full, each
+// new event overwrites the oldest and Dropped advances. n <= 0 means
+// DefaultCapacity.
+func WithCapacity(n int) Option {
+	return func(r *Recorder) {
+		if n > 0 {
+			r.capacity = n
+		}
+	}
+}
+
+// WithJSONLSink streams every recorded event to w as one JSON object per
+// line, before it enters the ring. The ring still serves Events/Summarize;
+// the sink preserves the full history of runs longer than the ring. Writes
+// happen under the recorder's lock in Record's caller context — hand in a
+// buffered or async writer if the sink is slow. The first write error stops
+// further sink writes and is reported by SinkErr.
+func WithJSONLSink(w io.Writer) Option {
+	return func(r *Recorder) { r.sink = json.NewEncoder(w) }
+}
+
+// Recorder collects events into a bounded ring. It is safe for concurrent
+// use. The zero value is ready and records nothing until enabled; construct
+// with New for an enabled recorder.
 type Recorder struct {
-	mu      sync.Mutex
-	events  []Event
-	enabled bool
+	mu       sync.Mutex
+	buf      []Event // ring storage, grown up to capacity then reused
+	start    int     // index of the oldest event once the ring wrapped
+	capacity int
+	dropped  uint64
+	enabled  bool
+	sink     *json.Encoder
+	sinkErr  error
 }
 
 // New returns an enabled recorder.
-func New() *Recorder { return &Recorder{enabled: true} }
+func New(opts ...Option) *Recorder {
+	r := &Recorder{enabled: true, capacity: DefaultCapacity}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
 
 // Enabled reports whether the recorder captures events.
 func (r *Recorder) Enabled() bool {
@@ -67,7 +115,8 @@ func (r *Recorder) Enabled() bool {
 }
 
 // Record appends an event. Nil or disabled recorders drop it, so call
-// sites never need guards.
+// sites never need guards. When the ring is full the oldest event is
+// overwritten (see Dropped).
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
@@ -77,28 +126,70 @@ func (r *Recorder) Record(e Event) {
 	if !r.enabled {
 		return
 	}
-	r.events = append(r.events, e)
+	if r.sink != nil && r.sinkErr == nil {
+		if err := r.sink.Encode(e); err != nil {
+			r.sinkErr = fmt.Errorf("trace: sink write: %w", err)
+		}
+	}
+	if r.capacity <= 0 {
+		r.capacity = DefaultCapacity // zero value enabled via struct literal
+	}
+	if len(r.buf) < r.capacity {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of events currently held (at most the capacity).
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return len(r.buf)
 }
 
-// Events returns a copy of the recorded events in order.
+// Dropped returns how many events were overwritten because the ring was
+// full. A non-zero value means Events/Summarize see a truncated suffix of
+// the run (the sink, if any, still saw everything).
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// SinkErr returns the first error encountered writing to the JSONL sink,
+// or nil.
+func (r *Recorder) SinkErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// Events returns a copy of the retained events in recording order (oldest
+// first).
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
 	return out
 }
 
@@ -113,7 +204,7 @@ func (r *Recorder) Filter(k Kind) []Event {
 	return out
 }
 
-// WriteJSONL writes one JSON object per line.
+// WriteJSONL writes the retained events, one JSON object per line.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, e := range r.Events() {
@@ -124,20 +215,45 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV writes a flat CSV view (targets joined with '|').
+// WriteCSV writes a flat CSV view (targets joined with '|', extra as a JSON
+// object). Fields containing separators, quotes, or newlines are quoted per
+// RFC 4180 by encoding/csv, so arbitrary client/replica IDs and Extra
+// values round-trip.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	var b strings.Builder
-	b.WriteString("at_us,kind,client,seq,replica,targets,value,duration_us\n")
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_us", "kind", "client", "seq", "replica", "targets", "value", "duration_us", "extra"}); err != nil {
+		return fmt.Errorf("trace: writing csv header: %w", err)
+	}
 	for _, e := range r.Events() {
 		targets := make([]string, len(e.Targets))
 		for i, t := range e.Targets {
 			targets[i] = string(t)
 		}
-		fmt.Fprintf(&b, "%d,%s,%s,%d,%s,%s,%g,%d\n",
-			e.At.Microseconds(), e.Kind, e.Client, e.Seq, e.Replica,
-			strings.Join(targets, "|"), e.Value, e.Duration.Microseconds())
+		extra := ""
+		if len(e.Extra) > 0 {
+			blob, err := json.Marshal(e.Extra) // map keys marshal sorted: stable output
+			if err != nil {
+				return fmt.Errorf("trace: encoding extra: %w", err)
+			}
+			extra = string(blob)
+		}
+		row := []string{
+			strconv.FormatInt(e.At.Microseconds(), 10),
+			string(e.Kind),
+			string(e.Client),
+			strconv.FormatUint(uint64(e.Seq), 10),
+			string(e.Replica),
+			strings.Join(targets, "|"),
+			strconv.FormatFloat(e.Value, 'g', -1, 64),
+			strconv.FormatInt(e.Duration.Microseconds(), 10),
+			extra,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing csv row: %w", err)
+		}
 	}
-	if _, err := io.WriteString(w, b.String()); err != nil {
+	cw.Flush()
+	if err := cw.Error(); err != nil {
 		return fmt.Errorf("trace: writing csv: %w", err)
 	}
 	return nil
@@ -153,7 +269,8 @@ type Summary struct {
 	TargetsByCount map[int]int // histogram of |K|
 }
 
-// Summarize computes a Summary from the recorded events.
+// Summarize computes a Summary from the retained events. With a full ring
+// (Dropped > 0) the summary covers only the retained suffix of the run.
 func (r *Recorder) Summarize() Summary {
 	s := Summary{TargetsByCount: make(map[int]int)}
 	var totalTargets int

@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"encoding/csv"
 	"encoding/json"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -131,6 +133,186 @@ func TestConcurrentRecording(t *testing.T) {
 	wg.Wait()
 	if r.Len() != 800 {
 		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}
+
+// TestRingBounded is the regression fence for the unbounded-growth bug:
+// sustained traffic must cap memory at the configured capacity, with the
+// truncation visible through Dropped.
+func TestRingBounded(t *testing.T) {
+	r := New(WithCapacity(4))
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindReply, Seq: wire.SeqNo(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", r.Dropped())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if want := wire.SeqNo(6 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (oldest-first order)", i, e.Seq, want)
+		}
+	}
+	// Summarize covers the retained suffix only.
+	if s := r.Summarize(); s.Replies != 4 {
+		t.Errorf("Summarize replies = %d, want 4", s.Replies)
+	}
+}
+
+func TestDefaultCapacityApplied(t *testing.T) {
+	r := New()
+	if r.capacity != DefaultCapacity {
+		t.Errorf("capacity = %d, want %d", r.capacity, DefaultCapacity)
+	}
+	if r2 := New(WithCapacity(-1)); r2.capacity != DefaultCapacity {
+		t.Errorf("negative capacity not defaulted: %d", r2.capacity)
+	}
+}
+
+// TestCSVQuotingRoundTrip is the regression fence for malformed rows: IDs
+// and Extra values containing commas, quotes, and newlines must survive a
+// parse by a conforming CSV reader.
+func TestCSVQuotingRoundTrip(t *testing.T) {
+	r := New()
+	r.Record(Event{
+		At:      time.Millisecond,
+		Kind:    KindReply,
+		Client:  `evil,"client"` + "\nsecond-line",
+		Seq:     7,
+		Replica: `replica,with,commas`,
+		Targets: []wire.ReplicaID{"a,b", `c"d`},
+		Value:   0.5,
+		Extra:   map[string]string{"note": `has,comma and "quote"` + "\nand newline"},
+	})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, b.String())
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want header + 1", len(rows))
+	}
+	header, row := rows[0], rows[1]
+	if len(row) != len(header) {
+		t.Fatalf("row has %d fields, header %d", len(row), len(header))
+	}
+	field := func(name string) string {
+		for i, h := range header {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	if got := field("client"); got != `evil,"client"`+"\nsecond-line" {
+		t.Errorf("client = %q", got)
+	}
+	if got := field("replica"); got != "replica,with,commas" {
+		t.Errorf("replica = %q", got)
+	}
+	if got := field("targets"); got != `a,b|c"d` {
+		t.Errorf("targets = %q", got)
+	}
+	var extra map[string]string
+	if err := json.Unmarshal([]byte(field("extra")), &extra); err != nil {
+		t.Fatalf("extra not valid JSON: %v", err)
+	}
+	if extra["note"] != `has,comma and "quote"`+"\nand newline" {
+		t.Errorf("extra = %q", extra["note"])
+	}
+}
+
+func TestJSONLSinkStreamsEverything(t *testing.T) {
+	var sink strings.Builder
+	r := New(WithCapacity(2), WithJSONLSink(&sink))
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindReply, Seq: wire.SeqNo(i)})
+	}
+	if r.Len() != 2 || r.Dropped() != 3 {
+		t.Fatalf("ring Len=%d Dropped=%d", r.Len(), r.Dropped())
+	}
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("sink lines = %d, want 5 (full history)", len(lines))
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("sink line %d invalid: %v", i, err)
+		}
+		if e.Seq != wire.SeqNo(i) {
+			t.Errorf("sink line %d seq = %d", i, e.Seq)
+		}
+	}
+	if r.SinkErr() != nil {
+		t.Errorf("SinkErr = %v", r.SinkErr())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestJSONLSinkErrorSurfaces(t *testing.T) {
+	r := New(WithJSONLSink(failWriter{}))
+	r.Record(Event{Kind: KindReply})
+	r.Record(Event{Kind: KindReply}) // second write skipped, no panic
+	if r.SinkErr() == nil {
+		t.Error("SinkErr not set after failed write")
+	}
+	if r.Len() != 2 {
+		t.Errorf("ring stopped recording on sink error: Len = %d", r.Len())
+	}
+}
+
+// TestConcurrentSummarize races Record against Summarize, Events, WriteCSV,
+// and Dropped; run under -race this fences the recorder's synchronization.
+func TestConcurrentSummarize(t *testing.T) {
+	r := New(WithCapacity(64))
+	var writers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for j := 0; j < 500; j++ {
+				r.Record(Event{Kind: KindSchedule, Targets: []wire.ReplicaID{"a", "b"}})
+				r.Record(Event{Kind: KindReply})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Summarize()
+			if s.Requests > 0 && s.MeanTargets != 2 {
+				t.Errorf("MeanTargets = %v, want 2", s.MeanTargets)
+				return
+			}
+			_ = r.Events()
+			_ = r.Dropped()
+			var b strings.Builder
+			_ = r.WriteCSV(&b)
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if total := uint64(r.Len()) + r.Dropped(); total != 4000 {
+		t.Errorf("retained+dropped = %d, want 4000", total)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"aqua/internal/metrics"
 	"aqua/internal/stats"
 )
 
@@ -26,6 +27,9 @@ type LinkPolicy struct {
 // tests use to model LAN behaviour. The zero value is not usable; construct
 // with NewInMem.
 type InMem struct {
+	met       transportInstruments
+	linkDrops *metrics.Counter
+
 	mu        sync.Mutex
 	endpoints map[Addr]*inmemEndpoint
 	policy    LinkPolicy
@@ -47,9 +51,22 @@ func WithLinkPolicy(p LinkPolicy, seed int64) InMemOption {
 	}
 }
 
+// WithMetrics directs the network's frame and drop counters to reg instead
+// of the process-wide default registry.
+func WithMetrics(reg *metrics.Registry) InMemOption {
+	return func(n *InMem) {
+		n.met = resolveTransportInstruments(reg)
+		n.linkDrops = reg.Counter(metrics.TransportLinkDrops)
+	}
+}
+
 // NewInMem returns an empty in-memory network.
 func NewInMem(opts ...InMemOption) *InMem {
-	n := &InMem{endpoints: make(map[Addr]*inmemEndpoint)}
+	n := &InMem{
+		endpoints: make(map[Addr]*inmemEndpoint),
+		met:       resolveTransportInstruments(metrics.Default()),
+		linkDrops: metrics.Default().Counter(metrics.TransportLinkDrops),
+	}
 	for _, o := range opts {
 		o(n)
 	}
@@ -104,9 +121,11 @@ func (n *InMem) deliver(from, to Addr, payload any) {
 		n.mu.Unlock()
 		return
 	}
+	n.met.framesSent.Inc()
 	var delay time.Duration
 	if n.policy.LossProb > 0 && n.rng.Float64() < n.policy.LossProb {
 		n.mu.Unlock()
+		n.linkDrops.Inc()
 		return
 	}
 	if n.policy.Delay != nil {
@@ -164,8 +183,10 @@ func (e *inmemEndpoint) push(m Message) {
 	}
 	select {
 	case e.recv <- m:
+		e.net.met.framesReceived.Inc()
 	default:
 		// Receiver overloaded: drop, as a datagram network would.
+		e.net.met.recvDrops.Inc()
 	}
 }
 

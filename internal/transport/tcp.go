@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"aqua/internal/metrics"
 )
 
 const (
@@ -38,21 +40,51 @@ var ErrBackpressure = errors.New("transport: send queue full")
 // partitioned, or dead peer never blocks callers or traffic to other
 // destinations. Connections are cached per destination, written with a
 // deadline, and re-dialed on failure with capped exponential backoff.
-type TCP struct{}
+type TCP struct {
+	reg *metrics.Registry
+}
 
 var _ Network = TCP{}
 
-// NewTCP returns the TCP network factory.
+// NewTCP returns the TCP network factory. Endpoints report frames, dials,
+// backpressure drops, and per-destination queue depth to the process-wide
+// default metrics registry; use NewTCPWithMetrics to direct them elsewhere.
 func NewTCP() TCP { return TCP{} }
+
+// NewTCPWithMetrics returns a TCP network whose endpoints report to reg.
+func NewTCPWithMetrics(reg *metrics.Registry) TCP { return TCP{reg: reg} }
+
+// transportInstruments are the shared frame/drop counters, resolved once
+// per endpoint so the send and receive paths only touch atomics.
+type transportInstruments struct {
+	framesSent        *metrics.Counter
+	framesReceived    *metrics.Counter
+	backpressureDrops *metrics.Counter
+	recvDrops         *metrics.Counter
+	dials             *metrics.Counter
+	dialFailures      *metrics.Counter
+}
+
+func resolveTransportInstruments(reg *metrics.Registry) transportInstruments {
+	return transportInstruments{
+		framesSent:        reg.Counter(metrics.TransportFramesSent),
+		framesReceived:    reg.Counter(metrics.TransportFramesReceived),
+		backpressureDrops: reg.Counter(metrics.TransportBackpressureDrops),
+		recvDrops:         reg.Counter(metrics.TransportRecvDrops),
+		dials:             reg.Counter(metrics.TransportDials),
+		dialFailures:      reg.Counter(metrics.TransportDialFailures),
+	}
+}
 
 // Listen starts a listener on addr ("host:port"; ":0" picks a free port —
 // read the bound address back with Addr()).
-func (TCP) Listen(addr Addr) (Endpoint, error) {
+func (t TCP) Listen(addr Addr) (Endpoint, error) {
 	l, err := net.Listen("tcp", string(addr))
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	dialCtx, dialCancel := context.WithCancel(context.Background())
+	reg := metrics.OrDefault(t.reg)
 	ep := &tcpEndpoint{
 		listener:   l,
 		addr:       Addr(l.Addr().String()),
@@ -62,6 +94,8 @@ func (TCP) Listen(addr Addr) (Endpoint, error) {
 		done:       make(chan struct{}),
 		dialCtx:    dialCtx,
 		dialCancel: dialCancel,
+		reg:        reg,
+		met:        resolveTransportInstruments(reg),
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -78,6 +112,8 @@ type tcpEndpoint struct {
 	// return promptly instead of holding shutdown for the dial timeout.
 	dialCtx    context.Context
 	dialCancel context.CancelFunc
+	reg        *metrics.Registry
+	met        transportInstruments
 
 	mu      sync.Mutex
 	senders map[Addr]*tcpSender // per-destination writer state
@@ -92,6 +128,7 @@ type tcpEndpoint struct {
 type tcpSender struct {
 	to     Addr
 	frames chan []byte
+	depth  *metrics.Gauge // live queue occupancy, labelled by destination
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -177,6 +214,7 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		}
 		select {
 		case e.recv <- Message{From: env.From, Payload: env.Payload}:
+			e.met.framesReceived.Inc()
 		case <-e.done:
 			return
 		}
@@ -200,7 +238,11 @@ func (e *tcpEndpoint) Send(to Addr, payload any) error {
 	}
 	s, ok := e.senders[to]
 	if !ok {
-		s = &tcpSender{to: to, frames: make(chan []byte, sendQueueLen)}
+		s = &tcpSender{
+			to:     to,
+			frames: make(chan []byte, sendQueueLen),
+			depth:  e.reg.Gauge(metrics.Label(metrics.TransportQueueDepth, "dest", string(to))),
+		}
 		e.senders[to] = s
 		e.wg.Add(1)
 		go e.runSender(s)
@@ -209,8 +251,10 @@ func (e *tcpEndpoint) Send(to Addr, payload any) error {
 
 	select {
 	case s.frames <- frame:
+		s.depth.Set(int64(len(s.frames)))
 		return nil
 	default:
+		e.met.backpressureDrops.Inc()
 		return fmt.Errorf("transport: to %s: %w", to, ErrBackpressure)
 	}
 }
@@ -231,6 +275,7 @@ func (e *tcpEndpoint) runSender(s *tcpSender) {
 		case <-e.done:
 			return
 		case frame := <-s.frames:
+			s.depth.Set(int64(len(s.frames)))
 			if !downUntil.IsZero() {
 				if time.Now().Before(downUntil) {
 					continue // link down: frame dropped
@@ -246,6 +291,7 @@ func (e *tcpEndpoint) runSender(s *tcpSender) {
 				backoff = redialBackoffMin
 			}
 			if err := s.write(frame); err == nil {
+				e.met.framesSent.Inc()
 				continue
 			}
 			s.closeConn()
@@ -260,6 +306,7 @@ func (e *tcpEndpoint) runSender(s *tcpSender) {
 				backoff = nextBackoff(backoff)
 				continue
 			}
+			e.met.framesSent.Inc()
 			backoff = redialBackoffMin
 		}
 	}
@@ -278,8 +325,10 @@ func nextBackoff(b time.Duration) time.Duration {
 // clean.
 func (e *tcpEndpoint) dial(s *tcpSender) bool {
 	d := net.Dialer{Timeout: dialTimeout}
+	e.met.dials.Inc()
 	c, err := d.DialContext(e.dialCtx, "tcp", string(s.to))
 	if err != nil {
+		e.met.dialFailures.Inc()
 		return false
 	}
 	select {

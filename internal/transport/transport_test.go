@@ -399,15 +399,36 @@ func TestTCPSendQueueBounded(t *testing.T) {
 		}
 	}()
 
-	big := wire.Request{Payload: make([]byte, 256<<10)}
+	// Concurrent fillers so enqueueing outpaces the writer even when the
+	// race detector slows per-send gob encoding: the queue must overflow
+	// within one of the writer's blocked-write windows.
+	big := wire.Request{Payload: make([]byte, 64 << 10)}
 	to := Addr(blackhole.Addr().String())
+	deadline := time.Now().Add(20 * time.Second)
+	var mu sync.Mutex
 	sawBackpressure := false
-	for i := 0; i < sendQueueLen+64; i++ {
-		if err := a.Send(to, big); errors.Is(err, ErrBackpressure) {
-			sawBackpressure = true
-			break
-		}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				mu.Lock()
+				done := sawBackpressure
+				mu.Unlock()
+				if done {
+					return
+				}
+				if err := a.Send(to, big); errors.Is(err, ErrBackpressure) {
+					mu.Lock()
+					sawBackpressure = true
+					mu.Unlock()
+					return
+				}
+			}
+		}()
 	}
+	wg.Wait()
 	if !sawBackpressure {
 		t.Error("queue never reported backpressure against a wedged peer")
 	}
