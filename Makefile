@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench experiments quick-experiments faults metrics-smoke fuzz clean
+.PHONY: all check build vet test race bench predict-bench experiments quick-experiments faults a13 metrics-smoke fuzz clean
 
 all: build vet test
 
@@ -39,6 +39,11 @@ quick-experiments:
 # delay spikes, headless with the fixed default seed (see README).
 faults:
 	$(GO) run ./cmd/aqua-exp -exp faults
+
+# Overload sweep: paper-exact (A12 select-all collapse) vs budgeted
+# redundancy + admission control (see EXPERIMENTS.md, a13).
+a13:
+	$(GO) run ./cmd/aqua-exp -exp a13
 
 # Observability smoke: boots a real cluster, drives traffic, serves the
 # metrics endpoint, and validates the Prometheus and JSON scrape shapes

@@ -91,6 +91,37 @@ func SingleBestSelection() Strategy { return selection.SingleBest{} }
 // AllSelection multicasts to every replica — AQuA's active replication.
 func AllSelection() Strategy { return selection.All{} }
 
+// BudgetedSelection wraps Algorithm 1 in a load-conditioned redundancy
+// budget: as the mean per-replica outstanding work (queue depth plus
+// in-flight copies) rises, the permitted |K| shrinks toward MinBudget, the
+// select-all fallback is capped, and one forced-cold probe slot is kept so
+// a drained replica is rediscovered. The single-crash reserve (Eq. 3) is
+// never given up. Pair it with ClientConfig.Overload for admission control.
+func BudgetedSelection() Strategy { return selection.NewBudgeted() }
+
+// OverloadConfig enables admission control and the degradation ladder
+// (Normal → Budgeted → Shedding, with hysteresis) on a client's scheduler.
+// The zero value disables admission control entirely.
+type OverloadConfig = core.OverloadConfig
+
+// DegradationReport announces a scheduler degradation-mode transition; see
+// OverloadConfig.OnDegradation.
+type DegradationReport = core.DegradationReport
+
+// Mode is a scheduler degradation state (Normal, Budgeted, or Shedding).
+type Mode = core.Mode
+
+// Degradation-ladder states, least to most degraded.
+const (
+	ModeNormal   = core.ModeNormal
+	ModeBudgeted = core.ModeBudgeted
+	ModeShedding = core.ModeShedding
+)
+
+// ErrOverloaded is returned (wrapped) by Client.Call when the admission
+// ceiling sheds the request instead of queueing it. Match with errors.Is.
+var ErrOverloaded = core.ErrOverloaded
+
 // MetricsRegistry holds named counters, gauges, and latency histograms.
 // Every component reports to the process-wide default registry unless a
 // cluster is built with WithMetrics.
@@ -140,6 +171,12 @@ type ClientConfig struct {
 	// MaxWait bounds how long Call waits for a first reply; zero means 10×
 	// the QoS deadline.
 	MaxWait time.Duration
+	// Overload configures admission control and the degradation ladder.
+	// The zero value disables both (paper-exact behavior).
+	Overload OverloadConfig
+	// ShedRetryDelay is the backoff before Call retries a shed request
+	// once. Zero means half the QoS deadline; negative disables the retry.
+	ShedRetryDelay time.Duration
 }
 
 // Client is a connected service client. Create with Cluster.NewClient;
@@ -570,6 +607,8 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 		OnViolation:        cfg.OnViolation,
 		ProbeInterval:      cfg.ProbeInterval,
 		MaxWait:            cfg.MaxWait,
+		Overload:           cfg.Overload,
+		ShedRetryDelay:     cfg.ShedRetryDelay,
 		StaticReplicas:     static,
 		Metrics:            c.reg,
 	})
@@ -665,6 +704,8 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 			WindowSize:         cfg.WindowSize,
 			CompensateOverhead: cfg.CompensateOverhead,
 			OnViolation:        cfg.OnViolation,
+			Overload:           cfg.Overload,
+			ShedRetryDelay:     cfg.ShedRetryDelay,
 			StaticReplicas:     static,
 			Metrics:            c.reg,
 		})

@@ -1,0 +1,234 @@
+package core
+
+// Tests for the overload layer (admission control, the degradation ladder,
+// the best-effort fallback cap) and the Renegotiate accounting-window
+// regression.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+// TestRenegotiateResetsAccountingWindow: failures recorded under an old QoS
+// contract must not pollute the observed-timely fraction compared against a
+// renegotiated Pc. Before the fix, Renegotiate re-armed the callback but kept
+// the cumulative counters as the accounting basis, so a client that had a bad
+// run under a strict deadline and then relaxed it got an immediate spurious
+// violation even though every request under the new contract was timely.
+func TestRenegotiateResetsAccountingWindow(t *testing.T) {
+	repo := warmRepo(t, 2, 10*ms, 2*ms, ms)
+	s, err := NewScheduler(Config{
+		Service:                "svc",
+		QoS:                    wire.QoS{Deadline: 50 * ms, MinProbability: 0.9},
+		Repository:             repo,
+		MinSamplesForViolation: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip := func(rt time.Duration) *ViolationReport {
+		t0 := time.Now()
+		d, err := s.Schedule(t0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Dispatched(d.Seq, t0); err != nil {
+			t.Fatal(err)
+		}
+		out := s.OnReply(d.Seq, d.Targets[0], t0.Add(rt), wire.PerfReport{ServiceTime: rt - 10*ms})
+		return out.Violation
+	}
+
+	// Ten failures under the strict 50ms contract (tr = 80ms).
+	for i := 0; i < 10; i++ {
+		roundTrip(80 * ms)
+	}
+	if s.Stats().TimingFailures != 10 {
+		t.Fatalf("setup: TimingFailures = %d, want 10", s.Stats().TimingFailures)
+	}
+
+	// Relax the deadline. The same 80ms responses are now timely.
+	if err := s.Renegotiate(wire.QoS{Deadline: 200 * ms, MinProbability: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if v := roundTrip(80 * ms); v != nil {
+			t.Fatalf("spurious violation after renegotiation (completion %d): %v", i+1, v)
+		}
+	}
+
+	// The window really is fresh: one late reply among the four timely ones
+	// gives observed 4/5 = 0.8 < 0.9, and the report must be scoped to the
+	// new window, not the lifetime counters.
+	v := roundTrip(250 * ms)
+	if v == nil {
+		t.Fatal("violation under the new contract not reported")
+	}
+	if v.Completed != 5 || v.TimingFailures != 1 {
+		t.Errorf("report window = %d completed / %d failures, want 5/1 (new contract only)",
+			v.Completed, v.TimingFailures)
+	}
+	// Cumulative stats keep counting across contracts.
+	st := s.Stats()
+	if st.Completed != 15 || st.TimingFailures != 11 {
+		t.Errorf("cumulative stats = %d completed / %d failures, want 15/11",
+			st.Completed, st.TimingFailures)
+	}
+}
+
+// TestAdmissionControlShedsAtCeiling: with MaxInFlight configured, Schedule
+// refuses work at the ceiling with ErrOverloaded, counts the shed, and the
+// ladder climbs Normal → Budgeted → Shedding and descends rung by rung as the
+// backlog drains.
+func TestAdmissionControlShedsAtCeiling(t *testing.T) {
+	repo := warmRepo(t, 4, 10*ms, 2*ms, ms)
+	var trans []DegradationReport
+	s, err := NewScheduler(Config{
+		Service:    "svc",
+		QoS:        wire.QoS{Deadline: 100 * ms, MinProbability: 0.9},
+		Repository: repo,
+		Overload: OverloadConfig{
+			MaxInFlight:   4, // enter=2, exit=1, shedExit=3
+			OnDegradation: func(r DegradationReport) { trans = append(trans, r) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := time.Now()
+	var open []Decision
+	for i := 0; i < 4; i++ {
+		d, err := s.Schedule(base, "")
+		if err != nil {
+			t.Fatalf("Schedule %d below ceiling: %v", i, err)
+		}
+		if err := s.Dispatched(d.Seq, base); err != nil {
+			t.Fatal(err)
+		}
+		open = append(open, d)
+	}
+	if got := s.Mode(); got != ModeShedding {
+		t.Fatalf("Mode at ceiling = %v, want shedding", got)
+	}
+
+	// The fifth request is shed, not queued.
+	d, err := s.Schedule(base, "")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Schedule at ceiling: err = %v, want ErrOverloaded", err)
+	}
+	if d.Mode != ModeShedding {
+		t.Errorf("shed Decision.Mode = %v, want shedding", d.Mode)
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Errorf("Stats.Shed = %d, want 1", st.Shed)
+	}
+
+	// Drain: reply from every target so each pending entry is dropped.
+	for i, d := range open {
+		t4 := base.Add(time.Duration(20+i) * ms)
+		for _, id := range d.Targets {
+			s.OnReply(d.Seq, id, t4, wire.PerfReport{ServiceTime: 10 * ms})
+		}
+	}
+	if got := s.Mode(); got != ModeNormal {
+		t.Fatalf("Mode after drain = %v, want normal", got)
+	}
+
+	// The ladder never jumps a rung: every transition is between neighbours,
+	// and the descent passes through Budgeted.
+	sawShedToBudgeted := false
+	for _, r := range trans {
+		if r.From-r.To != 1 && r.To-r.From != 1 {
+			t.Errorf("ladder jumped a rung: %v", r)
+		}
+		if r.From == ModeShedding && r.To == ModeBudgeted {
+			sawShedToBudgeted = true
+		}
+		if r.Service != "svc" || r.Ceiling != 4 {
+			t.Errorf("report fields = %+v", r)
+		}
+	}
+	if !sawShedToBudgeted {
+		t.Errorf("no Shedding→Budgeted descent observed in %v", trans)
+	}
+	if st := s.Stats(); st.Degradations != uint64(len(trans)) {
+		t.Errorf("Stats.Degradations = %d, want %d", st.Degradations, len(trans))
+	}
+}
+
+// TestDegradedModeCapsSelectAll: while degraded, an unreachable Pc(t) must
+// not trigger the paper's select-all amplification; the fallback is capped at
+// BestEffortK (m0 reserve + best remaining replica).
+func TestDegradedModeCapsSelectAll(t *testing.T) {
+	// 10ms service against a 5ms deadline: F_Ri(t) ≈ 0 everywhere, Pc
+	// unreachable, so the paper-exact fallback would select all 4 replicas.
+	repo := warmRepo(t, 4, 10*ms, 2*ms, ms)
+	s, err := NewScheduler(Config{
+		Service:    "svc",
+		QoS:        wire.QoS{Deadline: 5 * ms, MinProbability: 0.9},
+		Repository: repo,
+		Overload:   OverloadConfig{BackpressureHold: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := time.Now()
+	d, err := s.Schedule(base, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Targets) != 4 || d.Mode != ModeNormal {
+		t.Fatalf("normal-mode decision = %d targets in %v, want paper-exact 4 in normal", len(d.Targets), d.Mode)
+	}
+	finish := func(d Decision) {
+		for _, id := range d.Targets {
+			s.OnReply(d.Seq, id, base.Add(20*ms), wire.PerfReport{ServiceTime: 10 * ms})
+		}
+	}
+	finish(d)
+
+	// A transport backpressure signal degrades the scheduler even with no
+	// admission ceiling configured.
+	s.NoteBackpressure()
+	if got := s.Mode(); got != ModeBudgeted {
+		t.Fatalf("Mode after backpressure = %v, want budgeted", got)
+	}
+	d, err = s.Schedule(base, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Targets) != DefaultBestEffortK {
+		t.Errorf("degraded fallback selected %d replicas, want best-effort %d", len(d.Targets), DefaultBestEffortK)
+	}
+	if !d.BudgetCapped || d.Mode != ModeBudgeted {
+		t.Errorf("Decision = {BudgetCapped:%v Mode:%v}, want capped in budgeted mode", d.BudgetCapped, d.Mode)
+	}
+	if st := s.Stats(); st.Backpressure != 1 || st.BudgetCapped == 0 {
+		t.Errorf("stats = %+v, want Backpressure=1 and BudgetCapped>0", st)
+	}
+	finish(d)
+
+	// Two clean completions exhaust the hold; the ladder returns to Normal
+	// and the select-all fallback is paper-exact again.
+	d, err = s.Schedule(base, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish(d)
+	if got := s.Mode(); got != ModeNormal {
+		t.Fatalf("Mode after hold drained = %v, want normal", got)
+	}
+	d, err = s.Schedule(base, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Targets) != 4 {
+		t.Errorf("post-recovery fallback selected %d replicas, want all 4", len(d.Targets))
+	}
+	finish(d)
+}

@@ -69,6 +69,9 @@ type Config struct {
 	// MinSamplesForViolation gates the QoS-violation check; zero means
 	// DefaultMinSamplesForViolation.
 	MinSamplesForViolation int
+	// Overload configures admission control and the degradation ladder
+	// (overload.go). The zero value keeps the paper-exact behavior.
+	Overload OverloadConfig
 	// Metrics receives live counters and histograms (selections, |K|,
 	// predicted P_K(t), δ, failures, per-replica response times); nil means
 	// the process-wide default registry.
@@ -83,6 +86,13 @@ type Decision struct {
 	Overhead  time.Duration // δ measured for this invocation
 	UsedAll   bool
 	ColdStart bool
+	// Mode is the degradation-ladder position the decision was made under.
+	Mode Mode
+	// Budget is the load-conditioned redundancy cap that applied (zero when
+	// unbounded), and BudgetCapped reports that it — or the degraded-mode
+	// best-effort cap — truncated the set the algorithm wanted.
+	Budget       int
+	BudgetCapped bool
 }
 
 // ReplyOutcome describes how one incoming reply was handled.
@@ -133,6 +143,10 @@ type Stats struct {
 	SelectedTotal    uint64 // sum of |K| across requests, for mean redundancy
 	UsedAllCount     uint64
 	ConsecutiveFails uint64
+	Shed             uint64 // requests refused by admission control
+	Degradations     uint64 // degradation-ladder transitions (any direction)
+	BudgetCapped     uint64 // selections truncated by a budget or best-effort cap
+	Backpressure     uint64 // transport backpressure signals absorbed
 }
 
 // MeanRedundancy returns the average number of replicas selected per
@@ -158,6 +172,7 @@ type pending struct {
 	t0             time.Time // interception time
 	t1             time.Time // transmission time
 	targets        map[wire.ReplicaID]bool
+	settled        map[wire.ReplicaID]bool // targets whose repository in-flight count was released
 	replies        int
 	firstDelivered bool
 	failed         bool // timing failure already charged (deadline expiry)
@@ -178,6 +193,12 @@ type schedInstruments struct {
 	targets          *metrics.Histogram
 	predicted        *metrics.Histogram
 	overhead         *metrics.Histogram
+	shed             *metrics.Counter
+	degradations     *metrics.Counter
+	mode             *metrics.Gauge
+	budgetCapped     *metrics.Counter
+	backpressure     *metrics.Counter
+	budget           *metrics.Histogram
 }
 
 func resolveSchedInstruments(r *metrics.Registry) schedInstruments {
@@ -193,6 +214,12 @@ func resolveSchedInstruments(r *metrics.Registry) schedInstruments {
 		targets:          r.Histogram(metrics.SchedTargets, metrics.TargetBuckets),
 		predicted:        r.Histogram(metrics.SchedPredicted, metrics.ProbabilityBuckets),
 		overhead:         r.Histogram(metrics.SchedOverheadSeconds, metrics.OverheadBuckets),
+		shed:             r.Counter(metrics.SchedShed),
+		degradations:     r.Counter(metrics.SchedDegradations),
+		mode:             r.Gauge(metrics.SchedMode),
+		budgetCapped:     r.Counter(metrics.SchedBudgetCapped),
+		backpressure:     r.Counter(metrics.SchedBackpressure),
+		budget:           r.Histogram(metrics.SchedBudget, metrics.TargetBuckets),
 	}
 }
 
@@ -213,6 +240,14 @@ type Scheduler struct {
 	lastOverhead time.Duration
 	stats        Stats
 	notified     bool // violation callback already fired since last renegotiation
+	mode         Mode // degradation-ladder position (overload.go)
+	bpHold       int  // completions a backpressure signal still pins the ladder for
+	// winCompleted/winFailures are the QoS accounting window: they track
+	// Completed/TimingFailures but reset on Renegotiate, so the observed
+	// timely fraction is always measured against the QoS it was served
+	// under, never against history from a previous contract.
+	winCompleted uint64
+	winFailures  uint64
 }
 
 // NewScheduler returns a scheduler for one (client, service) pair.
@@ -235,6 +270,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	if cfg.MinSamplesForViolation <= 0 {
 		cfg.MinSamplesForViolation = DefaultMinSamplesForViolation
 	}
+	cfg.Overload = cfg.Overload.withDefaults()
 	reg := metrics.OrDefault(cfg.Metrics)
 	return &Scheduler{
 		cfg:         cfg,
@@ -261,7 +297,11 @@ func (s *Scheduler) QoS() wire.QoS {
 
 // Renegotiate replaces the QoS specification at runtime (§4: the client
 // "may ... negotiate it at runtime as often as it wants") and re-arms the
-// violation callback.
+// violation callback. The QoS accounting window resets: completions and
+// timing failures recorded under the old contract must not pollute the
+// observed-timely fraction compared against the new Pc, which could
+// otherwise fire (or suppress) the violation callback spuriously right
+// after renegotiation. Cumulative Stats counters are unaffected.
 func (s *Scheduler) Renegotiate(q wire.QoS) error {
 	if err := q.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
@@ -271,6 +311,8 @@ func (s *Scheduler) Renegotiate(q wire.QoS) error {
 	s.cfg.QoS = q
 	s.notified = false
 	s.stats.ConsecutiveFails = 0
+	s.winCompleted = 0
+	s.winFailures = 0
 	return nil
 }
 
@@ -286,7 +328,25 @@ func (s *Scheduler) Renegotiate(q wire.QoS) error {
 func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 	start := time.Now() // δ is computational overhead: always wall clock
 
+	// Degradation callbacks fire after every lock below is released (defers
+	// run LIFO, so this one runs last).
+	var reps []DegradationReport
+	defer func() { s.deliverDegradations(reps) }()
+
 	s.mu.Lock()
+	// Admission control: shed before paying for the probability table. The
+	// ceiling compares against tracked in-flight requests, so a backlog of
+	// unanswered multicasts blocks new work instead of amplifying it.
+	if max := s.cfg.Overload.MaxInFlight; max > 0 && len(s.pend) >= max {
+		n := len(s.pend)
+		s.stats.Shed++
+		s.met.shed.Inc()
+		s.evalModeLocked("shed", &reps)
+		mode := s.mode
+		s.mu.Unlock()
+		return Decision{Mode: mode}, fmt.Errorf("core: %d requests in flight (ceiling %d) for service %q: %w",
+			n, max, s.cfg.Service, ErrOverloaded)
+	}
 	qos := s.cfg.QoS
 	deadline := qos.Deadline
 	if s.cfg.CompensateOverhead {
@@ -346,13 +406,34 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 		return Decision{}, fmt.Errorf("core: strategy %q selected no replicas", s.strategy.Name())
 	}
 
+	// While degraded, the line-15 "no subset reaches Pc(t) → all of M"
+	// fallback is replaced with a best-effort set: Pc is unreachable either
+	// way, and fanning out to everyone is exactly the |M|× amplification
+	// that deepens the overload. The selected list is ordered by decreasing
+	// F_Ri(t), so truncating keeps the m0 reserve's shape (Eq. 3) with the
+	// best remaining replica.
+	capped := res.Capped
+	if k := s.cfg.Overload.BestEffortK; s.mode != ModeNormal && res.UsedAll && k > 0 && len(res.Selected) > k {
+		res.Selected = res.Selected[:k]
+		res.Predicted = predictedFor(table, res.Selected)
+		capped = true
+	}
+	if capped {
+		s.stats.BudgetCapped++
+		s.met.budgetCapped.Inc()
+	}
+	if res.Budget > 0 {
+		s.met.budget.Observe(float64(res.Budget))
+	}
+
 	seq := s.nextSeq
 	s.nextSeq++
 	targets := make(map[wire.ReplicaID]bool, len(res.Selected))
 	for _, id := range res.Selected {
 		targets[id] = true
+		s.repo.NoteDispatched(id)
 	}
-	s.pend[seq] = &pending{t0: t0, targets: targets, method: method}
+	s.pend[seq] = &pending{t0: t0, targets: targets, settled: make(map[wire.ReplicaID]bool, len(targets)), method: method}
 	s.stats.Requests++
 	s.stats.SelectedTotal += uint64(len(res.Selected))
 	if res.UsedAll {
@@ -363,14 +444,35 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 	s.met.targets.Observe(float64(len(res.Selected)))
 	s.met.predicted.Observe(res.Predicted)
 	s.met.overhead.ObserveDuration(s.lastOverhead)
+	s.evalModeLocked("schedule", &reps)
 	return Decision{
-		Seq:       seq,
-		Targets:   res.Selected,
-		Predicted: res.Predicted,
-		Overhead:  s.lastOverhead,
-		UsedAll:   res.UsedAll,
-		ColdStart: res.ColdStart,
+		Seq:          seq,
+		Targets:      res.Selected,
+		Predicted:    res.Predicted,
+		Overhead:     s.lastOverhead,
+		UsedAll:      res.UsedAll,
+		ColdStart:    res.ColdStart,
+		Mode:         s.mode,
+		Budget:       res.Budget,
+		BudgetCapped: capped,
 	}, nil
+}
+
+// predictedFor recomputes Equation 1 over a truncated selection. Cold
+// replicas (absent from the table) contribute nothing, exactly as in the
+// strategy's own accounting.
+func predictedFor(table []model.ReplicaProbability, selected []wire.ReplicaID) float64 {
+	probs := make(map[wire.ReplicaID]float64, len(table))
+	for _, rp := range table {
+		probs[rp.Snapshot.ID] = rp.Probability
+	}
+	miss := 1.0
+	for _, id := range selected {
+		if p, ok := probs[id]; ok {
+			miss *= 1 - p
+		}
+	}
+	return 1 - miss
 }
 
 // Dispatched records the transmission time t1 for a scheduled request.
@@ -390,6 +492,8 @@ func (s *Scheduler) Dispatched(seq wire.SeqNo, t1 time.Time) error {
 // computes the new gateway delay, and — for the first reply — evaluates the
 // timing-failure predicate.
 func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time, perf wire.PerfReport) ReplyOutcome {
+	var reps []DegradationReport
+	defer func() { s.deliverDegradations(reps) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -401,6 +505,12 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 		// A reply from a replica we never asked: ignore, but don't poison
 		// the repository with a mismatched t1.
 		return ReplyOutcome{Unknown: true}
+	}
+	if !p.settled[replica] {
+		// First word from this copy: its contribution to the replica's
+		// in-flight load is over.
+		p.settled[replica] = true
+		s.repo.NoteSettled(replica)
 	}
 	s.stats.Replies++
 	p.replies++
@@ -424,7 +534,7 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 		s.stats.Duplicates++
 		s.met.duplicates.Inc()
 		if p.replies >= len(p.targets) {
-			s.dropPendingLocked(seq)
+			s.dropPendingLocked(seq, &reps)
 		}
 		return out
 	}
@@ -441,7 +551,7 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 		s.completeLocked(failed, &out)
 	}
 	if p.replies >= len(p.targets) {
-		s.dropPendingLocked(seq)
+		s.dropPendingLocked(seq, &reps)
 	}
 	return out
 }
@@ -458,11 +568,21 @@ func (s *Scheduler) replicaResponseLocked(id wire.ReplicaID) *metrics.Histogram 
 	return h
 }
 
-// dropPendingLocked removes one tracked request and keeps the pending gauge
-// in step. Caller holds s.mu; the seq must exist.
-func (s *Scheduler) dropPendingLocked(seq wire.SeqNo) {
+// dropPendingLocked removes one tracked request, releases any still-unsettled
+// in-flight contributions (targets that never replied), keeps the pending
+// gauge in step, and re-evaluates the degradation ladder now that the
+// in-flight count dropped. Caller holds s.mu; the seq must exist.
+func (s *Scheduler) dropPendingLocked(seq wire.SeqNo, reps *[]DegradationReport) {
+	if p, ok := s.pend[seq]; ok {
+		for id := range p.targets {
+			if !p.settled[id] {
+				s.repo.NoteSettled(id)
+			}
+		}
+	}
 	delete(s.pend, seq)
 	s.met.pending.Add(-1)
+	s.evalModeLocked("complete", reps)
 }
 
 // OnDeadlineExpired charges a timing failure for a request whose deadline
@@ -485,26 +605,33 @@ func (s *Scheduler) OnDeadlineExpired(seq wire.SeqNo) *ViolationReport {
 }
 
 // completeLocked finalizes the failure accounting for one request and
-// evaluates the QoS-violation predicate (§5.4.2).
+// evaluates the QoS-violation predicate (§5.4.2) over the current QoS
+// accounting window (winCompleted/winFailures, reset by Renegotiate).
 func (s *Scheduler) completeLocked(failed bool, out *ReplyOutcome) {
 	s.stats.Completed++
+	s.winCompleted++
+	if s.bpHold > 0 {
+		// A clean completion is evidence the transport is draining again.
+		s.bpHold--
+	}
 	if failed {
 		s.stats.TimingFailures++
+		s.winFailures++
 		s.stats.ConsecutiveFails++
 		s.met.timingFailures.Inc()
 	} else {
 		s.stats.ConsecutiveFails = 0
 	}
-	if s.notified || s.stats.Completed < uint64(s.cfg.MinSamplesForViolation) {
+	if s.notified || s.winCompleted < uint64(s.cfg.MinSamplesForViolation) {
 		return
 	}
-	observed := 1 - float64(s.stats.TimingFailures)/float64(s.stats.Completed)
+	observed := 1 - float64(s.winFailures)/float64(s.winCompleted)
 	if observed < s.cfg.QoS.MinProbability {
 		out.Violation = &ViolationReport{
 			Service:          s.cfg.Service,
 			QoS:              s.cfg.QoS,
-			Completed:        s.stats.Completed,
-			TimingFailures:   s.stats.TimingFailures,
+			Completed:        s.winCompleted,
+			TimingFailures:   s.winFailures,
 			ObservedTimely:   observed,
 			RequiredTimely:   s.cfg.QoS.MinProbability,
 			ConsecutiveFails: s.stats.ConsecutiveFails,
@@ -517,10 +644,12 @@ func (s *Scheduler) completeLocked(failed bool, out *ReplyOutcome) {
 // Forget drops the pending state for a request (e.g. after a grace period
 // for straggler duplicates). Safe to call for unknown sequence numbers.
 func (s *Scheduler) Forget(seq wire.SeqNo) {
+	var reps []DegradationReport
+	defer func() { s.deliverDegradations(reps) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.pend[seq]; ok {
-		s.dropPendingLocked(seq)
+		s.dropPendingLocked(seq, &reps)
 	}
 }
 
@@ -556,6 +685,8 @@ func (s *Scheduler) OnMembershipChangeAt(members []wire.ReplicaID, now time.Time
 	for _, id := range members {
 		alive[id] = true
 	}
+	var degs []DegradationReport
+	defer func() { s.deliverDegradations(degs) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var report *ViolationReport
@@ -580,7 +711,7 @@ func (s *Scheduler) OnMembershipChangeAt(members []wire.ReplicaID, now time.Time
 				report = out.Violation
 			}
 		}
-		s.dropPendingLocked(seq)
+		s.dropPendingLocked(seq, &degs)
 	}
 	return report
 }

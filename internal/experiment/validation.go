@@ -309,8 +309,9 @@ func RunA11() (*Table, error) {
 // loop in Algorithm 1: degraded histories push every F_Ri(t) down, the
 // line-15 fallback selects ALL replicas, and the extra copies deepen the
 // overload. The paper's evaluation (1 req/s clients) never enters this
-// regime; an admission-control or redundancy-cap extension would be needed
-// there.
+// regime. The amplification is fixed by the budgeted strategy plus
+// admission control (BudgetedSelection + OverloadConfig) and fenced by the
+// a13 overload sweep.
 func RunA12() (*Table, error) {
 	t := &Table{
 		Title:   "A12: client scalability (7 replicas @ ~100ms, deadline=200ms, Pc=0.9, think 400ms)",
@@ -318,6 +319,7 @@ func RunA12() (*Table, error) {
 		Notes: []string{
 			"below capacity the bound holds at floor redundancy; past capacity the paper's select-all fallback amplifies overload",
 			"the cap-3 variant trades the unreachable Pc guarantee for graceful degradation under overload",
+			"the amplification is fixed by budgeted selection + admission control; a13 fences the fix across a load sweep",
 		},
 	}
 	for _, nClients := range []int{1, 2, 4, 8, 12} {

@@ -13,6 +13,7 @@ package gateway
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -70,6 +71,16 @@ type Config struct {
 	// failures, and violations for post-run analysis. Timestamps are
 	// relative to the handler's creation.
 	Trace *trace.Recorder
+	// Overload configures admission control and the degradation ladder in
+	// the scheduler (core.OverloadConfig); the zero value keeps the
+	// paper-exact behavior. Transport backpressure on the request multicast
+	// feeds the same ladder regardless.
+	Overload core.OverloadConfig
+	// ShedRetryDelay is the backoff before the single bounded retry of a
+	// call shed by admission control (core.ErrOverloaded). Zero means half
+	// the QoS deadline; negative disables the retry and surfaces
+	// ErrOverloaded to the caller immediately.
+	ShedRetryDelay time.Duration
 	// ProbeInterval, when positive, enables active probing (the paper's §8
 	// extension): replicas whose performance data is older than
 	// StalenessBound (or ProbeInterval if no bound is set) receive probe
@@ -92,8 +103,9 @@ type TimingFaultHandler struct {
 	prober *prober
 	epoch  time.Time // trace timestamps are offsets from creation
 
-	metCalls      *metrics.Counter
-	metCallErrors *metrics.Counter
+	metCalls       *metrics.Counter
+	metCallErrors  *metrics.Counter
+	metShedRetries *metrics.Counter
 
 	mu         sync.Mutex
 	addrOf     map[wire.ReplicaID]transport.Addr
@@ -128,22 +140,24 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 		Repository:         repo,
 		CompensateOverhead: cfg.CompensateOverhead,
 		StalenessBound:     cfg.StalenessBound,
+		Overload:           cfg.Overload,
 		Metrics:            reg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("gateway: %w", err)
 	}
 	h := &TimingFaultHandler{
-		cfg:           cfg,
-		ep:            ep,
-		sched:         sched,
-		epoch:         time.Now(),
-		metCalls:      reg.Counter(metrics.GatewayCalls),
-		metCallErrors: reg.Counter(metrics.GatewayCallErrors),
-		addrOf:        make(map[wire.ReplicaID]transport.Addr),
-		waiters:       make(map[wire.SeqNo]chan wire.Response),
-		subscribed:    make(map[wire.ReplicaID]bool),
-		stop:          make(chan struct{}),
+		cfg:            cfg,
+		ep:             ep,
+		sched:          sched,
+		epoch:          time.Now(),
+		metCalls:       reg.Counter(metrics.GatewayCalls),
+		metCallErrors:  reg.Counter(metrics.GatewayCallErrors),
+		metShedRetries: reg.Counter(metrics.GatewayShedRetries),
+		addrOf:         make(map[wire.ReplicaID]transport.Addr),
+		waiters:        make(map[wire.SeqNo]chan wire.Response),
+		subscribed:     make(map[wire.ReplicaID]bool),
+		stop:           make(chan struct{}),
 	}
 	for id, addr := range cfg.StaticReplicas {
 		h.addrOf[id] = addr
@@ -283,6 +297,11 @@ func (h *TimingFaultHandler) resolve(id wire.ReplicaID) (transport.Addr, bool) {
 // Call issues one request and blocks until the earliest reply, the context
 // is done, or MaxWait elapses. A late first reply is returned to the caller
 // (with the timing failure already recorded), as in the paper.
+//
+// A call shed by admission control (core.ErrOverloaded) is retried exactly
+// once after ShedRetryDelay — long enough for the backlog that triggered the
+// shed to drain a little, bounded so a persistent overload still surfaces as
+// an explicit error instead of an unbounded retry storm.
 func (h *TimingFaultHandler) Call(ctx context.Context, method string, payload []byte) (_ []byte, retErr error) {
 	h.metCalls.Inc()
 	defer func() {
@@ -290,6 +309,29 @@ func (h *TimingFaultHandler) Call(ctx context.Context, method string, payload []
 			h.metCallErrors.Inc()
 		}
 	}()
+	out, err := h.callOnce(ctx, method, payload)
+	if err == nil || !errors.Is(err, core.ErrOverloaded) || h.cfg.ShedRetryDelay < 0 {
+		return out, err
+	}
+	delay := h.cfg.ShedRetryDelay
+	if delay == 0 {
+		delay = h.sched.QoS().Deadline / 2
+	}
+	h.metShedRetries.Inc()
+	backoff := time.NewTimer(delay)
+	defer backoff.Stop()
+	select {
+	case <-backoff.C:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("gateway: call canceled: %w", ctx.Err())
+	case <-h.stop:
+		return nil, transport.ErrClosed
+	}
+	return h.callOnce(ctx, method, payload)
+}
+
+// callOnce runs one scheduling + multicast + wait cycle.
+func (h *TimingFaultHandler) callOnce(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	t0 := time.Now()
 	d, err := h.sched.Schedule(t0, method)
 	if err != nil {
@@ -331,6 +373,12 @@ func (h *TimingFaultHandler) Call(ctx context.Context, method string, payload []
 	t1 := time.Now()
 	req.SentAt = t1
 	if err := transport.Multicast(h.ep, addrs, req); err != nil {
+		// A saturated send queue is an overload signal: feed it into the
+		// scheduler's degradation ladder so selection stops fanning out
+		// before the transport starts dropping frames wholesale.
+		if errors.Is(err, transport.ErrBackpressure) {
+			h.sched.NoteBackpressure()
+		}
 		// Partial delivery is fine — that's what redundancy is for — but
 		// total failure with one target means the call cannot proceed.
 		if len(addrs) == 1 {

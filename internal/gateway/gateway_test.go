@@ -692,3 +692,72 @@ func TestConcurrentCallsOnOneHandler(t *testing.T) {
 		t.Errorf("Requests = %d, want %d", st.Requests, callers*perCaller)
 	}
 }
+
+// With ShedRetryDelay < 0 the bounded retry is disabled: a call refused by
+// admission control surfaces ErrOverloaded directly to the caller.
+func TestCallShedWithoutRetrySurfacesErrOverloaded(t *testing.T) {
+	f := newFixture(t, 2, stats.Constant{Delay: 80 * ms})
+	h := f.handler(Config{
+		Client: "c1", Service: "svc",
+		QoS:            wire.QoS{Deadline: 400 * ms, MinProbability: 0.9},
+		Overload:       core.OverloadConfig{MaxInFlight: 1},
+		ShedRetryDelay: -1,
+	})
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.Call(ctx, "", []byte("first"))
+		done <- err
+	}()
+	time.Sleep(30 * ms) // first call is in flight, holding the only slot
+
+	_, err := h.Call(ctx, "", []byte("second"))
+	if !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("second call: err = %v, want ErrOverloaded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	if st := h.Stats(); st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1", st.Shed)
+	}
+}
+
+// With a retry delay long enough for the backlog to drain, a shed call is
+// retried once and succeeds instead of surfacing ErrOverloaded.
+func TestCallRetriesOnceAfterShed(t *testing.T) {
+	f := newFixture(t, 2, stats.Constant{Delay: 80 * ms})
+	h := f.handler(Config{
+		Client: "c1", Service: "svc",
+		QoS:            wire.QoS{Deadline: 400 * ms, MinProbability: 0.9},
+		Overload:       core.OverloadConfig{MaxInFlight: 1},
+		ShedRetryDelay: 150 * ms, // first call completes in ~80ms
+	})
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.Call(ctx, "", []byte("first"))
+		done <- err
+	}()
+	time.Sleep(30 * ms)
+
+	out, err := h.Call(ctx, "", []byte("second"))
+	if err != nil {
+		t.Fatalf("second call should succeed after retry, got %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("second call returned empty payload")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	st := h.Stats()
+	if st.Shed != 1 {
+		t.Errorf("Shed = %d, want 1 (the refused first attempt)", st.Shed)
+	}
+	if st.Completed < 2 {
+		t.Errorf("Completed = %d, want >= 2", st.Completed)
+	}
+}

@@ -119,7 +119,10 @@ func (h *PassiveHandler) Call(ctx context.Context, method string, payload []byte
 	copy(candidates, h.members)
 	seq := h.nextSeq
 	h.nextSeq++
-	waiter := make(chan wire.Response, 1)
+	// One buffer slot per candidate: a late reply from a timed-out replica
+	// must never occupy the only slot and squeeze out the reply of the
+	// replica currently being tried.
+	waiter := make(chan wire.Response, len(candidates)+1)
 	h.waiters[seq] = waiter
 	h.mu.Unlock()
 	defer func() {
@@ -151,22 +154,38 @@ func (h *PassiveHandler) Call(ctx context.Context, method string, payload []byte
 			continue
 		}
 		attempt := time.NewTimer(h.cfg.AttemptTimeout)
-		select {
-		case resp := <-waiter:
-			attempt.Stop()
-			if resp.Err != "" {
-				return nil, fmt.Errorf("gateway: replica %s: %s", resp.Replica, resp.Err)
+	wait:
+		for {
+			select {
+			case resp := <-waiter:
+				if resp.Err != "" {
+					// An application error is a failed attempt, not a final
+					// answer: fail over exactly as a timeout would. A stale
+					// error from an already-abandoned target must not abort
+					// the attempt currently in flight either — keep waiting.
+					lastErr = fmt.Errorf("gateway: replica %s: %s", resp.Replica, resp.Err)
+					if resp.Replica == target {
+						break wait
+					}
+					continue
+				}
+				// A successful reply from any candidate answers the call —
+				// a straggler from a timed-out replica is still the same
+				// request's result.
+				attempt.Stop()
+				return resp.Payload, nil
+			case <-attempt.C:
+				lastErr = fmt.Errorf("gateway: %s did not respond within %v", target, h.cfg.AttemptTimeout)
+				break wait
+			case <-ctx.Done():
+				attempt.Stop()
+				return nil, fmt.Errorf("gateway: call canceled: %w", ctx.Err())
+			case <-h.stop:
+				attempt.Stop()
+				return nil, transport.ErrClosed
 			}
-			return resp.Payload, nil
-		case <-attempt.C:
-			lastErr = fmt.Errorf("gateway: %s did not respond within %v", target, h.cfg.AttemptTimeout)
-		case <-ctx.Done():
-			attempt.Stop()
-			return nil, fmt.Errorf("gateway: call canceled: %w", ctx.Err())
-		case <-h.stop:
-			attempt.Stop()
-			return nil, transport.ErrClosed
 		}
+		attempt.Stop()
 	}
 	return nil, fmt.Errorf("gateway: all replicas failed: %w", lastErr)
 }

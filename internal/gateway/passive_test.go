@@ -2,9 +2,11 @@ package gateway
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
+	"aqua/internal/server"
 	"aqua/internal/stats"
 	"aqua/internal/transport"
 	"aqua/internal/wire"
@@ -137,4 +139,115 @@ func TestSortReplicaIDs(t *testing.T) {
 		t.Errorf("sorted = %v", ids)
 	}
 	sortReplicaIDs(nil) // must not panic
+}
+
+// passiveCluster starts replicas with per-replica handlers and delays and
+// returns a PassiveHandler over them.
+func passiveCluster(t *testing.T, attempt time.Duration, specs map[wire.ReplicaID]passiveSpec) *PassiveHandler {
+	t.Helper()
+	net := transport.NewInMem()
+	t.Cleanup(func() { _ = net.Close() })
+	static := make(map[wire.ReplicaID]transport.Addr, len(specs))
+	for id, spec := range specs {
+		ep, err := net.Listen(transport.Addr(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var load stats.DelayDist
+		if spec.delay > 0 {
+			load = stats.Constant{Delay: spec.delay}
+		}
+		srv, err := server.Start(ep, server.Config{
+			ID: id, Service: "svc", Handler: spec.handler, LoadDelay: load, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Stop)
+		static[id] = srv.Addr()
+	}
+	cep, err := net.Listen("client:pc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewPassiveHandler(cep, PassiveConfig{
+		Client: "pc", Service: "svc", AttemptTimeout: attempt, StaticReplicas: static,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+type passiveSpec = struct {
+	handler func(string, []byte) ([]byte, error)
+	delay   time.Duration
+}
+
+// TestPassiveErrorReplyFailsOver: an application error from the primary is a
+// failed attempt, not a final answer — the handler must try the backup.
+// Before the fix, Call returned the primary's error immediately, so a single
+// faulty replica at the head of the view made every call fail despite
+// healthy backups.
+func TestPassiveErrorReplyFailsOver(t *testing.T) {
+	h := passiveCluster(t, 200*ms, map[wire.ReplicaID]passiveSpec{
+		"r0": {handler: func(string, []byte) ([]byte, error) { return nil, fmt.Errorf("boom") }},
+		"r1": {handler: func(_ string, p []byte) ([]byte, error) { return append([]byte("r1:"), p...), nil }},
+	})
+	out, err := h.Call(context.Background(), "m", []byte("x"))
+	if err != nil {
+		t.Fatalf("Call = %v, want failover success", err)
+	}
+	if string(out) != "r1:x" {
+		t.Errorf("reply = %q, want %q", out, "r1:x")
+	}
+}
+
+// TestPassiveStaleErrorDoesNotAbortCurrentAttempt: after the primary times
+// out, its late error reply must not be mistaken for the current target's
+// answer. Before the fix the stale error occupied the single waiter slot,
+// the in-flight attempt consumed it, and the call failed even though the
+// backup was about to answer.
+func TestPassiveStaleErrorDoesNotAbortCurrentAttempt(t *testing.T) {
+	h := passiveCluster(t, 50*ms, map[wire.ReplicaID]passiveSpec{
+		// The primary errors, but only after its attempt window has passed.
+		"r0": {handler: func(string, []byte) ([]byte, error) { return nil, fmt.Errorf("late boom") }, delay: 70 * ms},
+		// The backup is healthy, just slower than the stale error's arrival.
+		"r1": {handler: func(_ string, p []byte) ([]byte, error) { return append([]byte("r1:"), p...), nil }, delay: 30 * ms},
+	})
+	out, err := h.Call(context.Background(), "m", []byte("x"))
+	if err != nil {
+		t.Fatalf("Call = %v, want backup's reply despite the primary's straggling error", err)
+	}
+	if string(out) != "r1:x" {
+		t.Errorf("reply = %q, want %q", out, "r1:x")
+	}
+}
+
+// TestPassiveChurnWithStragglers: repeated calls against a pool whose
+// primary always times out must keep working while the primary's straggling
+// replies keep landing on waiters of past calls (or none at all). Fences the
+// receive path against blocking or panicking on late replies.
+func TestPassiveChurnWithStragglers(t *testing.T) {
+	ok := func(_ string, p []byte) ([]byte, error) { return append([]byte("r1:"), p...), nil }
+	h := passiveCluster(t, 25*ms, map[wire.ReplicaID]passiveSpec{
+		"r0": {handler: ok, delay: 80 * ms}, // always outlives its attempt window
+		"r1": {handler: ok},
+	})
+	for i := 0; i < 5; i++ {
+		out, err := h.Call(context.Background(), "m", []byte("x"))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(out) != "r1:x" {
+			t.Errorf("call %d reply = %q, want from r1", i, out)
+		}
+	}
+	// Let the stragglers from every timed-out attempt drain through the
+	// receive loop after their waiters are gone.
+	time.Sleep(120 * ms)
+	if _, err := h.Call(context.Background(), "m", []byte("x")); err != nil {
+		t.Fatalf("post-straggler call: %v", err)
+	}
 }

@@ -20,13 +20,23 @@ const (
 	SchedPredicted        = "aqua_sched_predicted"               // P_K(t) per Equation 1
 	SchedOverheadSeconds  = "aqua_sched_overhead_seconds"        // δ per selection (Figure 3 series)
 
+	// Overload control (internal/core): admission shedding, the degraded-mode
+	// ladder, and the load-conditioned redundancy budget.
+	SchedShed         = "aqua_sched_shed_total"          // requests refused by admission control (ErrOverloaded)
+	SchedDegradations = "aqua_sched_degradations_total"  // degraded-mode transitions (any direction)
+	SchedMode         = "aqua_sched_mode"                // current mode gauge: 0 normal, 1 budgeted, 2 shedding
+	SchedBudgetCapped = "aqua_sched_budget_capped_total" // selections truncated by the budget or best-effort cap
+	SchedBackpressure = "aqua_sched_backpressure_total"  // transport backpressure signals absorbed
+	SchedBudget       = "aqua_sched_budget"              // redundancy budget per budgeted selection (histogram)
+
 	// Per-replica response times observed by the scheduler (t4 − t0 per
 	// harvested reply). Labelled by replica.
 	ReplicaResponseSeconds = "aqua_replica_response_seconds"
 
 	// Gateway (internal/gateway).
-	GatewayCalls      = "aqua_gateway_calls_total"
-	GatewayCallErrors = "aqua_gateway_call_errors_total"
+	GatewayCalls       = "aqua_gateway_calls_total"
+	GatewayCallErrors  = "aqua_gateway_call_errors_total"
+	GatewayShedRetries = "aqua_gateway_shed_retries_total" // bounded retries of admission-shed calls
 
 	// Active prober (internal/gateway/prober.go).
 	ProbeSent        = "aqua_probe_sent_total"

@@ -31,10 +31,21 @@ type Policy struct {
 	// CheckInterval is how often the pool is reconciled; zero means
 	// DefaultCheckInterval.
 	CheckInterval time.Duration
+	// JoinTimeout is how long a factory-started replica may stay absent
+	// from the group view before the manager gives up on it: its stop
+	// handle is invoked, its slot is freed, and the next reconcile starts a
+	// replacement. Zero means DefaultJoinTimeoutChecks × CheckInterval.
+	JoinTimeout time.Duration
 }
 
 // DefaultCheckInterval is the default reconciliation cadence.
 const DefaultCheckInterval = 50 * time.Millisecond
+
+// DefaultJoinTimeoutChecks is the default JoinTimeout expressed in check
+// intervals: long enough for any healthy join (which normally completes
+// within one interval), short enough that a wedged replica doesn't hold its
+// pool slot for long.
+const DefaultJoinTimeoutChecks = 20
 
 // Manager reconciles one service's replica pool against its policy. It
 // observes membership through a group view feed (ObserveView) — typically
@@ -44,12 +55,22 @@ type Manager struct {
 
 	mu      sync.Mutex
 	view    group.View
-	started map[wire.ReplicaID]func()
+	started map[wire.ReplicaID]*startedEntry
 	next    int
 	stopped bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// startedEntry tracks one replica the manager launched: its stop handle,
+// when it was started, and whether it has ever appeared in a group view.
+// The joined flag is what distinguishes "still joining" (kept until the join
+// timeout) from "joined and later left" (dead, dropped immediately).
+type startedEntry struct {
+	stop   func()
+	at     time.Time
+	joined bool
 }
 
 // NewManager validates the policy and returns a manager. Call Run to begin
@@ -67,9 +88,12 @@ func NewManager(p Policy) (*Manager, error) {
 	if p.CheckInterval <= 0 {
 		p.CheckInterval = DefaultCheckInterval
 	}
+	if p.JoinTimeout <= 0 {
+		p.JoinTimeout = DefaultJoinTimeoutChecks * p.CheckInterval
+	}
 	return &Manager{
 		policy:  p,
-		started: make(map[wire.ReplicaID]func()),
+		started: make(map[wire.ReplicaID]*startedEntry),
 		stop:    make(chan struct{}),
 	}, nil
 }
@@ -80,12 +104,20 @@ func (m *Manager) ObserveView(v group.View) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.view = v
-	// Drop stop handles for replicas that left the view: they are dead and
-	// their handle will never be used again.
-	for id := range m.started {
-		if !v.Contains(id) {
+	for id, e := range m.started {
+		switch {
+		case v.Contains(id):
+			e.joined = true
+		case e.joined:
+			// Joined earlier, gone now: the replica is dead and its stop
+			// handle will never be used again.
 			delete(m.started, id)
 		}
+		// A never-joined entry survives view changes: it is either still
+		// joining (and must keep holding its pool slot so reconcile doesn't
+		// over-provision) or wedged, in which case the join timeout — not an
+		// unrelated view change — is what retires it. Dropping it here leaked
+		// the running process by discarding its only stop handle.
 	}
 }
 
@@ -107,19 +139,41 @@ func (m *Manager) Run() {
 	}()
 }
 
-// reconcile starts replicas until the live count reaches the target.
+// reconcile ages out replicas that never joined and starts new ones until
+// the live count reaches the target.
 func (m *Manager) reconcile() {
 	m.mu.Lock()
+	now := time.Now()
+	var expired []func()
+	for id, e := range m.started {
+		if !e.joined && m.view.Contains(id) {
+			// The view carrying this replica arrived before the factory
+			// returned its identity; catch the flag up so the entry isn't
+			// aged out (and stopped) while alive.
+			e.joined = true
+		}
+		if !e.joined && now.Sub(e.at) >= m.policy.JoinTimeout {
+			// Started but never joined: the replica wedged during startup.
+			// Without this age-out the entry counts as live forever, so the
+			// pool silently runs below target and the stop handle leaks.
+			expired = append(expired, e.stop)
+			delete(m.started, id)
+		}
+	}
 	live := len(m.view.Members)
 	// Replicas we started that have not yet appeared in a view also count,
 	// otherwise a slow join causes over-provisioning.
-	for id := range m.started {
-		if !m.view.Contains(id) {
+	for _, e := range m.started {
+		if !e.joined {
 			live++
 		}
 	}
 	deficit := m.policy.ReplicationLevel - live
 	m.mu.Unlock()
+
+	for _, stopFn := range expired {
+		stopFn()
+	}
 
 	for i := 0; i < deficit; i++ {
 		m.mu.Lock()
@@ -139,7 +193,7 @@ func (m *Manager) reconcile() {
 			stopFn()
 			return
 		}
-		m.started[actual] = stopFn
+		m.started[actual] = &startedEntry{stop: stopFn, at: time.Now(), joined: m.view.Contains(actual)}
 		m.mu.Unlock()
 	}
 }
@@ -167,10 +221,10 @@ func (m *Manager) Stop() {
 	}
 	m.stopped = true
 	stops := make([]func(), 0, len(m.started))
-	for _, f := range m.started {
-		stops = append(stops, f)
+	for _, e := range m.started {
+		stops = append(stops, e.stop)
 	}
-	m.started = make(map[wire.ReplicaID]func())
+	m.started = make(map[wire.ReplicaID]*startedEntry)
 	m.mu.Unlock()
 
 	close(m.stop)

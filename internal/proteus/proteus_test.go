@@ -206,3 +206,119 @@ func TestDefaultCheckIntervalApplied(t *testing.T) {
 		t.Errorf("CheckInterval = %v", mgr.policy.CheckInterval)
 	}
 }
+
+// TestReconcileAgesOutNeverJoinedReplica: a factory-started replica that
+// never appears in a group view (wedged during startup) must not hold its
+// pool slot forever. Before the fix the entry counted as live on every
+// reconcile, so the pool ran below target permanently and the stop handle
+// leaked.
+func TestReconcileAgesOutNeverJoinedReplica(t *testing.T) {
+	var mu sync.Mutex
+	var stopped []wire.ReplicaID
+	// Replicas start but never join: no view is ever pushed.
+	wedged := func(id wire.ReplicaID) (wire.ReplicaID, func(), error) {
+		return id, func() {
+			mu.Lock()
+			stopped = append(stopped, id)
+			mu.Unlock()
+		}, nil
+	}
+	mgr, err := NewManager(Policy{
+		Service:          "svc",
+		ReplicationLevel: 2,
+		Factory:          wedged,
+		CheckInterval:    5 * time.Millisecond,
+		JoinTimeout:      10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+
+	mgr.reconcile()
+	if got := mgr.StartedCount(); got != 2 {
+		t.Fatalf("StartedCount = %d, want 2", got)
+	}
+	// Pending joins hold their slots: no over-provisioning meanwhile.
+	mgr.reconcile()
+	if got := mgr.StartedCount(); got != 2 {
+		t.Fatalf("StartedCount before timeout = %d, want still 2", got)
+	}
+
+	time.Sleep(15 * time.Millisecond)
+	mgr.reconcile()
+	mu.Lock()
+	retired := len(stopped)
+	mu.Unlock()
+	if retired != 2 {
+		t.Errorf("stop handles invoked = %d, want 2 (aged-out entries retired)", retired)
+	}
+	if got := mgr.StartedCount(); got != 4 {
+		t.Errorf("StartedCount after age-out = %d, want 4 (replacements started)", got)
+	}
+}
+
+// TestObserveViewKeepsPendingJoins: a view change that doesn't (yet) include
+// a just-started replica must not discard its tracking entry. Before the fix
+// ObserveView dropped every absent entry, so an unrelated view change leaked
+// the joining replica's stop handle and triggered an over-provisioning start
+// on the next reconcile.
+func TestObserveViewKeepsPendingJoins(t *testing.T) {
+	stops := 0
+	factory := func(id wire.ReplicaID) (wire.ReplicaID, func(), error) {
+		return id, func() { stops++ }, nil
+	}
+	mgr, err := NewManager(Policy{
+		Service:          "svc",
+		ReplicationLevel: 2,
+		Factory:          factory,
+		CheckInterval:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+
+	mgr.reconcile()
+	if got := mgr.StartedCount(); got != 2 {
+		t.Fatalf("StartedCount = %d, want 2", got)
+	}
+	// An unrelated membership event arrives before the new replicas join.
+	mgr.ObserveView(group.View{Number: 1, Members: []wire.ReplicaID{"bystander"}})
+	mgr.reconcile()
+	if got := mgr.StartedCount(); got != 2 {
+		t.Errorf("StartedCount after unrelated view = %d, want still 2 (pending joins kept their slots)", got)
+	}
+	// Stop must still reach the pending replicas' handles.
+	mgr.Stop()
+	if stops != 2 {
+		t.Errorf("Stop invoked %d handles, want 2", stops)
+	}
+}
+
+// TestObserveViewDropsJoinedThenLeft: the original prune still applies to
+// replicas that joined and later left — they are dead, their handles are
+// released, and reconcile starts replacements.
+func TestObserveViewDropsJoinedThenLeft(t *testing.T) {
+	factory := func(id wire.ReplicaID) (wire.ReplicaID, func(), error) {
+		return id, func() {}, nil
+	}
+	mgr, err := NewManager(Policy{
+		Service:          "svc",
+		ReplicationLevel: 1,
+		Factory:          factory,
+		CheckInterval:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+
+	mgr.reconcile()
+	mgr.ObserveView(group.View{Number: 1, Members: []wire.ReplicaID{"svc-p1"}})
+	mgr.ObserveView(group.View{Number: 2, Members: nil}) // crashed
+	mgr.reconcile()
+	if got := mgr.StartedCount(); got != 2 {
+		t.Errorf("StartedCount = %d, want 2 (crash replaced)", got)
+	}
+}

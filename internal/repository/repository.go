@@ -43,7 +43,8 @@ type entry struct {
 
 // replicaState is per-replica state independent of the invoked method.
 type replicaState struct {
-	queueLength int       // current outstanding requests
+	queueLength int       // current outstanding requests (replica-reported)
+	inFlight    int       // requests this gateway has dispatched and not yet settled
 	lastUpdate  time.Time // freshness marker for the staleness probe
 	hasUpdate   bool
 }
@@ -259,6 +260,51 @@ func (r *Repository) RecordGatewayDelay(id wire.ReplicaID, method string, td tim
 	e.gateway.Add(td)
 }
 
+// NoteDispatched records that one request copy was sent to the replica and
+// has not yet settled. The scheduler calls it per selected target, so the
+// snapshot carries this gateway's own contribution to each replica's load in
+// addition to the replica-reported queue length (which lags by one reply).
+func (r *Repository) NoteDispatched(id wire.ReplicaID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.replicas[id]; ok {
+		st.inFlight++
+	}
+}
+
+// NoteSettled records that a previously dispatched copy resolved: its reply
+// arrived, or its tracking state was dropped (deadline sweep, membership
+// purge, Forget). Calls for unknown replicas — e.g. settled after a
+// membership removal — are no-ops.
+func (r *Repository) NoteSettled(id wire.ReplicaID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.replicas[id]; ok && st.inFlight > 0 {
+		st.inFlight--
+	}
+}
+
+// InFlight returns the number of unsettled copies dispatched to a replica.
+func (r *Repository) InFlight(id wire.ReplicaID) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if st, ok := r.replicas[id]; ok {
+		return st.inFlight
+	}
+	return 0
+}
+
+// TotalInFlight sums unsettled dispatched copies across all replicas.
+func (r *Repository) TotalInFlight() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for _, st := range r.replicas {
+		total += st.inFlight
+	}
+	return total
+}
+
 // UpdateCount returns how many performance reports have been absorbed for a
 // replica across all methods.
 func (r *Repository) UpdateCount(id wire.ReplicaID) uint64 {
@@ -289,7 +335,14 @@ type ReplicaSnapshot struct {
 	QueueDelays  []time.Duration // oldest → newest
 	GatewayDelay time.Duration   // most recent T (or mean of the T window if enabled)
 	QueueLength  int
-	LastUpdate   time.Time
+	// InFlight is the number of copies this gateway has dispatched to the
+	// replica that have not yet settled — the gateway's own, instantly
+	// current contribution to the replica's load, complementing the
+	// replica-reported QueueLength (which lags by one reply). Load-aware
+	// selection (selection.Budgeted) conditions its redundancy budget on
+	// QueueLength + InFlight.
+	InFlight   int
+	LastUpdate time.Time
 	// Resolution, ServiceHist, and QueueHist feed the predictor's fast path:
 	// pre-quantized bin counts maintained incrementally by the windows, so
 	// prediction needs neither the raw samples nor a per-call sort. They are
@@ -314,6 +367,7 @@ func (r *Repository) Snapshot(method string) []ReplicaSnapshot {
 			ID:          id,
 			Method:      method,
 			QueueLength: st.queueLength,
+			InFlight:    st.inFlight,
 			LastUpdate:  st.lastUpdate,
 		}
 		if e, ok := r.entries[methodKey{replica: id, method: method}]; ok {

@@ -319,3 +319,58 @@ func TestHistogramMatchesRawSamplesAcrossEvictions(t *testing.T) {
 		}
 	}
 }
+
+func TestInFlightTracking(t *testing.T) {
+	r := New()
+	r.AddReplica("a")
+	r.AddReplica("b")
+
+	r.NoteDispatched("a")
+	r.NoteDispatched("a")
+	r.NoteDispatched("b")
+	if got := r.InFlight("a"); got != 2 {
+		t.Errorf("InFlight(a) = %d, want 2", got)
+	}
+	if got := r.TotalInFlight(); got != 3 {
+		t.Errorf("TotalInFlight() = %d, want 3", got)
+	}
+
+	// Snapshots carry the gateway's own dispatch contribution so the
+	// budgeted strategy sees load before the first perf report comes back.
+	for _, s := range r.Snapshot("") {
+		switch s.ID {
+		case "a":
+			if s.InFlight != 2 {
+				t.Errorf("snapshot a InFlight = %d, want 2", s.InFlight)
+			}
+		case "b":
+			if s.InFlight != 1 {
+				t.Errorf("snapshot b InFlight = %d, want 1", s.InFlight)
+			}
+		}
+	}
+
+	r.NoteSettled("a")
+	if got := r.InFlight("a"); got != 1 {
+		t.Errorf("InFlight(a) after settle = %d, want 1", got)
+	}
+	// Settling never goes negative, even with spurious extra settles.
+	r.NoteSettled("a")
+	r.NoteSettled("a")
+	if got := r.InFlight("a"); got != 0 {
+		t.Errorf("InFlight(a) after over-settle = %d, want 0", got)
+	}
+
+	// Unknown replicas (e.g. settled after a membership purge) are no-ops.
+	r.NoteDispatched("ghost")
+	r.NoteSettled("ghost")
+	if got := r.InFlight("ghost"); got != 0 {
+		t.Errorf("InFlight(ghost) = %d, want 0", got)
+	}
+
+	// Removal drops the replica's in-flight count from the total.
+	r.RemoveReplica("b")
+	if got := r.TotalInFlight(); got != 0 {
+		t.Errorf("TotalInFlight() after removal = %d, want 0", got)
+	}
+}

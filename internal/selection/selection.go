@@ -50,6 +50,13 @@ type Result struct {
 	UsedAll bool
 	// ColdStart reports that the decision was dominated by missing history.
 	ColdStart bool
+	// Budget is the load-conditioned redundancy cap that bounded |K| for
+	// this decision, when the strategy applies one (selection.Budgeted);
+	// zero means unbounded.
+	Budget int
+	// Capped reports that the budget truncated a set the underlying
+	// algorithm would otherwise have grown larger.
+	Capped bool
 }
 
 // Strategy chooses a replica subset for one request.
@@ -213,6 +220,152 @@ func (d *Dynamic) Select(in Input) Result {
 		UsedAll:   true,
 		ColdStart: len(forced) > 0,
 	}
+}
+
+// Budget-derivation defaults: the per-replica outstanding-work level (the
+// mean of replica-reported queue length plus this gateway's own unsettled
+// dispatches) at or below which the budget stays at its ceiling, and at or
+// above which it drops to its floor. Between the two the budget interpolates
+// linearly, so the redundancy ramps down smoothly as the pool saturates
+// instead of flipping at a single threshold.
+const (
+	DefaultBudgetLowLoad  = 1.0
+	DefaultBudgetHighLoad = 4.0
+)
+
+// MinBudget is the smallest redundancy budget Budgeted will apply: the m0
+// crash reserve plus one working member, so Equation 3's single-crash
+// guarantee holds within the budget even at the floor.
+const MinBudget = 2
+
+// Budgeted wraps Algorithm 1 with a load-conditioned redundancy budget: the
+// cap on |K| shrinks from MaxK (default |M|) toward MinK (default 2) as the
+// replicas' outstanding work grows. Below the LowLoad threshold it is exactly
+// the paper's algorithm; past HighLoad it degrades to the m0 reserve plus the
+// best remaining replica instead of amplifying an already-overloaded pool
+// with the select-all fallback (the A12 cliff). The budget is derived purely
+// from the repository snapshot the strategy already receives — per-replica
+// queue lengths and the gateway's own in-flight counts — so no extra
+// coordination or clock is needed and decisions stay deterministic.
+type Budgeted struct {
+	// Inner is the capped algorithm; nil means NewDynamic().
+	Inner *Dynamic
+	// MinK is the budget floor; values below MinBudget (or 0) mean MinBudget
+	// so the Eq. 3 reserve survives the harshest budget.
+	MinK int
+	// MaxK is the budget ceiling; 0 means the full replica set.
+	MaxK int
+	// LowLoad and HighLoad bound the per-replica outstanding-work ramp;
+	// zero values mean the package defaults.
+	LowLoad, HighLoad float64
+}
+
+var _ Strategy = (*Budgeted)(nil)
+
+// NewBudgeted returns Algorithm 1 under the default load-conditioned budget.
+func NewBudgeted() *Budgeted { return &Budgeted{Inner: NewDynamic()} }
+
+// Name implements Strategy.
+func (b *Budgeted) Name() string {
+	inner := b.Inner
+	if inner == nil {
+		inner = NewDynamic()
+	}
+	return "budgeted-" + inner.Name()
+}
+
+// BudgetFor computes the redundancy budget for one input: the per-replica
+// mean of (reported queue length + local in-flight) interpolated between the
+// ceiling at LowLoad and the floor at HighLoad.
+func (b *Budgeted) BudgetFor(in Input) int {
+	n := len(in.Table) + len(in.Cold)
+	maxK := b.MaxK
+	if maxK <= 0 || maxK > n {
+		maxK = n
+	}
+	minK := b.MinK
+	if minK < MinBudget {
+		minK = MinBudget
+	}
+	if minK > maxK {
+		minK = maxK
+	}
+	if n == 0 {
+		return MinBudget
+	}
+	low, high := b.LowLoad, b.HighLoad
+	if low <= 0 {
+		low = DefaultBudgetLowLoad
+	}
+	if high <= low {
+		high = low + (DefaultBudgetHighLoad - DefaultBudgetLowLoad)
+	}
+	var outstanding float64
+	for _, rp := range in.Table {
+		outstanding += float64(rp.Snapshot.QueueLength + rp.Snapshot.InFlight)
+	}
+	for _, s := range in.Cold {
+		outstanding += float64(s.QueueLength + s.InFlight)
+	}
+	load := outstanding / float64(n)
+	switch {
+	case load <= low:
+		return maxK
+	case load >= high:
+		return minK
+	default:
+		frac := (load - low) / (high - low)
+		budget := maxK - int(frac*float64(maxK-minK))
+		if budget < minK {
+			budget = minK
+		}
+		return budget
+	}
+}
+
+// Select implements Strategy: Algorithm 1 with its growth and fallback both
+// bounded by the computed budget. Forced cold members count against the
+// budget too (and are dropped first), so |K| never exceeds it — under
+// overload a cold-probe flood would amplify load exactly like the select-all
+// fallback does. Within the budget, UsedAll means "Pc(t) unreachable within
+// the budget", not necessarily unreachable outright.
+func (b *Budgeted) Select(in Input) Result {
+	budget := b.BudgetFor(in)
+	inner := b.Inner
+	if inner == nil {
+		inner = NewDynamic()
+	}
+	capped := *inner
+	if capped.Cap <= 0 || capped.Cap > budget {
+		capped.Cap = budget
+	}
+	res := capped.Select(in)
+	if len(res.Selected) > capped.Cap {
+		// Only the forced-cold tail can exceed the inner cap; trimming it
+		// keeps the warm head (reserve first) intact, so Predicted — which
+		// counts only warm members — is unchanged.
+		warmSel := len(res.Selected) - len(in.Cold)
+		res.Selected = res.Selected[:capped.Cap]
+		res.Capped = true
+		if warmSel >= capped.Cap && len(in.Cold) > 0 {
+			// The trim cut every forced-cold probe. Without a probe a
+			// replica that saturated once keeps its pessimistic window
+			// forever and is never rediscovered after it drains — the pool
+			// collapses onto whichever members happen to have fresh data.
+			// Sacrifice the worst warm slot for one cold probe: |K| stays
+			// within the budget, the m0 reserve stays at the head, and the
+			// probe is still a working member — only its timeliness is
+			// unknown, which is exactly why it must be measured.
+			res.Selected[capped.Cap-1] = in.Cold[0].ID
+			res.Predicted = subsetProb(sortTable(in.Table)[:capped.Cap-1])
+			res.ColdStart = true
+		}
+	}
+	if res.UsedAll && capped.Cap < len(in.Table)+len(in.Cold) {
+		res.Capped = true
+	}
+	res.Budget = budget
+	return res
 }
 
 // SingleBest picks only the replica with the highest F_Ri(t): the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"time"
 
 	"aqua/internal/core"
@@ -147,6 +148,10 @@ type RequestRecord struct {
 	ResponseTime time.Duration // 0 when no reply ever arrived
 	GotReply     bool
 	Failure      bool // tr > deadline, or no reply by deadline
+	Shed         bool // refused by admission control (core.ErrOverloaded)
+	Mode         core.Mode
+	Budget       int  // redundancy budget applied (0 = unbounded)
+	BudgetCapped bool // budget or best-effort cap truncated the selection
 }
 
 // Client simulates one client gateway running the timing fault handler: it
@@ -207,9 +212,12 @@ func (c *Client) issueOne() {
 	t0 := c.kernel.NowTime()
 	d, err := c.sched.Schedule(t0, "")
 	if err != nil {
-		// No replicas left at all; record a failed request. The closed loop
-		// retries after the think time — membership may recover.
-		c.records = append(c.records, RequestRecord{IssuedAt: t0v, Failure: true})
+		// Admission control refused the request: count it as shed — not a
+		// timing failure, and not silently dropped. Any other error means no
+		// replicas are left; record a failed request. Either way the closed
+		// loop retries after the think time — load or membership may recover.
+		shed := errors.Is(err, core.ErrOverloaded)
+		c.records = append(c.records, RequestRecord{IssuedAt: t0v, Failure: !shed, Shed: shed, Mode: d.Mode})
 		if c.arrival == nil {
 			c.kernel.After(c.think, c.issueNext)
 		} else if c.issued >= c.total && len(c.pendRec) == 0 && c.finished != nil {
@@ -219,12 +227,15 @@ func (c *Client) issueOne() {
 		return
 	}
 	rec := &RequestRecord{
-		Seq:         d.Seq,
-		IssuedAt:    t0v,
-		NumSelected: len(d.Targets),
-		Predicted:   d.Predicted,
-		UsedAll:     d.UsedAll,
-		ColdStart:   d.ColdStart,
+		Seq:          d.Seq,
+		IssuedAt:     t0v,
+		NumSelected:  len(d.Targets),
+		Predicted:    d.Predicted,
+		UsedAll:      d.UsedAll,
+		ColdStart:    d.ColdStart,
+		Mode:         d.Mode,
+		Budget:       d.Budget,
+		BudgetCapped: d.BudgetCapped,
 	}
 	c.pendRec[d.Seq] = rec
 	c.rec.Record(trace.Event{

@@ -104,10 +104,21 @@ type Scenario struct {
 	// QueueAware switches the predictor to the queue-length-aware W model
 	// (ablation A6).
 	QueueAware bool
+	// StalenessBound, when positive, treats replicas whose performance data
+	// is older than the bound as cold, forcing re-probing (core.Config's
+	// StalenessBound). Without it a replica whose window filled during a
+	// load burst keeps its pessimistic history forever and is never
+	// rediscovered after it drains.
+	StalenessBound time.Duration
 	// DetectionDelay is how long after a crash the membership layer
 	// notifies clients (heartbeat failure detection latency). Zero means
 	// DefaultDetectionDelay.
 	DetectionDelay time.Duration
+	// Overload configures admission control and the degradation ladder for
+	// every client's scheduler (core.OverloadConfig). The zero value keeps
+	// the paper-exact behavior, including the select-all amplification the
+	// a13 experiment measures.
+	Overload core.OverloadConfig
 	// MaxTime bounds the virtual run as a safety net; zero means an hour
 	// of virtual time.
 	MaxTime time.Duration
@@ -135,6 +146,40 @@ func (r ClientResult) MeanSelected() float64 {
 		total += rec.NumSelected
 	}
 	return float64(total) / float64(len(r.Records))
+}
+
+// ShedCount returns how many of the client's requests admission control
+// refused (counted, never silently dropped).
+func (r ClientResult) ShedCount() int {
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Shed {
+			n++
+		}
+	}
+	return n
+}
+
+// TimelyCount returns how many requests completed within the deadline.
+func (r ClientResult) TimelyCount() int {
+	n := 0
+	for _, rec := range r.Records {
+		if rec.GotReply && !rec.Failure {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxSelected returns the largest |K| over admitted requests.
+func (r ClientResult) MaxSelected() int {
+	max := 0
+	for _, rec := range r.Records {
+		if !rec.Shed && rec.NumSelected > max {
+			max = rec.NumSelected
+		}
+	}
+	return max
 }
 
 // FailureProbability returns the observed fraction of timing failures.
@@ -275,6 +320,8 @@ func Run(s Scenario) (*Result, error) {
 			Repository:         repo,
 			CompensateOverhead: s.CompensateOverhead,
 			FixedOverhead:      s.FixedOverhead,
+			StalenessBound:     s.StalenessBound,
+			Overload:           s.Overload,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sim: client %d: %w", i, err)
