@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench experiments quick-experiments faults a13 metrics-smoke fuzz clean
+.PHONY: all check build vet test race bench predict-bench experiments quick-experiments faults a13 a14 race-lifecycle metrics-smoke fuzz clean
 
 all: build vet test
 
@@ -44,6 +44,17 @@ faults:
 # redundancy + admission control (see EXPERIMENTS.md, a13).
 a13:
 	$(GO) run ./cmd/aqua-exp -exp a13
+
+# §5.4 chaos soak: deterministic slow/crash/link churn through the full
+# lifecycle loop (suspicion → quarantine → rejuvenation → probation).
+# Exits non-zero when any recovery bound is missed (see EXPERIMENTS.md, a14).
+a14:
+	$(GO) run ./cmd/aqua-exp -exp a14
+
+# Race detector focused on the lifecycle-bearing packages (CI runs this in
+# addition to the full `make race` inside `make check`).
+race-lifecycle:
+	$(GO) test -race ./internal/core ./internal/repository ./internal/proteus ./internal/gateway
 
 # Observability smoke: boots a real cluster, drives traffic, serves the
 # metrics endpoint, and validates the Prometheus and JSON scrape shapes

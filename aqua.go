@@ -44,6 +44,7 @@ import (
 	"aqua/internal/group"
 	"aqua/internal/metrics"
 	"aqua/internal/proteus"
+	"aqua/internal/repository"
 	"aqua/internal/selection"
 	"aqua/internal/server"
 	"aqua/internal/stats"
@@ -68,6 +69,30 @@ type ViolationReport = core.ViolationReport
 
 // Stats is a snapshot of a client handler's counters.
 type Stats = core.Stats
+
+// LifecycleConfig enables the §5.4 replica-lifecycle loop on a client's
+// scheduler: per-replica timing-fault suspicion windows, quarantine of
+// persistently late replicas (excluded from selection, select-all fallback
+// included), and probe-only probation for newly joined or restarted
+// replicas until their window holds MinSamples measurements. Set
+// Enabled: true and pair with ClientConfig.ProbeInterval so probation
+// replicas are warmed back in; zero value keeps the pre-lifecycle behavior.
+type LifecycleConfig = core.LifecycleConfig
+
+// SuspectReport announces one replica health transition (suspected,
+// quarantined, cleared, re-admitted); see LifecycleConfig.OnSuspect.
+type SuspectReport = core.SuspectReport
+
+// Health is a replica's lifecycle state in a client's local repository.
+type Health = repository.Health
+
+// Replica lifecycle states.
+const (
+	HealthActive      = repository.Active
+	HealthSuspected   = repository.Suspected
+	HealthQuarantined = repository.Quarantined
+	HealthProbation   = repository.Probation
+)
 
 // Handler is the application logic run by each replica.
 type Handler = server.Handler
@@ -168,6 +193,13 @@ type ClientConfig struct {
 	// ProbeInterval, when positive, enables active probing of replicas
 	// whose performance data has gone stale (paper §8).
 	ProbeInterval time.Duration
+	// StalenessBound, when positive, treats a replica whose performance
+	// data is older than the bound as cold: the scheduler forces it into
+	// the next selection so live traffic re-measures it. With Lifecycle
+	// enabled this is what lets a routed-around slow replica keep accruing
+	// fault evidence until it is quarantined, instead of lingering
+	// half-forgotten.
+	StalenessBound time.Duration
 	// MaxWait bounds how long Call waits for a first reply; zero means 10×
 	// the QoS deadline.
 	MaxWait time.Duration
@@ -177,6 +209,12 @@ type ClientConfig struct {
 	// ShedRetryDelay is the backoff before Call retries a shed request
 	// once. Zero means half the QoS deadline; negative disables the retry.
 	ShedRetryDelay time.Duration
+	// Lifecycle enables the replica suspicion/quarantine/probation loop for
+	// this client. The zero value inherits the cluster's WithLifecycle
+	// default (or stays disabled). On a self-healing cluster, quarantine
+	// transitions are forwarded to the dependability manager, which retires
+	// the sick replica and boots a replacement.
+	Lifecycle LifecycleConfig
 }
 
 // Client is a connected service client. Create with Cluster.NewClient;
@@ -238,20 +276,21 @@ type Cluster struct {
 	network transport.Network
 	inmem   *transport.InMem // non-nil when we own an in-memory network
 
-	mu       sync.Mutex
-	replicas map[ReplicaID]*Replica
-	clients  map[*Client]bool
-	gateways map[*Gateway]*gateway.TimingFaultHandler // this cluster's handler in each multi-service gateway
-	nextID   int
-	viewNum  uint64
-	handler  Handler
-	load     stats.DelayDist
-	seed     int64
-	selfHeal bool
-	faults   *FaultInjector
-	manager  *proteus.Manager
-	reg      *metrics.Registry // nil = process-wide default
-	closed   bool
+	mu        sync.Mutex
+	replicas  map[ReplicaID]*Replica
+	clients   map[*Client]bool
+	gateways  map[*Gateway]*gateway.TimingFaultHandler // this cluster's handler in each multi-service gateway
+	nextID    int
+	viewNum   uint64
+	handler   Handler
+	load      stats.DelayDist
+	seed      int64
+	selfHeal  bool
+	lifecycle LifecycleConfig // default for clients minted from this cluster
+	faults    *FaultInjector
+	manager   *proteus.Manager
+	reg       *metrics.Registry // nil = process-wide default
+	closed    bool
 }
 
 // membershipLocked builds the current replica address table. Caller holds
@@ -348,8 +387,22 @@ func WithMetrics(reg *MetricsRegistry) ClusterOption {
 // WithSelfHealing keeps the replica pool at its initial size: a Proteus
 // dependability manager observes membership and starts a fresh replica
 // whenever one crash-stops (§2: Proteus "manages the replication level").
+// With a lifecycle-enabled client (WithLifecycle or ClientConfig.Lifecycle),
+// the manager also rejuvenates quarantined replicas: the sick member is
+// retired and the resulting deficit boots a replacement, subject to the
+// manager's restart backoff and storm cap.
 func WithSelfHealing() ClusterOption {
 	return func(c *Cluster) { c.selfHeal = true }
+}
+
+// WithLifecycle sets the default LifecycleConfig for every client minted
+// from this cluster (a client's own ClientConfig.Lifecycle, when enabled,
+// takes precedence). Pair with ClientConfig.ProbeInterval so probation
+// replicas are warmed back into selection, and with WithSelfHealing to
+// close the loop with rejuvenation.
+func WithLifecycle(cfg LifecycleConfig) ClusterOption {
+	cfg.Enabled = true
+	return func(c *Cluster) { c.lifecycle = cfg }
 }
 
 // Addr is a transport address, re-exported for fault-injection rules. Get a
@@ -451,8 +504,14 @@ func NewCluster(service Service, n int, handler Handler, opts ...ClusterOption) 
 				if err != nil {
 					return "", nil, err
 				}
-				return r.ID(), r.Stop, nil
+				// Stop through the cluster so the membership table and every
+				// client's view stay in step with the kill.
+				id := r.ID()
+				return id, func() { _ = c.StopReplica(id) }, nil
 			},
+			// Rejuvenation: quarantined replicas the manager didn't start
+			// (the initial pool) are retired through the cluster too.
+			Retire:        func(id wire.ReplicaID) { _ = c.StopReplica(id) },
 			CheckInterval: 10 * time.Millisecond,
 		})
 		if err != nil {
@@ -584,6 +643,33 @@ func (c *Cluster) StopReplica(id ReplicaID) error {
 	return nil
 }
 
+// lifecycleFor resolves a client's effective lifecycle configuration: the
+// client's own when enabled, else the cluster default (WithLifecycle). When
+// enabled on a self-healing cluster, the OnSuspect hook is chained so
+// quarantine transitions reach the dependability manager — the §5.4 loop:
+// detect → quarantine → retire → replacement → probation re-admission.
+func (c *Cluster) lifecycleFor(cfg LifecycleConfig) LifecycleConfig {
+	if !cfg.Enabled {
+		cfg = c.lifecycle
+	}
+	if !cfg.Enabled {
+		return cfg
+	}
+	user := cfg.OnSuspect
+	cfg.OnSuspect = func(r SuspectReport) {
+		if user != nil {
+			user(r)
+		}
+		if r.To != HealthQuarantined {
+			return
+		}
+		if mgr := c.Manager(); mgr != nil {
+			mgr.Quarantine(r.Replica)
+		}
+	}
+	return cfg
+}
+
 // NewClient mints a client of this cluster's service.
 func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Name == "" {
@@ -606,9 +692,11 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 		CompensateOverhead: cfg.CompensateOverhead,
 		OnViolation:        cfg.OnViolation,
 		ProbeInterval:      cfg.ProbeInterval,
+		StalenessBound:     cfg.StalenessBound,
 		MaxWait:            cfg.MaxWait,
 		Overload:           cfg.Overload,
 		ShedRetryDelay:     cfg.ShedRetryDelay,
+		Lifecycle:          c.lifecycleFor(cfg.Lifecycle),
 		StaticReplicas:     static,
 		Metrics:            c.reg,
 	})
@@ -704,8 +792,10 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 			WindowSize:         cfg.WindowSize,
 			CompensateOverhead: cfg.CompensateOverhead,
 			OnViolation:        cfg.OnViolation,
+			StalenessBound:     cfg.StalenessBound,
 			Overload:           cfg.Overload,
 			ShedRetryDelay:     cfg.ShedRetryDelay,
+			Lifecycle:          c.lifecycleFor(cfg.Lifecycle),
 			StaticReplicas:     static,
 			Metrics:            c.reg,
 		})

@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"aqua"
+	"aqua/internal/proteus"
 	"aqua/internal/stats"
+	"aqua/internal/transport"
 )
 
 const ms = time.Millisecond
@@ -368,6 +370,105 @@ func TestSelfHealingOffByDefault(t *testing.T) {
 	}
 }
 
+func TestLifecycleQuarantineTriggersReplacement(t *testing.T) {
+	// Close the §5.4 loop through the public API: a replica made persistently
+	// late by a link fault is suspected, quarantined, retired by the
+	// dependability manager, and replaced by a fresh replica.
+	inj := aqua.NewFaultInjector(11)
+	var (
+		mu      sync.Mutex
+		reports []aqua.SuspectReport
+	)
+	c := newTestCluster(t, 4,
+		aqua.WithSimulatedLoad(5*ms, ms),
+		aqua.WithSelfHealing(),
+		aqua.WithFaultInjection(inj),
+		aqua.WithSeed(11),
+		aqua.WithLifecycle(aqua.LifecycleConfig{
+			WindowSize:      8,
+			MinObservations: 4,
+			OnSuspect: func(r aqua.SuspectReport) {
+				mu.Lock()
+				reports = append(reports, r)
+				mu.Unlock()
+			},
+		}),
+	)
+	victim := c.Replicas()[0]
+	inj.SetLink(aqua.AnyAddr, transport.Addr(victim.Addr()), aqua.FaultPolicy{
+		Delay: stats.Constant{Delay: 250 * ms},
+	})
+
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name: "lc",
+		QoS:  aqua.QoS{Deadline: 60 * ms, MinProbability: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	quarantined := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, r := range reports {
+			if r.Replica == victim.ID() && r.To == aqua.HealthQuarantined {
+				return true
+			}
+		}
+		return false
+	}
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for !quarantined() && time.Now().Before(deadline) {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatalf("call: %v", err)
+		}
+	}
+	if !quarantined() {
+		t.Fatal("slow replica was never quarantined")
+	}
+
+	// The manager must retire the quarantined replica and restore the pool
+	// with a fresh one (bounded by the restart-storm window).
+	healthy := func() bool {
+		reps := c.Replicas()
+		if len(reps) != 4 {
+			return false
+		}
+		for _, r := range reps {
+			if r.ID() == victim.ID() {
+				return false
+			}
+		}
+		return true
+	}
+	healDeadline := time.Now().Add(proteus.DefaultRestartWindow + 2*time.Second)
+	for !healthy() && time.Now().Before(healDeadline) {
+		time.Sleep(5 * ms)
+	}
+	if !healthy() {
+		t.Fatalf("pool not healed: %d replicas, victim retired = %v",
+			len(c.Replicas()), !func() bool {
+				for _, r := range c.Replicas() {
+					if r.ID() == victim.ID() {
+						return true
+					}
+				}
+				return false
+			}())
+	}
+	if c.Manager().StartedCount() == 0 {
+		t.Error("manager started no replacement")
+	}
+	// Calls keep meeting the deadline against the healed pool.
+	for i := 0; i < 5; i++ {
+		if _, err := client.Call(ctx, "", nil); err != nil {
+			t.Fatalf("call after heal: %v", err)
+		}
+	}
+}
+
 func TestGatewayMultiService(t *testing.T) {
 	// Two services on one shared in-memory network; one Gateway carries a
 	// handler (and QoS contract) for each.
@@ -718,8 +819,11 @@ func TestChurnSoak(t *testing.T) {
 	}
 	close(stopChurn)
 	churnWG.Wait()
-	// The pool heals back to 4.
-	deadline := time.Now().Add(3 * time.Second)
+	// The pool heals back to 4. A 60ms kill cadence is a restart storm, so
+	// the manager's MaxRestartsPerWindow cap legitimately suppresses
+	// replacements until the storm window slides past the churn — full
+	// healing can take up to one RestartWindow after the churn stops.
+	deadline := time.Now().Add(proteus.DefaultRestartWindow + 2*time.Second)
 	for len(c.Replicas()) < 4 && time.Now().Before(deadline) {
 		time.Sleep(10 * ms)
 	}

@@ -1,8 +1,18 @@
 // Self-healing: the Proteus dependability manager (§2) keeps a service's
-// replication level despite crashes. Two replicas are crash-stopped in
-// sequence; the manager restarts replacements, the timing fault handler's
-// membership pruning keeps requests off the corpses, and the client's QoS
-// never degrades.
+// replication level despite crashes, and the §5.4 lifecycle loop handles the
+// subtler failure mode — a replica that is alive but persistently late.
+//
+// Two things go wrong here:
+//
+//  1. A replica is crash-stopped; the manager restarts a replacement and
+//     membership pruning keeps requests off the corpse.
+//
+//  2. A fault injector makes one replica's link persistently slow. Crash
+//     detection never fires (the replica answers — late), but the lifecycle
+//     loop does: timing-fault suspicion quarantines it, the manager retires
+//     and replaces it, and the client's QoS recovers.
+//
+// Run it with:
 //
 //	go run ./examples/selfhealing
 package main
@@ -14,15 +24,26 @@ import (
 	"time"
 
 	"aqua"
+	"aqua/internal/stats"
+	"aqua/internal/transport"
 )
 
 func main() {
+	inj := aqua.NewFaultInjector(9)
 	cluster, err := aqua.NewCluster("inventory", 4,
 		func(method string, payload []byte) ([]byte, error) {
 			return []byte("in-stock"), nil
 		},
 		aqua.WithSimulatedLoad(60*time.Millisecond, 20*time.Millisecond),
 		aqua.WithSelfHealing(),
+		aqua.WithFaultInjection(inj),
+		aqua.WithLifecycle(aqua.LifecycleConfig{
+			WindowSize:      8,
+			MinObservations: 4,
+			OnSuspect: func(r aqua.SuspectReport) {
+				fmt.Printf("** %v\n", r)
+			},
+		}),
 		aqua.WithSeed(9),
 	)
 	if err != nil {
@@ -33,6 +54,10 @@ func main() {
 	client, err := cluster.NewClient(aqua.ClientConfig{
 		Name: "shopper",
 		QoS:  aqua.QoS{Deadline: 120 * time.Millisecond, MinProbability: 0.9},
+		// The staleness bound forces the slow replica back into selection
+		// after it has been routed around, so fault evidence keeps accruing
+		// until quarantine instead of the replica lingering half-forgotten.
+		StalenessBound: 300 * time.Millisecond,
 		OnViolation: func(v aqua.ViolationReport) {
 			fmt.Printf("!! QoS violated: %v\n", v)
 		},
@@ -43,14 +68,25 @@ func main() {
 	defer client.Close()
 
 	ctx := context.Background()
-	for i := 0; i < 30; i++ {
-		// Crash a replica at request 8 and another at request 16.
-		if i == 8 || i == 16 {
+	for i := 0; i < 44; i++ {
+		switch i {
+		case 8:
+			// Failure mode 1: a clean crash. Membership pruning masks it and
+			// the manager restores the replication level.
 			victim := cluster.Replicas()[0]
 			fmt.Printf("--- crash-stopping %s (pool=%d) ---\n", victim.ID(), len(cluster.Replicas()))
 			if err := cluster.StopReplica(victim.ID()); err != nil {
 				log.Fatal(err)
 			}
+		case 16:
+			// Failure mode 2: a timing fault. The replica stays up but every
+			// message to it is delayed past the deadline; only the lifecycle
+			// loop can evict it.
+			victim := cluster.Replicas()[0]
+			fmt.Printf("--- slowing the link to %s (pool=%d) ---\n", victim.ID(), len(cluster.Replicas()))
+			inj.SetLink(aqua.AnyAddr, transport.Addr(victim.Addr()), aqua.FaultPolicy{
+				Delay: stats.Constant{Delay: 400 * time.Millisecond},
+			})
 		}
 		start := time.Now()
 		if _, err := client.Call(ctx, "check", []byte("sku-42")); err != nil {
@@ -71,6 +107,7 @@ func main() {
 		st.Requests, st.TimingFailures, st.FailureProbability())
 	fmt.Printf("pool ends at %d replicas; the manager started %d replacements\n",
 		len(cluster.Replicas()), cluster.Manager().StartedCount())
-	fmt.Println("two crashes were absorbed: redundant subsets masked the in-flight")
-	fmt.Println("loss and Proteus restored the replication level behind the scenes.")
+	fmt.Println("a crash and a timing fault were both absorbed: redundant subsets")
+	fmt.Println("masked the in-flight loss, suspicion quarantined the late replica,")
+	fmt.Println("and Proteus restored the replication level behind the scenes.")
 }

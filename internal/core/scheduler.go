@@ -72,6 +72,10 @@ type Config struct {
 	// Overload configures admission control and the degradation ladder
 	// (overload.go). The zero value keeps the paper-exact behavior.
 	Overload OverloadConfig
+	// Lifecycle configures per-replica timing-fault suspicion, quarantine,
+	// and probation re-admission (lifecycle.go). The zero value keeps the
+	// paper-exact behavior: detection without pool feedback.
+	Lifecycle LifecycleConfig
 	// Metrics receives live counters and histograms (selections, |K|,
 	// predicted P_K(t), δ, failures, per-replica response times); nil means
 	// the process-wide default registry.
@@ -147,6 +151,9 @@ type Stats struct {
 	Degradations     uint64 // degradation-ladder transitions (any direction)
 	BudgetCapped     uint64 // selections truncated by a budget or best-effort cap
 	Backpressure     uint64 // transport backpressure signals absorbed
+	Suspected        uint64 // lifecycle Active → Suspected transitions
+	Quarantined      uint64 // lifecycle → Quarantined transitions
+	Reinstated       uint64 // lifecycle Suspected → Active recoveries
 }
 
 // MeanRedundancy returns the average number of replicas selected per
@@ -173,6 +180,7 @@ type pending struct {
 	t1             time.Time // transmission time
 	targets        map[wire.ReplicaID]bool
 	settled        map[wire.ReplicaID]bool // targets whose repository in-flight count was released
+	charged        map[wire.ReplicaID]bool // targets whose suspicion outcome for this request was recorded
 	replies        int
 	firstDelivered bool
 	failed         bool // timing failure already charged (deadline expiry)
@@ -199,6 +207,10 @@ type schedInstruments struct {
 	budgetCapped     *metrics.Counter
 	backpressure     *metrics.Counter
 	budget           *metrics.Histogram
+	suspected        *metrics.Counter
+	quarantined      *metrics.Counter
+	reinstated       *metrics.Counter
+	quarantinedNow   *metrics.Gauge
 }
 
 func resolveSchedInstruments(r *metrics.Registry) schedInstruments {
@@ -220,6 +232,10 @@ func resolveSchedInstruments(r *metrics.Registry) schedInstruments {
 		budgetCapped:     r.Counter(metrics.SchedBudgetCapped),
 		backpressure:     r.Counter(metrics.SchedBackpressure),
 		budget:           r.Histogram(metrics.SchedBudget, metrics.TargetBuckets),
+		suspected:        r.Counter(metrics.SchedSuspected),
+		quarantined:      r.Counter(metrics.SchedQuarantined),
+		reinstated:       r.Counter(metrics.SchedReinstated),
+		quarantinedNow:   r.Gauge(metrics.SchedQuarantinedNow),
 	}
 }
 
@@ -237,6 +253,7 @@ type Scheduler struct {
 	nextSeq      wire.SeqNo
 	pend         map[wire.SeqNo]*pending
 	replicaHist  map[wire.ReplicaID]*metrics.Histogram
+	suspicion    map[wire.ReplicaID]*faultWindow // per-replica timing-fault outcomes (lifecycle.go)
 	lastOverhead time.Duration
 	stats        Stats
 	notified     bool // violation callback already fired since last renegotiation
@@ -271,6 +288,10 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		cfg.MinSamplesForViolation = DefaultMinSamplesForViolation
 	}
 	cfg.Overload = cfg.Overload.withDefaults()
+	if cfg.Lifecycle.Enabled {
+		cfg.Lifecycle = cfg.Lifecycle.withDefaults()
+		cfg.Repository.EnableLifecycle(cfg.Lifecycle.ProbationSamples)
+	}
 	reg := metrics.OrDefault(cfg.Metrics)
 	return &Scheduler{
 		cfg:         cfg,
@@ -281,6 +302,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		met:         resolveSchedInstruments(reg),
 		pend:        make(map[wire.SeqNo]*pending),
 		replicaHist: make(map[wire.ReplicaID]*metrics.Histogram),
+		suspicion:   make(map[wire.ReplicaID]*faultWindow),
 	}, nil
 }
 
@@ -313,6 +335,19 @@ func (s *Scheduler) Renegotiate(q wire.QoS) error {
 	s.stats.ConsecutiveFails = 0
 	s.winCompleted = 0
 	s.winFailures = 0
+	if s.cfg.Lifecycle.Enabled {
+		// Suspicion was accumulated against the old deadline: an outcome
+		// that was "late" under a 10ms contract may be timely under 50ms.
+		// Reset the windows like the QoS window, and lift suspicion earned
+		// under the old contract. Quarantine stands — a quarantined replica
+		// was convicted, not merely suspected, and re-enters via probation.
+		s.suspicion = make(map[wire.ReplicaID]*faultWindow)
+		for _, snap := range s.repo.Snapshot("") {
+			if snap.Health == repository.Suspected {
+				s.repo.ClearSuspicion(snap.ID)
+			}
+		}
+	}
 	return nil
 }
 
@@ -368,7 +403,19 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 	staleness := s.cfg.StalenessBound
 	s.mu.Unlock()
 
+	if exp := s.cfg.Lifecycle.QuarantineExpiry; exp > 0 {
+		// Second-chance path for deployments without a dependability manager:
+		// quarantine older than the expiry converts to probation. Wall clock,
+		// like the quarantine stamp itself.
+		s.repo.Parole(time.Now().Add(-exp))
+	}
 	snaps := s.repo.Snapshot(method)
+	if s.cfg.Lifecycle.Enabled {
+		// Quarantined and probation replicas are not candidates: not for the
+		// probability table, not for the select-all fallback, and not for the
+		// staleness re-probe below (live traffic is not how they come back).
+		snaps = selectableSnapshots(snaps)
+	}
 	if staleness > 0 {
 		for i := range snaps {
 			if snaps[i].HasHistory && t0.Sub(snaps[i].LastUpdate) > staleness {
@@ -433,7 +480,13 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 		targets[id] = true
 		s.repo.NoteDispatched(id)
 	}
-	s.pend[seq] = &pending{t0: t0, targets: targets, settled: make(map[wire.ReplicaID]bool, len(targets)), method: method}
+	s.pend[seq] = &pending{
+		t0:      t0,
+		targets: targets,
+		settled: make(map[wire.ReplicaID]bool, len(targets)),
+		charged: make(map[wire.ReplicaID]bool, len(targets)),
+		method:  method,
+	}
 	s.stats.Requests++
 	s.stats.SelectedTotal += uint64(len(res.Selected))
 	if res.UsedAll {
@@ -493,7 +546,11 @@ func (s *Scheduler) Dispatched(seq wire.SeqNo, t1 time.Time) error {
 // timing-failure predicate.
 func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time, perf wire.PerfReport) ReplyOutcome {
 	var reps []DegradationReport
-	defer func() { s.deliverDegradations(reps) }()
+	var sreps []SuspectReport
+	defer func() {
+		s.deliverDegradations(reps)
+		s.deliverSuspects(sreps)
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -505,6 +562,12 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 		// A reply from a replica we never asked: ignore, but don't poison
 		// the repository with a mismatched t1.
 		return ReplyOutcome{Unknown: true}
+	}
+	if s.cfg.Lifecycle.Enabled && !p.charged[replica] {
+		// One suspicion outcome per (request, replica): this reply's, unless
+		// a deadline expiry already charged the replica for this request.
+		p.charged[replica] = true
+		s.recordOutcomeLocked(replica, t4.Sub(p.t0) > s.cfg.QoS.Deadline, &sreps)
 	}
 	if !p.settled[replica] {
 		// First word from this copy: its contribution to the replica's
@@ -590,10 +653,19 @@ func (s *Scheduler) dropPendingLocked(seq wire.SeqNo, reps *[]DegradationReport)
 // first reply will still be delivered but the failure is not double-counted.
 // It returns a violation report exactly as OnReply would.
 func (s *Scheduler) OnDeadlineExpired(seq wire.SeqNo) *ViolationReport {
+	var sreps []SuspectReport
+	defer func() { s.deliverSuspects(sreps) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.pend[seq]
-	if !ok || p.firstDelivered || p.failed {
+	if !ok {
+		return nil
+	}
+	// Per-replica suspicion is charged before the early return below: even
+	// when a first reply already arrived (timely request, straggling copies),
+	// every target silent at the deadline earned a late outcome.
+	s.chargeExpiredTargetsLocked(p, &sreps)
+	if p.firstDelivered || p.failed {
 		return nil
 	}
 	p.failed = true
@@ -689,6 +761,13 @@ func (s *Scheduler) OnMembershipChangeAt(members []wire.ReplicaID, now time.Time
 	defer func() { s.deliverDegradations(degs) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Suspicion windows of departed replicas go with them; a replica that
+	// later rejoins under the same ID is judged on fresh evidence.
+	for id := range s.suspicion {
+		if !alive[id] {
+			delete(s.suspicion, id)
+		}
+	}
 	var report *ViolationReport
 	for seq, p := range s.pend {
 		doomed := true

@@ -81,6 +81,12 @@ type Config struct {
 	// the QoS deadline; negative disables the retry and surfaces
 	// ErrOverloaded to the caller immediately.
 	ShedRetryDelay time.Duration
+	// Lifecycle configures per-replica timing-fault suspicion, quarantine,
+	// and probation re-admission in the scheduler (core.LifecycleConfig);
+	// the zero value keeps the paper-exact behavior. Pair it with
+	// ProbeInterval so probation replicas have a warm-up path back into
+	// selection.
+	Lifecycle core.LifecycleConfig
 	// ProbeInterval, when positive, enables active probing (the paper's §8
 	// extension): replicas whose performance data is older than
 	// StalenessBound (or ProbeInterval if no bound is set) receive probe
@@ -141,6 +147,7 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 		CompensateOverhead: cfg.CompensateOverhead,
 		StalenessBound:     cfg.StalenessBound,
 		Overload:           cfg.Overload,
+		Lifecycle:          cfg.Lifecycle,
 		Metrics:            reg,
 	})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aqua/internal/metrics"
+	"aqua/internal/repository"
 	"aqua/internal/wire"
 )
 
@@ -99,11 +100,36 @@ func (p *prober) loop() {
 	}
 }
 
-// sweep probes every replica whose history has gone stale.
+// suspectedProbeBackoff is the cadence multiplier for suspected replicas:
+// they still serve live traffic (fresh evidence flows anyway), so probes
+// back off to the point of being a liveness check, not a load source.
+const suspectedProbeBackoff = 4
+
+// sweep probes every replica whose history has gone stale, keyed by
+// lifecycle state: probation replicas are probed at full cadence regardless
+// of freshness (probes are how they earn admission), suspected replicas at
+// a backed-off cadence, quarantined replicas never.
 func (p *prober) sweep(now time.Time) {
 	repo := p.h.sched.Repository()
 	for _, snap := range repo.Snapshot("") {
-		if snap.HasHistory && now.Sub(snap.LastUpdate) <= p.bound {
+		stale := !snap.HasHistory || now.Sub(snap.LastUpdate) > p.bound
+		switch snap.Health {
+		case repository.Quarantined:
+			// Rejuvenation or parole brings it back, not probing.
+			continue
+		case repository.Probation:
+			stale = true
+		case repository.Suspected:
+			stale = !snap.HasHistory || now.Sub(snap.LastUpdate) > suspectedProbeBackoff*p.bound
+		}
+		if !stale {
+			continue
+		}
+		addr, ok := p.h.resolve(snap.ID)
+		if !ok {
+			// Left the view (the repository lags the group by one event):
+			// no probe, and — crucially — no outstanding-probe guard entry
+			// that nothing would ever clear.
 			continue
 		}
 		p.mu.Lock()
@@ -125,10 +151,6 @@ func (p *prober) sweep(now time.Time) {
 		p.metSent.Inc()
 		p.mu.Unlock()
 
-		addr, ok := p.h.resolve(snap.ID)
-		if !ok {
-			continue
-		}
 		req := wire.Request{
 			Client:  p.h.cfg.Client,
 			Seq:     seq,

@@ -1,0 +1,101 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/repository"
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+// TestProberSkipsQuarantinedReplica: probes must not keep feeding a
+// quarantined replica's windows — rejuvenation or parole brings it back,
+// and a sick replica should not be asked to serve anything, probes
+// included.
+func TestProberSkipsQuarantinedReplica(t *testing.T) {
+	f := newFixture(t, 2, stats.Constant{Delay: 3 * ms})
+	h := f.handler(Config{
+		Client: "lc-probe", Service: "svc",
+		QoS:            wire.QoS{Deadline: 300 * ms, MinProbability: 0.5},
+		ProbeInterval:  15 * ms,
+		StalenessBound: 30 * ms,
+		Lifecycle:      core.LifecycleConfig{Enabled: true},
+	})
+	if _, err := h.Call(context.Background(), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	repo := h.Scheduler().Repository()
+	// Let the duplicate replies of the bootstrap call land before taking
+	// the baseline, or one can race the quarantine below.
+	waitFor(t, time.Second, func() bool {
+		return h.Scheduler().Outstanding() == 0 && repo.UpdateCount("r0") > 0
+	}, "bootstrap call settled")
+	if !repo.Quarantine("r0", time.Now()) {
+		t.Fatal("Quarantine(r0) failed")
+	}
+	base := repo.UpdateCount("r0")
+
+	// Idle long enough for several sweeps: the healthy replica keeps
+	// getting refreshed, the quarantined one goes silent.
+	waitFor(t, 2*time.Second, func() bool { return h.ProbesSent() >= 3 }, "probes flowing")
+	time.Sleep(50 * ms) // let any in-flight probe reply land
+	if got := repo.UpdateCount("r0"); got != base {
+		t.Errorf("quarantined replica refreshed by probes: updates %d → %d", base, got)
+	}
+}
+
+// TestProberWarmsProbationReplicaToAdmission is the §5.4.1 re-admission
+// path end to end at the gateway layer: a probation replica is probed at
+// full cadence (its history is fresh by probe, never by live traffic),
+// accumulates MinSamples reports, and is promoted to Active — without ever
+// serving a live request.
+func TestProberWarmsProbationReplicaToAdmission(t *testing.T) {
+	f := newFixture(t, 3, stats.Constant{Delay: 2 * ms})
+	h := f.handler(Config{
+		Client: "lc-warm", Service: "svc",
+		QoS:            wire.QoS{Deadline: 300 * ms, MinProbability: 0.5},
+		ProbeInterval:  10 * ms,
+		StalenessBound: 10 * time.Second, // live-traffic histories never go stale
+		Lifecycle:      core.LifecycleConfig{Enabled: true, ProbationSamples: 3},
+	})
+	sched := h.Scheduler()
+	repo := sched.Repository()
+	// Bootstrap view, then r2 "restarts": it leaves and rejoins, entering
+	// probation with empty windows.
+	sched.OnMembershipChange([]wire.ReplicaID{"r0", "r1", "r2"})
+	sched.OnMembershipChange([]wire.ReplicaID{"r0", "r1"})
+	sched.OnMembershipChange([]wire.ReplicaID{"r0", "r1", "r2"})
+	if hl, _ := repo.Health("r2"); hl != repository.Probation {
+		t.Fatalf("Health(r2) = %v, want Probation", hl)
+	}
+
+	// While on probation the replica must not appear in any selection.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx := context.Background()
+		for i := 0; i < 20; i++ {
+			_, _ = h.Call(ctx, "", nil)
+			if hl, _ := repo.Health("r2"); hl != repository.Probation {
+				return
+			}
+			time.Sleep(5 * ms)
+		}
+	}()
+	<-done
+
+	waitFor(t, 2*time.Second, func() bool {
+		hl, _ := repo.Health("r2")
+		return hl == repository.Active
+	}, "probe warm-up promotes r2 to Active")
+	// Promotion came from probes alone: r2 served no live request while on
+	// probation (its server Served count equals probe replies is implied by
+	// selection exclusion, fenced in core tests; here we assert the probes
+	// actually flowed).
+	if h.ProbesSent() == 0 {
+		t.Error("ProbesSent = 0; promotion did not come from probes")
+	}
+}

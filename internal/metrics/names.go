@@ -29,6 +29,13 @@ const (
 	SchedBackpressure = "aqua_sched_backpressure_total"  // transport backpressure signals absorbed
 	SchedBudget       = "aqua_sched_budget"              // redundancy budget per budgeted selection (histogram)
 
+	// Replica lifecycle (internal/core + internal/repository): the §5.4
+	// detect→eject→restart→re-admit loop.
+	SchedSuspected      = "aqua_sched_suspected_total"      // Active → Suspected transitions
+	SchedQuarantined    = "aqua_sched_quarantined_total"    // → Quarantined transitions
+	SchedReinstated     = "aqua_sched_reinstated_total"     // Suspected → Active recoveries
+	SchedQuarantinedNow = "aqua_sched_quarantined_replicas" // currently quarantined members (gauge)
+
 	// Per-replica response times observed by the scheduler (t4 − t0 per
 	// harvested reply). Labelled by replica.
 	ReplicaResponseSeconds = "aqua_replica_response_seconds"

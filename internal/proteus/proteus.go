@@ -36,6 +36,24 @@ type Policy struct {
 	// handle is invoked, its slot is freed, and the next reconcile starts a
 	// replacement. Zero means DefaultJoinTimeoutChecks × CheckInterval.
 	JoinTimeout time.Duration
+	// Retire removes a quarantined replica from the pool (stop the process,
+	// drop it from the group). Quarantine calls it for replicas the manager
+	// did not start itself; manager-started replicas are retired through
+	// their own stop handles. Nil means only manager-started replicas can be
+	// rejuvenated.
+	Retire func(wire.ReplicaID)
+	// MaxRestartsPerWindow caps factory start attempts (and therefore
+	// quarantine retirements, which each imply a replacement start) within
+	// any RestartWindow. It is the restart-storm fuse: a crash-looping
+	// factory or a mass false-positive quarantine cannot churn the pool
+	// faster than the cap. Zero means DefaultMaxRestartsPerWindow.
+	MaxRestartsPerWindow int
+	// RestartWindow is the sliding window the cap is measured over; zero
+	// means DefaultRestartWindow.
+	RestartWindow time.Duration
+	// MaxBackoff caps the exponential factory-failure backoff; zero means
+	// DefaultMaxBackoffChecks × CheckInterval.
+	MaxBackoff time.Duration
 }
 
 // DefaultCheckInterval is the default reconciliation cadence.
@@ -46,6 +64,17 @@ const DefaultCheckInterval = 50 * time.Millisecond
 // within one interval), short enough that a wedged replica doesn't hold its
 // pool slot for long.
 const DefaultJoinTimeoutChecks = 20
+
+// DefaultMaxRestartsPerWindow is the default restart-storm cap.
+const DefaultMaxRestartsPerWindow = 8
+
+// DefaultRestartWindow is the default sliding window for the restart cap.
+const DefaultRestartWindow = 10 * time.Second
+
+// DefaultMaxBackoffChecks is the default MaxBackoff expressed in check
+// intervals: the factory-failure backoff doubles per consecutive failure and
+// saturates here.
+const DefaultMaxBackoffChecks = 64
 
 // Manager reconciles one service's replica pool against its policy. It
 // observes membership through a group view feed (ObserveView) — typically
@@ -59,8 +88,31 @@ type Manager struct {
 	next    int
 	stopped bool
 
+	// Factory-failure damping: consecutive failures double the wait before
+	// the next attempt (capped at MaxBackoff) instead of retrying every
+	// CheckInterval.
+	failStreak   int
+	backoffUntil time.Time
+	// startTimes holds recent factory start attempts, pruned to
+	// RestartWindow: the restart-storm cap's evidence.
+	startTimes []time.Time
+	stats      ManagerStats
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// ManagerStats counts the manager's rejuvenation activity.
+type ManagerStats struct {
+	// Starts is the number of factory start attempts (successful or not).
+	Starts uint64
+	// FactoryFailures counts factory errors.
+	FactoryFailures uint64
+	// Quarantined counts replicas retired via Quarantine.
+	Quarantined uint64
+	// Suppressed counts starts or quarantine retirements refused by the
+	// restart-storm cap.
+	Suppressed uint64
 }
 
 // startedEntry tracks one replica the manager launched: its stop handle,
@@ -90,6 +142,15 @@ func NewManager(p Policy) (*Manager, error) {
 	}
 	if p.JoinTimeout <= 0 {
 		p.JoinTimeout = DefaultJoinTimeoutChecks * p.CheckInterval
+	}
+	if p.MaxRestartsPerWindow <= 0 {
+		p.MaxRestartsPerWindow = DefaultMaxRestartsPerWindow
+	}
+	if p.RestartWindow <= 0 {
+		p.RestartWindow = DefaultRestartWindow
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoffChecks * p.CheckInterval
 	}
 	return &Manager{
 		policy:  p,
@@ -169,6 +230,11 @@ func (m *Manager) reconcile() {
 		}
 	}
 	deficit := m.policy.ReplicationLevel - live
+	if now.Before(m.backoffUntil) {
+		// A recent factory failure put starts on exponential backoff; the
+		// deficit persists and is retried when the backoff elapses.
+		deficit = 0
+	}
 	m.mu.Unlock()
 
 	for _, stopFn := range expired {
@@ -177,17 +243,45 @@ func (m *Manager) reconcile() {
 
 	for i := 0; i < deficit; i++ {
 		m.mu.Lock()
+		if m.stopped {
+			m.mu.Unlock()
+			return
+		}
+		if !m.allowRestartLocked(time.Now()) {
+			// Restart-storm cap: the pool stays below target until the
+			// window slides rather than churning faster than replicas can
+			// prove themselves.
+			m.stats.Suppressed++
+			m.mu.Unlock()
+			return
+		}
+		m.startTimes = append(m.startTimes, time.Now())
+		m.stats.Starts++
 		m.next++
 		suggested := wire.ReplicaID(fmt.Sprintf("%s-p%d", m.policy.Service, m.next))
 		m.mu.Unlock()
 
 		actual, stopFn, err := m.policy.Factory(suggested)
 		if err != nil {
-			// The next tick retries; a persistent factory failure shows up
-			// as a pool below target, which Level() exposes.
+			// Exponential backoff: a persistent factory failure shows up as
+			// a pool below target (Level()) without hammering the factory
+			// every CheckInterval.
+			m.mu.Lock()
+			m.stats.FactoryFailures++
+			m.failStreak++
+			d := m.policy.MaxBackoff
+			if m.failStreak < 30 {
+				if b := m.policy.CheckInterval << uint(m.failStreak); b < d {
+					d = b
+				}
+			}
+			m.backoffUntil = time.Now().Add(d)
+			m.mu.Unlock()
 			return
 		}
 		m.mu.Lock()
+		m.failStreak = 0
+		m.backoffUntil = time.Time{}
 		if m.stopped {
 			m.mu.Unlock()
 			stopFn()
@@ -196,6 +290,70 @@ func (m *Manager) reconcile() {
 		m.started[actual] = &startedEntry{stop: stopFn, at: time.Now(), joined: m.view.Contains(actual)}
 		m.mu.Unlock()
 	}
+}
+
+// allowRestartLocked prunes the start history to the sliding window and
+// reports whether another restart fits under the cap. Caller holds m.mu.
+func (m *Manager) allowRestartLocked(now time.Time) bool {
+	cutoff := now.Add(-m.policy.RestartWindow)
+	keep := m.startTimes[:0]
+	for _, t := range m.startTimes {
+		if t.After(cutoff) {
+			keep = append(keep, t)
+		}
+	}
+	m.startTimes = keep
+	return len(m.startTimes) < m.policy.MaxRestartsPerWindow
+}
+
+// Quarantine retires a sick-but-alive replica so the pool rejuvenates it:
+// the replica is stopped (via its stop handle when the manager started it,
+// via Policy.Retire otherwise), the group view drops it, and the next
+// reconcile starts a fresh replacement through the factory. This closes the
+// §5.4 loop for *timing*-faulty replicas, which never crash on their own.
+//
+// Returns false when the restart-storm cap is exhausted (the replica is left
+// in place — the caller's quarantine marking already keeps it out of
+// selection), when the manager has no way to stop the replica (not
+// manager-started and no Retire hook), or after Stop.
+func (m *Manager) Quarantine(id wire.ReplicaID) bool {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return false
+	}
+	e, mine := m.started[id]
+	if !mine && m.policy.Retire == nil {
+		m.mu.Unlock()
+		return false
+	}
+	if !m.allowRestartLocked(time.Now()) {
+		// Retiring now would shrink the pool with no replacement allowed:
+		// worse than leaving a quarantined (deselected) replica running.
+		m.stats.Suppressed++
+		m.mu.Unlock()
+		return false
+	}
+	if mine {
+		delete(m.started, id)
+	}
+	m.stats.Quarantined++
+	retire := m.policy.Retire
+	m.mu.Unlock()
+
+	if mine && e.stop != nil {
+		e.stop()
+	} else if retire != nil {
+		retire(id)
+	}
+	return true
+}
+
+// Stats returns a snapshot of the manager's rejuvenation counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
 }
 
 // Level returns the current live member count as seen by the manager.

@@ -47,6 +47,11 @@ type replicaState struct {
 	inFlight    int       // requests this gateway has dispatched and not yet settled
 	lastUpdate  time.Time // freshness marker for the staleness probe
 	hasUpdate   bool
+	// Lifecycle state (lifecycle.go). The zero value, Active, keeps the
+	// pre-lifecycle behavior: every member is a selection candidate.
+	health        Health
+	quarantinedAt time.Time // when health last became Quarantined
+	probationGot  int       // fresh perf reports accumulated on probation
 }
 
 // Repository is the thread-safe information store for one service. The zero
@@ -59,6 +64,12 @@ type Repository struct {
 	entries      map[methodKey]*entry
 	replicas     map[wire.ReplicaID]*replicaState
 	updatesByRep map[wire.ReplicaID]uint64 // count of perf reports absorbed, per replica
+	// Lifecycle mode (lifecycle.go): health tracking, probation-on-join
+	// after the bootstrap view, and probation promotion thresholds.
+	lifecycle        bool
+	probationSamples int
+	bootstrapped     bool // first non-empty membership view absorbed
+	lifeStats        LifecycleStats
 }
 
 // Option configures a Repository.
@@ -133,7 +144,7 @@ func (r *Repository) AddReplica(id wire.ReplicaID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.replicas[id]; !ok {
-		r.replicas[id] = &replicaState{}
+		r.replicas[id] = r.newReplicaStateLocked()
 	}
 }
 
@@ -145,12 +156,7 @@ func (r *Repository) RemoveReplica(id wire.ReplicaID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.replicas, id)
-	delete(r.updatesByRep, id)
-	for k := range r.entries {
-		if k.replica == id {
-			delete(r.entries, k)
-		}
-	}
+	r.dropEntriesLocked(id)
 }
 
 // SetMembership reconciles the replica set against a full membership view:
@@ -164,19 +170,21 @@ func (r *Repository) SetMembership(ids []wire.ReplicaID) {
 	defer r.mu.Unlock()
 	for _, id := range ids {
 		if _, ok := r.replicas[id]; !ok {
-			r.replicas[id] = &replicaState{}
+			r.replicas[id] = r.newReplicaStateLocked()
 		}
 	}
 	for id := range r.replicas {
 		if !keep[id] {
 			delete(r.replicas, id)
-			delete(r.updatesByRep, id)
-			for k := range r.entries {
-				if k.replica == id {
-					delete(r.entries, k)
-				}
-			}
+			r.dropEntriesLocked(id)
 		}
+	}
+	if len(ids) > 0 {
+		// The first non-empty view is the bootstrap: its members entered as
+		// Active above (there was no warm pool to protect). Every later
+		// joiner is a newcomer with no usable history and goes through
+		// probation when the lifecycle is enabled.
+		r.bootstrapped = true
 	}
 }
 
@@ -240,6 +248,7 @@ func (r *Repository) RecordPerf(id wire.ReplicaID, method string, p wire.PerfRep
 	st.lastUpdate = now
 	st.hasUpdate = true
 	r.updatesByRep[id]++
+	r.notePerfLocked(st)
 }
 
 // RecordGatewayDelay stores a newly measured two-way gateway-to-gateway
@@ -343,6 +352,10 @@ type ReplicaSnapshot struct {
 	// QueueLength + InFlight.
 	InFlight   int
 	LastUpdate time.Time
+	// Health is the replica's lifecycle state (lifecycle.go). Replicas whose
+	// state is not Selectable() must be excluded from the probability table
+	// and from the select-all fallback; the prober keys its cadence off it.
+	Health Health
 	// Resolution, ServiceHist, and QueueHist feed the predictor's fast path:
 	// pre-quantized bin counts maintained incrementally by the windows, so
 	// prediction needs neither the raw samples nor a per-call sort. They are
@@ -369,6 +382,7 @@ func (r *Repository) Snapshot(method string) []ReplicaSnapshot {
 			QueueLength: st.queueLength,
 			InFlight:    st.inFlight,
 			LastUpdate:  st.lastUpdate,
+			Health:      st.health,
 		}
 		if e, ok := r.entries[methodKey{replica: id, method: method}]; ok {
 			snap.ServiceTimes = e.service.Values()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aqua/internal/core"
+	"aqua/internal/repository"
 	"aqua/internal/stats"
 	"aqua/internal/trace"
 	"aqua/internal/wire"
@@ -52,6 +53,12 @@ type Replica struct {
 	dones   []time.Duration // completion times of accepted, unfinished work
 	crashAt time.Duration
 	served  int
+
+	// Slow window (ReplicaSpec.Slow): service times drawn from slow instead
+	// of service for work started inside [slowFrom, slowUntil).
+	slow      stats.DelayDist
+	slowFrom  time.Duration
+	slowUntil time.Duration
 }
 
 // newReplica constructs a replica bound to the kernel.
@@ -72,6 +79,22 @@ func (r *Replica) setWorkers(k int) {
 		k = 1
 	}
 	r.workers = make([]time.Duration, k)
+}
+
+// setSlow installs a performance-fault window.
+func (r *Replica) setSlow(dist stats.DelayDist, from, until time.Duration) {
+	r.slow = dist
+	r.slowFrom = from
+	r.slowUntil = until
+}
+
+// slowAt reports whether the performance fault is active for work starting
+// at virtual time t.
+func (r *Replica) slowAt(t time.Duration) bool {
+	if r.slow == nil || t < r.slowFrom {
+		return false
+	}
+	return r.slowUntil <= 0 || t < r.slowUntil
 }
 
 // Crashed reports whether the replica is down at virtual time t.
@@ -101,7 +124,11 @@ func (r *Replica) process(at time.Duration) (done time.Duration, perf wire.PerfR
 	if r.workers[wi] > start {
 		start = r.workers[wi]
 	}
-	ts := r.service.Sample(r.rng)
+	dist := r.service
+	if r.slowAt(start) {
+		dist = r.slow
+	}
+	ts := dist.Sample(r.rng)
 	done = start + ts
 	r.workers[wi] = done
 	// QueueLength is the backlog this request found on arrival: requests
@@ -176,6 +203,77 @@ type Client struct {
 	startAt  time.Duration
 	finished func()
 	rec      *trace.Recorder // nil-safe
+
+	// Lifecycle (Scenario.Lifecycle): probe probation replicas back to
+	// admission and audit every selection for probation violations.
+	lifecycle           bool
+	probeEvery          time.Duration
+	probationViolations int
+}
+
+// probeLoop is the gateway prober's warm-up role inside the kernel: every
+// probeEvery of virtual time, send a probe to each replica this client
+// holds on probation so its window accumulates the MinSamples needed for
+// re-admission without serving live traffic. The loop stops once the
+// client has finished its workload (so the kernel can drain).
+func (c *Client) probeLoop() {
+	if c.finished == nil {
+		return
+	}
+	now := c.kernel.Now()
+	for _, snap := range c.sched.Repository().Snapshot("") {
+		if snap.Health != repository.Probation {
+			continue
+		}
+		rep, ok := c.replicas[snap.ID]
+		if !ok {
+			continue // left the view (or was retired) since the snapshot
+		}
+		reqDelay := c.network.delay(c.rng)
+		drop, extra := c.linkFault(rep, now)
+		if drop {
+			continue // probe lost on the faulty link
+		}
+		id := snap.ID
+		c.kernel.After(reqDelay+extra, func() {
+			done, perf, ok := rep.process(c.kernel.Now())
+			if !ok {
+				return // crashed before completing: no probe reply
+			}
+			respDelay := c.network.delay(c.rng)
+			drop, extra := c.linkFault(rep, done)
+			if drop {
+				return
+			}
+			c.kernel.At(done+respDelay+extra, func() {
+				c.sched.OnPerfUpdate(wire.PerfUpdate{Replica: id, Perf: perf}, c.kernel.NowTime())
+			})
+		})
+	}
+	c.kernel.After(c.probeEvery, c.probeLoop)
+}
+
+// noteProbationViolations audits one selection: any target that was not
+// selectable while at least one selectable member existed is a lifecycle
+// leak (the a14 guardrail). The all-sick fallback — no selectable member
+// anywhere — is legitimate and not counted.
+func (c *Client) noteProbationViolations(targets []wire.ReplicaID) {
+	health := make(map[wire.ReplicaID]repository.Health)
+	anySelectable := false
+	for _, snap := range c.sched.Repository().Snapshot("") {
+		health[snap.ID] = snap.Health
+		if snap.Health.Selectable() {
+			anySelectable = true
+		}
+	}
+	if !anySelectable {
+		return
+	}
+	for _, id := range targets {
+		if h, ok := health[id]; ok && !h.Selectable() {
+			c.probationViolations++
+		}
+	}
 }
 
 // issueOpenLoop drives an open-loop workload: requests fire at drawn
@@ -242,6 +340,9 @@ func (c *Client) issueOne() {
 		At: t0v, Kind: trace.KindSchedule, Client: c.ID, Seq: d.Seq,
 		Targets: d.Targets, Value: d.Predicted,
 	})
+	if c.lifecycle {
+		c.noteProbationViolations(d.Targets)
+	}
 
 	// Dispatch: one multicast, stamped t1 = now (the virtual gateway hands
 	// the message to the network immediately after selection).
@@ -289,9 +390,13 @@ func (c *Client) issueOne() {
 			rec.Failure = true
 		}
 	})
-	// Give-up fallback: if no reply ever arrives (every selected replica
-	// crashed), resume the request loop after giveUp.
+	// Give-up fallback, and straggler grace: a pending entry is only
+	// self-cleaning when every target replies, so a request with a crashed
+	// (or drop-faulted) target would leak its entry forever. By giveUp every
+	// reply that will ever come has come — Forget whatever is left. Then, if
+	// no reply arrived at all, close the record and resume the loop.
 	c.kernel.At(t0v+c.giveUp, func() {
+		c.sched.Forget(seq)
 		rec, ok := c.pendRec[seq]
 		if !ok || rec.GotReply {
 			return

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+// TestSimSlowReplicaQuarantinedAndRejuvenated runs the full §5.4 loop in
+// virtual time: one host turns persistently slow, every client's fault
+// window fills, the replica is quarantined and rejuvenated, the replacement
+// warms through probation on probes, and after the host heals the pool
+// returns to timely service.
+func TestSimSlowReplicaQuarantinedAndRejuvenated(t *testing.T) {
+	// Normal(25ms, 5ms) service against a 30ms deadline keeps the predicted
+	// per-replica probability around 0.84, so Pc = 0.99 forces Algorithm 1
+	// to select every selectable replica — the slow host keeps being
+	// exercised (and charged) until quarantine removes it.
+	res, err := Run(Scenario{
+		Replicas: []ReplicaSpec{
+			{Service: stats.Normal{Mu: 25 * ms, Sigma: 5 * ms},
+				Slow: stats.Constant{Delay: 100 * ms}, SlowFrom: 500 * ms, SlowUntil: 4 * time.Second},
+			{Service: stats.Normal{Mu: 25 * ms, Sigma: 5 * ms}},
+			{Service: stats.Normal{Mu: 25 * ms, Sigma: 5 * ms}},
+		},
+		Clients: []ClientSpec{{
+			QoS:      wire.QoS{Deadline: 30 * ms, MinProbability: 0.99},
+			Requests: 400,
+			Think:    10 * ms,
+		}},
+		Lifecycle: core.LifecycleConfig{
+			Enabled:         true,
+			WindowSize:      8,
+			MinObservations: 4,
+		},
+		ProbeInterval: 50 * ms,
+		Rejuvenation:  RejuvenationSpec{Enabled: true, RestartDelay: 100 * ms},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quarantines < 1 {
+		t.Errorf("Quarantines = %d, want >= 1", res.Quarantines)
+	}
+	if res.Restarts < 1 {
+		t.Errorf("Restarts = %d, want >= 1", res.Restarts)
+	}
+	if res.Restarts > DefaultSimMaxRestarts {
+		// One storm-cap window is longer than the slow window, so every
+		// restart the run performs must fit inside a single cap.
+		t.Errorf("Restarts = %d, want <= storm cap %d", res.Restarts, DefaultSimMaxRestarts)
+	}
+	if res.ProbationViolations != 0 {
+		t.Errorf("ProbationViolations = %d, want 0", res.ProbationViolations)
+	}
+	c := res.Clients[0]
+	if c.Outstanding != 0 {
+		t.Errorf("Outstanding = %d, want 0 (pending-entry leak)", c.Outstanding)
+	}
+	if got := len(c.Records); got != 400 {
+		t.Fatalf("records = %d, want 400", got)
+	}
+	// The tail of the run is past SlowUntil: the healed host is back in the
+	// pool and the loop delivers its usual timely fraction again.
+	tail := c.Records[len(c.Records)-100:]
+	timely := 0
+	for _, r := range tail {
+		if r.GotReply && !r.Failure {
+			timely++
+		}
+	}
+	if timely < 90 {
+		t.Errorf("timely tail = %d/100, want >= 90 after the fault cleared", timely)
+	}
+	// ReplicaServe folds retired incarnations into the host slot.
+	if res.ReplicaServe[0] == 0 {
+		t.Error("ReplicaServe[0] = 0, want work from the pre-fault and healed incarnations")
+	}
+}
+
+// TestSimGiveUpForgetsPending is the regression for the give-up leak: a
+// request whose every target died silently must be Forgotten from the
+// scheduler when the client gives up, or each abandoned request leaks a
+// pending entry for the rest of the run.
+func TestSimGiveUpForgetsPending(t *testing.T) {
+	res, err := Run(Scenario{
+		Replicas: []ReplicaSpec{{Service: stats.Constant{Delay: 10 * ms}, CrashAt: 50 * ms}},
+		Clients: []ClientSpec{{
+			QoS:      wire.QoS{Deadline: 30 * ms, MinProbability: 0.9},
+			Requests: 3,
+			Think:    100 * ms,
+		}},
+		// Detection is slower than the whole client run: the dead replica
+		// stays in the view, so requests 2 and 3 go to it and die silently.
+		DetectionDelay: 10 * time.Second,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Clients[0]
+	if got := len(c.Records); got != 3 {
+		t.Fatalf("records = %d, want 3", got)
+	}
+	if c.Outstanding != 0 {
+		t.Errorf("Outstanding = %d, want 0: give-up must Forget abandoned requests", c.Outstanding)
+	}
+	for i, r := range c.Records[1:] {
+		if r.GotReply || !r.Failure {
+			t.Errorf("post-crash record %d = %+v, want silent failure", i+1, r)
+		}
+	}
+}
+
+// TestSimRejuvenationRequiresLifecycle: without the suspicion machinery
+// nothing ever quarantines, so a rejuvenation-only scenario is a
+// configuration error, not a silent no-op.
+func TestSimRejuvenationRequiresLifecycle(t *testing.T) {
+	_, err := Run(Scenario{
+		Replicas:     []ReplicaSpec{{Service: stats.Constant{Delay: ms}}},
+		Clients:      []ClientSpec{{QoS: wire.QoS{Deadline: 100 * ms}, Requests: 1}},
+		Rejuvenation: RejuvenationSpec{Enabled: true},
+	})
+	if err == nil {
+		t.Error("want error for Rejuvenation without Lifecycle")
+	}
+}
+
+// TestSimSlowWindowValidation rejects inverted slow windows.
+func TestSimSlowWindowValidation(t *testing.T) {
+	_, err := Run(Scenario{
+		Replicas: []ReplicaSpec{{
+			Service: stats.Constant{Delay: ms},
+			Slow:    stats.Constant{Delay: 10 * ms}, SlowFrom: 2 * time.Second, SlowUntil: time.Second,
+		}},
+		Clients: []ClientSpec{{QoS: wire.QoS{Deadline: 100 * ms}, Requests: 1}},
+	})
+	if err == nil {
+		t.Error("want error for SlowUntil before SlowFrom")
+	}
+}

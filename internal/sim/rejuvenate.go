@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"aqua/internal/core"
+	"aqua/internal/repository"
+	"aqua/internal/stats"
+	"aqua/internal/trace"
+	"aqua/internal/wire"
+)
+
+// RejuvenationSpec configures the simulated Proteus-style rejuvenator: when
+// any client quarantines a replica, the rejuvenator retires that incarnation
+// and boots a fresh one at the same host index (AQuA's Proteus restarts the
+// object; the host — and any host-level fault window — stays).
+type RejuvenationSpec struct {
+	// Enabled turns rejuvenation on. Requires Scenario.Lifecycle.Enabled.
+	Enabled bool
+	// RestartDelay is the base boot time of a replacement; consecutive
+	// restarts of the same host back off exponentially from it. Zero means
+	// DefaultRestartDelay.
+	RestartDelay time.Duration
+	// MaxRestartsPerWindow caps restarts inside RestartWindow, so a fault
+	// the restart cannot cure (a sick host) does not become a restart
+	// storm. Zero means DefaultSimMaxRestarts.
+	MaxRestartsPerWindow int
+	// RestartWindow is the sliding window of the storm cap. Zero means
+	// DefaultSimRestartWindow.
+	RestartWindow time.Duration
+}
+
+// Rejuvenation defaults, mirroring proteus.Manager's policy knobs.
+const (
+	DefaultRestartDelay     = 250 * time.Millisecond
+	DefaultSimMaxRestarts   = 8
+	DefaultSimRestartWindow = 10 * time.Second
+	// maxBootDelay caps the per-host exponential boot backoff.
+	maxBootDelay = 30 * time.Second
+)
+
+// withDefaults fills zero fields.
+func (s RejuvenationSpec) withDefaults() RejuvenationSpec {
+	if s.RestartDelay <= 0 {
+		s.RestartDelay = DefaultRestartDelay
+	}
+	if s.MaxRestartsPerWindow <= 0 {
+		s.MaxRestartsPerWindow = DefaultSimMaxRestarts
+	}
+	if s.RestartWindow <= 0 {
+		s.RestartWindow = DefaultSimRestartWindow
+	}
+	return s
+}
+
+// rejuvenator closes the §5.4 loop inside the kernel: quarantine reports
+// from any client's scheduler trigger a kill → detect → boot → rejoin
+// sequence for the sick host's slot. The replacement gets a fresh identity
+// (so every repository re-admits it through probation) but keeps the host
+// index, so index-keyed fault schedules (LinkFault, ReplicaSpec.Slow)
+// survive the restart.
+type rejuvenator struct {
+	kernel         *Kernel
+	spec           RejuvenationSpec
+	specs          []ReplicaSpec
+	replicas       []*Replica // shared with Run: index = host slot
+	byID           map[wire.ReplicaID]*Replica
+	clients        []*Client // shared with Run; populated before any event fires
+	detectionDelay time.Duration
+	rng            *stats.Rand
+	rec            *trace.Recorder // nil-safe
+
+	restartTimes  []time.Duration // storm-cap sliding window (global)
+	perHost       []int           // restarts per host index, drives boot backoff
+	retiredServed []int           // served counts of retired incarnations
+	restarting    []bool          // a replacement is mid-boot for this index
+	restarts      int
+	suppressed    int
+}
+
+func newRejuvenator(k *Kernel, spec RejuvenationSpec, specs []ReplicaSpec, replicas []*Replica,
+	byID map[wire.ReplicaID]*Replica, clients []*Client, detect time.Duration,
+	rng *stats.Rand, rec *trace.Recorder) *rejuvenator {
+	return &rejuvenator{
+		kernel:         k,
+		spec:           spec.withDefaults(),
+		specs:          specs,
+		replicas:       replicas,
+		byID:           byID,
+		clients:        clients,
+		detectionDelay: detect,
+		rng:            rng,
+		rec:            rec,
+		perHost:        make([]int, len(specs)),
+		retiredServed:  make([]int, len(specs)),
+		restarting:     make([]bool, len(specs)),
+	}
+}
+
+// onSuspect receives every lifecycle transition from every client and acts
+// on quarantines of a live incarnation. Reports naming an already-retired
+// ID (another client quarantined it first) are ignored.
+func (rj *rejuvenator) onSuspect(r core.SuspectReport) {
+	if r.To != repository.Quarantined {
+		return
+	}
+	rep, ok := rj.byID[r.Replica]
+	if !ok {
+		return
+	}
+	rj.restart(rep.index)
+}
+
+// restart retires the current incarnation at idx and boots a replacement,
+// subject to the storm cap. A suppressed restart retries when the cap's
+// window slides, unless the incarnation changed in the meantime.
+func (rj *rejuvenator) restart(idx int) {
+	if rj.restarting[idx] {
+		return
+	}
+	now := rj.kernel.Now()
+	if !rj.allowRestart(now) {
+		rj.suppressed++
+		retry := rj.restartTimes[0] + rj.spec.RestartWindow - now
+		if retry < time.Millisecond {
+			retry = time.Millisecond
+		}
+		old := rj.replicas[idx]
+		rj.kernel.After(retry, func() {
+			if rj.replicas[idx] == old { // still the sick incarnation
+				rj.restart(idx)
+			}
+		})
+		return
+	}
+	rj.restarting[idx] = true
+	rj.restartTimes = append(rj.restartTimes, now)
+	rj.perHost[idx]++
+	rj.restarts++
+
+	// Kill the sick incarnation. Work it accepted but has not finished is
+	// lost; clients' deadline/give-up machinery absorbs that, exactly as
+	// for a crash.
+	old := rj.replicas[idx]
+	old.crashAt = now
+	rj.retiredServed[idx] += old.Served()
+	delete(rj.byID, old.ID)
+
+	boot := rj.bootDelay(idx)
+	next := wire.ReplicaID(fmt.Sprintf("replica-%02d-r%d", idx, rj.perHost[idx]))
+	rj.rec.Record(trace.Event{
+		At: now, Kind: trace.KindRestart, Replica: old.ID, Duration: boot,
+		Extra: map[string]string{"replacement": string(next)},
+	})
+
+	// The membership layer notices the kill after the detection delay …
+	rj.kernel.After(rj.detectionDelay, rj.notifyMembership)
+	// … and the replacement boots after the (backed-off) restart delay,
+	// with a fresh identity so every client re-admits it via probation.
+	rj.kernel.After(boot, func() {
+		spec := rj.specs[idx]
+		nr := newReplica(rj.kernel, next, spec.Service, rj.rng.Split())
+		nr.index = idx
+		if spec.Workers > 1 {
+			nr.setWorkers(spec.Workers)
+		}
+		if spec.Slow != nil {
+			nr.setSlow(spec.Slow, spec.SlowFrom, spec.SlowUntil)
+		}
+		rj.replicas[idx] = nr
+		rj.byID[next] = nr
+		rj.restarting[idx] = false
+		rj.notifyMembership()
+	})
+}
+
+// allowRestart prunes the storm-cap window and reports whether another
+// restart fits in it.
+func (rj *rejuvenator) allowRestart(now time.Duration) bool {
+	kept := rj.restartTimes[:0]
+	for _, t := range rj.restartTimes {
+		if now-t < rj.spec.RestartWindow {
+			kept = append(kept, t)
+		}
+	}
+	rj.restartTimes = kept
+	return len(kept) < rj.spec.MaxRestartsPerWindow
+}
+
+// bootDelay returns RestartDelay doubled per prior restart of this host,
+// capped at maxBootDelay. perHost was already incremented for the restart
+// being planned, so the first restart boots at the base delay.
+func (rj *rejuvenator) bootDelay(idx int) time.Duration {
+	d := rj.spec.RestartDelay
+	for i := 1; i < rj.perHost[idx]; i++ {
+		d *= 2
+		if d >= maxBootDelay {
+			return maxBootDelay
+		}
+	}
+	return d
+}
+
+// notifyMembership pushes the current live view to every client, exactly
+// like the crash plan's detection events.
+func (rj *rejuvenator) notifyMembership() {
+	now := rj.kernel.Now()
+	var live []wire.ReplicaID
+	for _, r := range rj.replicas {
+		if !r.Crashed(now) {
+			live = append(live, r.ID)
+		}
+	}
+	for _, c := range rj.clients {
+		if c != nil {
+			c.sched.OnMembershipChangeAt(live, rj.kernel.NowTime())
+		}
+	}
+	rj.rec.Record(trace.Event{At: now, Kind: trace.KindMembership, Targets: live})
+}

@@ -25,6 +25,16 @@ type ReplicaSpec struct {
 	// single-server assumption behind the windowed W estimate, for the
 	// model-robustness ablation.
 	Workers int
+	// Slow, when non-nil, replaces Service for work started inside
+	// [SlowFrom, SlowUntil): the §5.4 performance-fault class — a replica
+	// that turns persistently slow (GC stall, overloaded host) without
+	// crashing. The window is host-level: a rejuvenated replacement at the
+	// same index inherits it until SlowUntil, so rejuvenation alone cannot
+	// cure a sick host (exactly the case the restart-storm cap exists for).
+	Slow     stats.DelayDist
+	SlowFrom time.Duration
+	// SlowUntil ends the slow window; 0 with Slow set means the whole run.
+	SlowUntil time.Duration
 }
 
 // ClientSpec describes one simulated client.
@@ -125,6 +135,21 @@ type Scenario struct {
 	// Trace, when non-nil, records every scheduling decision, reply,
 	// failure, and membership change for post-run analysis.
 	Trace *trace.Recorder
+	// Lifecycle enables the §5.4 suspicion/quarantine state machine in
+	// every client's scheduler (core.LifecycleConfig). An OnSuspect hook
+	// set here is called for every client's transitions, before the
+	// rejuvenator's own observer.
+	Lifecycle core.LifecycleConfig
+	// ProbeInterval, when positive with Lifecycle enabled, has each client
+	// probe its probation replicas at this virtual-time cadence — the
+	// gateway prober's warm-up role inside the kernel. Without it a
+	// probation replica re-admits only via parole, which the sim never
+	// exercises (QuarantineExpiry is wall-clock).
+	ProbeInterval time.Duration
+	// Rejuvenation configures the simulated Proteus manager: quarantined
+	// replicas are killed and fresh incarnations boot at the same host
+	// index. Requires Lifecycle.Enabled.
+	Rejuvenation RejuvenationSpec
 }
 
 // DefaultDetectionDelay models heartbeat-based failure detection latency.
@@ -134,6 +159,15 @@ const DefaultDetectionDelay = 100 * time.Millisecond
 type ClientResult struct {
 	Stats   core.Stats
 	Records []RequestRecord
+	// ProbationViolations counts selections that targeted a quarantined or
+	// probation replica while a selectable one existed (see
+	// Client.noteProbationViolations). Zero is the a14 guardrail.
+	ProbationViolations int
+	// Outstanding is the scheduler's pending-entry count at run end. Every
+	// request resolves through a reply, the deadline, or the give-up
+	// fallback before the kernel drains, so non-zero means a bookkeeping
+	// leak.
+	Outstanding int
 }
 
 // MeanSelected returns the average redundancy level over completed records.
@@ -234,8 +268,14 @@ func (r ClientResult) MeanResponseTime() time.Duration {
 // Result is a completed scenario run.
 type Result struct {
 	Clients      []ClientResult
-	ReplicaServe []int // requests served per replica, by index
+	ReplicaServe []int // requests served per host index (all incarnations)
 	Events       int   // kernel events executed (sanity/diagnostics)
+
+	// Lifecycle aggregates (zero unless Scenario.Lifecycle is enabled).
+	Quarantines         int // quarantine transitions across all clients
+	Restarts            int // rejuvenation restarts performed
+	RestartsSuppressed  int // restarts refused by the storm cap
+	ProbationViolations int // sum over clients; zero is the guardrail
 }
 
 // TotalServed sums requests served across replicas (the redundancy cost).
@@ -273,6 +313,14 @@ func Run(s Scenario) (*Result, error) {
 			return nil, fmt.Errorf("sim: fault %d loss %v outside [0,1]", i, f.Loss)
 		}
 	}
+	for i, spec := range s.Replicas {
+		if spec.Slow != nil && spec.SlowUntil > 0 && spec.SlowUntil <= spec.SlowFrom {
+			return nil, fmt.Errorf("sim: replica %d slow window ends (%v) before it starts (%v)", i, spec.SlowUntil, spec.SlowFrom)
+		}
+	}
+	if s.Rejuvenation.Enabled && !s.Lifecycle.Enabled {
+		return nil, fmt.Errorf("sim: rejuvenation requires Lifecycle.Enabled (nothing quarantines without it)")
+	}
 
 	k := NewKernel()
 	root := stats.NewRand(s.Seed)
@@ -291,6 +339,9 @@ func Run(s Scenario) (*Result, error) {
 		if spec.Workers > 1 {
 			replicas[i].setWorkers(spec.Workers)
 		}
+		if spec.Slow != nil {
+			replicas[i].setSlow(spec.Slow, spec.SlowFrom, spec.SlowUntil)
+		}
 		byID[id] = replicas[i]
 		liveIDs = append(liveIDs, id)
 	}
@@ -299,6 +350,17 @@ func Run(s Scenario) (*Result, error) {
 	// per-handler local information repository).
 	clients := make([]*Client, len(s.Clients))
 	remaining := len(s.Clients)
+
+	// Lifecycle plumbing: the rejuvenator shares the replicas slice and the
+	// byID map with the dispatch path, so a restart swaps the incarnation
+	// everywhere at once. quarantines counts transitions across all clients.
+	var rj *rejuvenator
+	quarantines := 0
+	if s.Rejuvenation.Enabled {
+		rj = newRejuvenator(k, s.Rejuvenation, s.Replicas, replicas, byID, clients,
+			s.DetectionDelay, root.Split(), s.Trace)
+	}
+
 	for i, spec := range s.Clients {
 		if spec.Requests <= 0 {
 			return nil, fmt.Errorf("sim: client %d issues no requests", i)
@@ -312,6 +374,29 @@ func Run(s Scenario) (*Result, error) {
 			repoOpts = append(repoOpts, repository.WithGatewayHistory(s.GatewayHistory))
 		}
 		repo := repository.New(repoOpts...)
+		lc := s.Lifecycle
+		if lc.Enabled {
+			// Chain the observers: trace + scenario-wide counting, then the
+			// caller's hook, then the rejuvenator. Delivered outside the
+			// scheduler lock, on the kernel goroutine.
+			user := lc.OnSuspect
+			lc.OnSuspect = func(r core.SuspectReport) {
+				s.Trace.Record(trace.Event{
+					At: k.Now(), Kind: trace.KindLifecycle, Replica: r.Replica,
+					Value: r.FaultRate,
+					Extra: map[string]string{"from": r.From.String(), "to": r.To.String()},
+				})
+				if r.To == repository.Quarantined {
+					quarantines++
+				}
+				if user != nil {
+					user(r)
+				}
+				if rj != nil {
+					rj.onSuspect(r)
+				}
+			}
+		}
 		sched, err := core.NewScheduler(core.Config{
 			Service:            "sim-service",
 			QoS:                spec.QoS,
@@ -322,6 +407,7 @@ func Run(s Scenario) (*Result, error) {
 			FixedOverhead:      s.FixedOverhead,
 			StalenessBound:     s.StalenessBound,
 			Overload:           s.Overload,
+			Lifecycle:          lc,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sim: client %d: %w", i, err)
@@ -350,6 +436,13 @@ func Run(s Scenario) (*Result, error) {
 			rec:      s.Trace,
 		}
 		clients[i] = c
+		if s.Lifecycle.Enabled {
+			c.lifecycle = true
+			if s.ProbeInterval > 0 {
+				c.probeEvery = s.ProbeInterval
+				k.At(spec.StartAt+s.ProbeInterval, c.probeLoop)
+			}
+		}
 		if spec.Arrival != nil {
 			k.At(spec.StartAt, c.issueOpenLoop)
 		} else {
@@ -388,7 +481,11 @@ func Run(s Scenario) (*Result, error) {
 		return nil, fmt.Errorf("sim: %d client(s) did not finish within %v of virtual time", remaining, s.MaxTime)
 	}
 
-	res := &Result{Events: events}
+	res := &Result{Events: events, Quarantines: quarantines}
+	if rj != nil {
+		res.Restarts = rj.restarts
+		res.RestartsSuppressed = rj.suppressed
+	}
 	for _, c := range clients {
 		// Flush any record still pending (reply arrived after the run's
 		// last event would be impossible — kernel drained — but a crashed
@@ -397,12 +494,19 @@ func Run(s Scenario) (*Result, error) {
 			c.closeRecord(seq)
 		}
 		res.Clients = append(res.Clients, ClientResult{
-			Stats:   c.sched.Stats(),
-			Records: c.records,
+			Stats:               c.sched.Stats(),
+			Records:             c.records,
+			ProbationViolations: c.probationViolations,
+			Outstanding:         c.sched.Outstanding(),
 		})
+		res.ProbationViolations += c.probationViolations
 	}
-	for _, r := range replicas {
-		res.ReplicaServe = append(res.ReplicaServe, r.Served())
+	for i, r := range replicas {
+		n := r.Served()
+		if rj != nil {
+			n += rj.retiredServed[i]
+		}
+		res.ReplicaServe = append(res.ReplicaServe, n)
 	}
 	return res, nil
 }

@@ -36,6 +36,8 @@ const (
 	KindFailure    Kind = "failure"    // a timing failure was charged
 	KindViolation  Kind = "violation"  // the QoS-violation callback fired
 	KindMembership Kind = "membership" // a view change was applied
+	KindLifecycle  Kind = "lifecycle"  // a replica health transition (suspect/quarantine/clear)
+	KindRestart    Kind = "restart"    // a quarantined replica was retired and a replacement booted
 )
 
 // Event is one recorded occurrence.
