@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench experiments quick-experiments faults a13 a14 race-lifecycle metrics-smoke fuzz clean
+.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 race-lifecycle metrics-smoke fuzz clean
 
 all: build vet test
 
-# Full gate: compile, static analysis, tests, and the race detector.
-check: build vet test race
+# Full gate: compile, static analysis, tests, the race detector, and the
+# decision-throughput regression fence.
+check: build vet test race check-throughput
 
 build:
 	$(GO) build ./...
@@ -27,6 +28,19 @@ bench:
 # Before/after δ measurement for the prediction fast path (BENCH_predict.json).
 predict-bench:
 	$(GO) run ./cmd/aqua-exp -exp predict
+
+# Decision-path throughput benchmark: reference vs optimized vs concurrent
+# callers; regenerates BENCH_throughput.json.
+bench-throughput:
+	$(GO) run ./cmd/aqua-exp -exp throughput
+
+# Throughput regression fence: re-measure and compare against the committed
+# BENCH_throughput.json (fails if the optimized-vs-reference speedup drops
+# below 85% of baseline, the cached path allocates, or the p999 tail
+# detaches — see experiment.ThroughputFence). Does not overwrite the
+# baseline; use bench-throughput for that.
+check-throughput:
+	$(GO) run ./cmd/aqua-exp -exp throughput -throughput-against BENCH_throughput.json -throughput-out ""
 
 # Regenerate every paper figure and ablation (see EXPERIMENTS.md).
 experiments:

@@ -22,11 +22,13 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, faults, v1, a1..a14, predict, or all")
+		exp          = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, faults, v1, a1..a14, predict, throughput, or all")
 		csv          = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot         = flag.Bool("plot", false, "also render ASCII charts for fig4/fig5")
 		quick        = flag.Bool("quick", false, "reduced iterations/runs for a fast pass")
 		predictOut   = flag.String("predict-out", "BENCH_predict.json", "output file for the predict benchmark (-exp predict)")
+		tputOut      = flag.String("throughput-out", "BENCH_throughput.json", "output file for the throughput benchmark (-exp throughput)")
+		tputAgainst  = flag.String("throughput-against", "", "baseline BENCH_throughput.json to fence against; non-zero exit on regression (-exp throughput)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address (\":0\" picks a free port): Prometheus text at /metrics, JSON at /metrics.json, pprof under /debug/pprof/")
 		metricsEvery = flag.Duration("metrics-every", 0, "periodically dump a metrics snapshot as JSON to stderr (0 = off)")
 	)
@@ -46,7 +48,7 @@ func main() {
 		defer stop()
 	}
 
-	if err := run(strings.ToLower(*exp), *csv, *quick, *plot, *predictOut); err != nil {
+	if err := run(strings.ToLower(*exp), *csv, *quick, *plot, *predictOut, *tputOut, *tputAgainst); err != nil {
 		fmt.Fprintln(os.Stderr, "aqua-exp:", err)
 		os.Exit(1)
 	}
@@ -82,7 +84,7 @@ func startMetricsDumper(every time.Duration) (stop func()) {
 	}
 }
 
-func run(exp string, csv, quick, plot bool, predictOut string) error {
+func run(exp string, csv, quick, plot bool, predictOut, tputOut, tputAgainst string) error {
 	emit := func(t *experiment.Table) error {
 		if csv {
 			return t.WriteCSV(os.Stdout)
@@ -179,6 +181,45 @@ func run(exp string, csv, quick, plot bool, predictOut string) error {
 			}
 			return nil
 		},
+		"throughput": func() error {
+			cfg := experiment.DefaultThroughputConfig()
+			if quick {
+				cfg.Requests = 3000
+				cfg.WindowSize = 30
+			}
+			res, err := experiment.RunThroughput(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit(experiment.ThroughputTable(res)); err != nil {
+				return err
+			}
+			if tputAgainst != "" {
+				blob, err := os.ReadFile(tputAgainst)
+				if err != nil {
+					return fmt.Errorf("reading throughput baseline: %w", err)
+				}
+				base, err := experiment.UnmarshalThroughput(blob)
+				if err != nil {
+					return err
+				}
+				if err := experiment.ThroughputFence(res, base); err != nil {
+					return err
+				}
+				fmt.Printf("throughput fence passed against %s\n", tputAgainst)
+			}
+			if tputOut != "" {
+				blob, err := experiment.MarshalThroughput(res)
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(tputOut, blob, 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", tputOut)
+			}
+			return nil
+		},
 		"a1":  tableRunner(experiment.RunA1, emit),
 		"a2":  tableRunner(experiment.RunA2, emit),
 		"a3":  tableRunner(experiment.RunA3, emit),
@@ -225,7 +266,7 @@ func run(exp string, csv, quick, plot bool, predictOut string) error {
 	}
 	r, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want e0, fig3, fig4, fig5, faults, v1, a1..a14, predict, all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e0, fig3, fig4, fig5, faults, v1, a1..a14, predict, throughput, all)", exp)
 	}
 	return r()
 }

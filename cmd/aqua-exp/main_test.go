@@ -15,12 +15,12 @@ func TestRunnersQuick(t *testing.T) {
 	for _, exp := range []string{"fig3", "a1", "a8", "a10", "a11"} {
 		exp := exp
 		t.Run(exp, func(t *testing.T) {
-			if err := run(exp, false, true, false, ""); err != nil {
+			if err := run(exp, false, true, false, "", "", ""); err != nil {
 				t.Fatalf("run(%q): %v", exp, err)
 			}
 		})
 	}
-	if err := run("fig3", true, true, false, ""); err != nil {
+	if err := run("fig3", true, true, false, "", "", ""); err != nil {
 		t.Fatalf("csv mode: %v", err)
 	}
 }
@@ -66,7 +66,7 @@ func TestRunPredictWritesJSON(t *testing.T) {
 		t.Skip("benchmark harness is slow")
 	}
 	out := filepath.Join(t.TempDir(), "BENCH_predict.json")
-	if err := run("predict", false, true, false, out); err != nil {
+	if err := run("predict", false, true, false, out, "", ""); err != nil {
 		t.Fatalf("run(predict): %v", err)
 	}
 	blob, err := os.ReadFile(out)
@@ -85,8 +85,38 @@ func TestRunPredictWritesJSON(t *testing.T) {
 	}
 }
 
+// TestRunThroughputWritesJSONAndFences runs the throughput harness in quick
+// mode, checks the emitted BENCH_throughput.json, then re-runs fencing
+// against the file it just wrote (same config ⇒ must pass).
+func TestRunThroughputWritesJSONAndFences(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness is slow")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_throughput.json")
+	if err := run("throughput", false, true, false, "", out, ""); err != nil {
+		t.Fatalf("run(throughput): %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading %s: %v", out, err)
+	}
+	res, err := experiment.UnmarshalThroughput(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpeedupVsRef <= 1 {
+		t.Errorf("speedup_vs_reference = %.2f, want > 1", res.SpeedupVsRef)
+	}
+	if res.CachedAllocsOp != 0 {
+		t.Errorf("cached_allocs_per_op = %.1f, want 0", res.CachedAllocsOp)
+	}
+	if err := run("throughput", false, true, false, "", "", out); err != nil {
+		t.Fatalf("fence against own baseline: %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", false, false, false, ""); err == nil {
+	if err := run("nope", false, false, false, "", "", ""); err == nil {
 		t.Error("want error for unknown experiment")
 	}
 }

@@ -171,13 +171,16 @@ func (w *faultWindow) rate() float64 {
 	return float64(w.faults) / float64(w.filled)
 }
 
-// recordOutcomeLocked absorbs one per-replica outcome and walks the
-// lifecycle state machine when a threshold is crossed. Caller holds s.mu.
-func (s *Scheduler) recordOutcomeLocked(id wire.ReplicaID, fault bool, reps *[]SuspectReport) {
+// recordOutcome absorbs one per-replica outcome and walks the lifecycle
+// state machine when a threshold is crossed. It takes stateMu (which guards
+// the suspicion windows); callers may hold a shard mutex.
+func (s *Scheduler) recordOutcome(id wire.ReplicaID, fault bool, reps []SuspectReport) []SuspectReport {
 	lc := s.cfg.Lifecycle
 	if !lc.Enabled {
-		return
+		return reps
 	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	w, ok := s.suspicion[id]
 	if !ok {
 		w = newFaultWindow(lc.WindowSize)
@@ -185,51 +188,52 @@ func (s *Scheduler) recordOutcomeLocked(id wire.ReplicaID, fault bool, reps *[]S
 	}
 	w.add(fault)
 	if w.n() < lc.MinObservations {
-		return
+		return reps
 	}
 	rate := w.rate()
 	h, known := s.repo.Health(id)
 	if !known {
-		return
+		return reps
 	}
 	switch h {
 	case repository.Active:
 		if rate >= lc.QuarantineRate && s.repo.Quarantine(id, time.Now()) {
 			// The rate blew straight past both thresholds (e.g. a full
 			// window of expiries): do not wait a lap through Suspected.
-			s.noteTransitionLocked(id, h, repository.Quarantined, rate, w.filled, reps)
+			reps = s.noteTransition(id, h, repository.Quarantined, rate, w.filled, reps)
 			delete(s.suspicion, id)
 		} else if rate >= lc.SuspectRate && s.repo.Suspect(id) {
-			s.noteTransitionLocked(id, h, repository.Suspected, rate, w.filled, reps)
+			reps = s.noteTransition(id, h, repository.Suspected, rate, w.filled, reps)
 		}
 	case repository.Suspected:
 		if rate >= lc.QuarantineRate && s.repo.Quarantine(id, time.Now()) {
-			s.noteTransitionLocked(id, h, repository.Quarantined, rate, w.filled, reps)
+			reps = s.noteTransition(id, h, repository.Quarantined, rate, w.filled, reps)
 			// Fresh evidence for the next incarnation: the window that
 			// convicted this one must not pre-convict its replacement.
 			delete(s.suspicion, id)
 		} else if rate <= lc.ClearRate && s.repo.ClearSuspicion(id) {
-			s.noteTransitionLocked(id, h, repository.Active, rate, w.filled, reps)
+			reps = s.noteTransition(id, h, repository.Active, rate, w.filled, reps)
 		}
 	}
+	return reps
 }
 
-// noteTransitionLocked updates counters/metrics for one transition and
-// queues its report. Caller holds s.mu.
-func (s *Scheduler) noteTransitionLocked(id wire.ReplicaID, from, to repository.Health, rate float64, n int, reps *[]SuspectReport) {
+// noteTransition updates counters/metrics for one transition and queues its
+// report. Caller holds stateMu.
+func (s *Scheduler) noteTransition(id wire.ReplicaID, from, to repository.Health, rate float64, n int, reps []SuspectReport) []SuspectReport {
 	switch to {
 	case repository.Suspected:
-		s.stats.Suspected++
+		s.stats.suspected.Add(1)
 		s.met.suspected.Inc()
 	case repository.Quarantined:
-		s.stats.Quarantined++
+		s.stats.quarantined.Add(1)
 		s.met.quarantined.Inc()
 	case repository.Active:
-		s.stats.Reinstated++
+		s.stats.reinstated.Add(1)
 		s.met.reinstated.Inc()
 	}
 	s.met.quarantinedNow.Set(int64(s.repo.QuarantinedCount()))
-	*reps = append(*reps, SuspectReport{
+	return append(reps, SuspectReport{
 		Service:      s.cfg.Service,
 		Replica:      id,
 		From:         from,
@@ -239,20 +243,21 @@ func (s *Scheduler) noteTransitionLocked(id wire.ReplicaID, from, to repository.
 	})
 }
 
-// chargeExpiredTargetsLocked records a late outcome for every target of p
-// that has not replied and has not already been charged for this request.
-// Caller holds s.mu.
-func (s *Scheduler) chargeExpiredTargetsLocked(p *pending, reps *[]SuspectReport) {
+// chargeExpiredTargets records a late outcome for every target of p that has
+// not replied and has not already been charged for this request. Caller
+// holds p's shard mutex.
+func (s *Scheduler) chargeExpiredTargets(p *pending, reps []SuspectReport) []SuspectReport {
 	if !s.cfg.Lifecycle.Enabled {
-		return
+		return reps
 	}
-	for id := range p.targets {
-		if p.charged[id] {
+	for i := range p.targets {
+		if p.charged[i] {
 			continue
 		}
-		p.charged[id] = true
-		s.recordOutcomeLocked(id, true, reps)
+		p.charged[i] = true
+		reps = s.recordOutcome(p.targets[i], true, reps)
 	}
+	return reps
 }
 
 // deliverSuspects invokes the OnSuspect callback outside the lock.

@@ -150,11 +150,7 @@ func (d DegradationReport) String() string {
 }
 
 // Mode returns the scheduler's current position on the degradation ladder.
-func (s *Scheduler) Mode() Mode {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mode
-}
+func (s *Scheduler) Mode() Mode { return Mode(s.modeA.Load()) }
 
 // NoteBackpressure feeds a transport-level backpressure signal (e.g.
 // transport.ErrBackpressure from a saturated send queue) into the
@@ -163,42 +159,45 @@ func (s *Scheduler) Mode() Mode {
 // ceiling watches for — and holds it there until BackpressureHold requests
 // complete cleanly.
 func (s *Scheduler) NoteBackpressure() {
-	var reps []DegradationReport
-	s.mu.Lock()
-	s.stats.Backpressure++
+	s.stats.backpressure.Add(1)
 	s.met.backpressure.Inc()
-	s.bpHold = s.cfg.Overload.BackpressureHold
-	s.evalModeLocked("backpressure", &reps)
-	s.mu.Unlock()
-	s.deliverDegradations(reps)
+	s.stateMu.Lock()
+	s.bpHoldA.Store(int64(s.cfg.Overload.BackpressureHold))
+	s.stateMu.Unlock()
+	s.deliverDegradations(s.evalMode("backpressure", nil))
 }
 
-// evalModeLocked recomputes the ladder position from the in-flight count and
-// any backpressure hold, appending a report for each transition taken.
-// Caller holds s.mu.
-func (s *Scheduler) evalModeLocked(reason string, reps *[]DegradationReport) {
+// evalMode recomputes the ladder position from the in-flight count and any
+// backpressure hold, appending a report for each transition taken. It takes
+// stateMu internally for the transition itself; the no-overload fast path is
+// lock-free so the paper-exact configuration pays nothing. Callers may hold
+// a shard mutex (shard.mu → stateMu is the ordering), never stateMu itself.
+func (s *Scheduler) evalMode(reason string, reps []DegradationReport) []DegradationReport {
 	o := s.cfg.Overload
-	if !o.enabled() && s.bpHold == 0 && s.mode == ModeNormal {
-		return
+	if !o.enabled() && s.bpHoldA.Load() == 0 && Mode(s.modeA.Load()) == ModeNormal {
+		return reps
 	}
-	n := len(s.pend)
-	target := s.mode
+	n := int(s.nPend.Load())
+	s.stateMu.Lock()
+	mode := Mode(s.modeA.Load())
+	bp := s.bpHoldA.Load() > 0
+	target := mode
 	if o.MaxInFlight > 0 {
 		ceil := o.MaxInFlight
 		enter := threshold(ceil, o.BudgetEnterFraction)
 		exit := threshold(ceil, o.BudgetExitFraction)
 		shedExit := threshold(ceil, o.ShedExitFraction)
-		switch s.mode {
+		switch mode {
 		case ModeNormal:
 			if n >= ceil {
 				target = ModeShedding
-			} else if n >= enter || s.bpHold > 0 {
+			} else if n >= enter || bp {
 				target = ModeBudgeted
 			}
 		case ModeBudgeted:
 			if n >= ceil {
 				target = ModeShedding
-			} else if n <= exit && s.bpHold == 0 {
+			} else if n <= exit && !bp {
 				target = ModeNormal
 			}
 		case ModeShedding:
@@ -208,25 +207,26 @@ func (s *Scheduler) evalModeLocked(reason string, reps *[]DegradationReport) {
 		}
 	} else {
 		// No ceiling: backpressure alone drives Normal ↔ Budgeted.
-		if s.bpHold > 0 {
-			if s.mode == ModeNormal {
+		if bp {
+			if mode == ModeNormal {
 				target = ModeBudgeted
 			}
-		} else if s.mode == ModeBudgeted {
+		} else if mode == ModeBudgeted {
 			target = ModeNormal
 		}
 	}
-	if target == s.mode {
-		return
+	if target == mode {
+		s.stateMu.Unlock()
+		return reps
 	}
-	from := s.mode
-	s.mode = target
-	s.stats.Degradations++
+	s.modeA.Store(int32(target))
+	s.stats.degradations.Add(1)
 	s.met.degradations.Inc()
 	s.met.mode.Set(int64(target))
-	*reps = append(*reps, DegradationReport{
+	s.stateMu.Unlock()
+	return append(reps, DegradationReport{
 		Service:  s.cfg.Service,
-		From:     from,
+		From:     mode,
 		To:       target,
 		InFlight: n,
 		Ceiling:  o.MaxInFlight,

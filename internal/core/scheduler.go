@@ -20,11 +20,22 @@
 //
 // Both the real gateway (internal/gateway) and the discrete-event simulator
 // (internal/sim) drive this same code; only the clock and the I/O differ.
+//
+// # Concurrency
+//
+// The scheduler carries no single global mutex. Pending-request state is
+// striped across pendShardCount shards keyed by sequence number, counters are
+// atomics, the QoS contract is an atomic pointer, and the decision path reuses
+// pooled scratch buffers so the cached path allocates nothing. Only the
+// strategy invocation (strategies may be stateful) and the QoS/suspicion
+// accounting take short dedicated locks. Lock ordering, where held together:
+// shard.mu → stateMu → repository locks; there are no reverse paths.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aqua/internal/metrics"
@@ -39,6 +50,10 @@ import (
 // requested probability; it prevents a single early failure from triggering
 // the callback.
 const DefaultMinSamplesForViolation = 10
+
+// pendShardCount stripes the pending-request table so concurrent callers on
+// different requests do not contend. Must be a power of two.
+const pendShardCount = 16
 
 // Config configures a Scheduler.
 type Config struct {
@@ -80,9 +95,21 @@ type Config struct {
 	// predicted P_K(t), δ, failures, per-replica response times); nil means
 	// the process-wide default registry.
 	Metrics *metrics.Registry
+	// ReferenceDecisionPath disables the zero-allocation fast path: each
+	// decision takes a private repository snapshot, builds a fresh
+	// probability table, and re-sorts from scratch — the seed
+	// implementation's behavior. Benchmarks use it to measure what the
+	// caching, pooling, and incremental ordering buy.
+	ReferenceDecisionPath bool
 }
 
 // Decision is the outcome of scheduling one request.
+//
+// Targets may point into a scheduler-owned pooled buffer. The slice is valid
+// until Release is called; callers that keep the IDs longer must copy them
+// first. Calling Release is optional — a dropped Decision is simply garbage
+// collected — but returning the buffer keeps the decision path allocation
+// free.
 type Decision struct {
 	Seq       wire.SeqNo
 	Targets   []wire.ReplicaID
@@ -97,6 +124,27 @@ type Decision struct {
 	// best-effort cap — truncated the set the algorithm wanted.
 	Budget       int
 	BudgetCapped bool
+
+	owner *Scheduler // set when Targets is a pooled buffer
+}
+
+// Release returns the Decision's Targets buffer to the scheduler's pool and
+// nils Targets. Call it at most once, after the caller is done with the
+// target list (the scheduler keeps its own copy for reply matching). A
+// Decision must be released by at most one holder: Decision is a value type,
+// so releasing two copies of the same Decision would hand the same buffer to
+// two future callers. After Release, Targets is nil and the old slice
+// contents must not be read — the buffer may already be carrying another
+// request's targets.
+func (d *Decision) Release() {
+	o := d.owner
+	if o == nil {
+		return
+	}
+	d.owner = nil
+	buf := d.Targets
+	d.Targets = nil
+	o.putIDBuf(buf)
 }
 
 // ReplyOutcome describes how one incoming reply was handled.
@@ -174,17 +222,102 @@ func (s Stats) FailureProbability() float64 {
 	return float64(s.TimingFailures) / float64(s.Completed)
 }
 
-// pending tracks one in-flight request.
+// schedStats is the atomic backing store for Stats, updated lock-free on the
+// hot path.
+type schedStats struct {
+	requests         atomic.Uint64
+	completed        atomic.Uint64
+	replies          atomic.Uint64
+	duplicates       atomic.Uint64
+	timingFailures   atomic.Uint64
+	deadlineExpiries atomic.Uint64
+	selectedTotal    atomic.Uint64
+	usedAllCount     atomic.Uint64
+	consecutiveFails atomic.Uint64
+	shed             atomic.Uint64
+	degradations     atomic.Uint64
+	budgetCapped     atomic.Uint64
+	backpressure     atomic.Uint64
+	suspected        atomic.Uint64
+	quarantined      atomic.Uint64
+	reinstated       atomic.Uint64
+}
+
+func (c *schedStats) snapshot() Stats {
+	return Stats{
+		Requests:         c.requests.Load(),
+		Completed:        c.completed.Load(),
+		Replies:          c.replies.Load(),
+		Duplicates:       c.duplicates.Load(),
+		TimingFailures:   c.timingFailures.Load(),
+		DeadlineExpiries: c.deadlineExpiries.Load(),
+		SelectedTotal:    c.selectedTotal.Load(),
+		UsedAllCount:     c.usedAllCount.Load(),
+		ConsecutiveFails: c.consecutiveFails.Load(),
+		Shed:             c.shed.Load(),
+		Degradations:     c.degradations.Load(),
+		BudgetCapped:     c.budgetCapped.Load(),
+		Backpressure:     c.backpressure.Load(),
+		Suspected:        c.suspected.Load(),
+		Quarantined:      c.quarantined.Load(),
+		Reinstated:       c.reinstated.Load(),
+	}
+}
+
+// pending tracks one in-flight request. The parallel settled/charged slices
+// are indexed like targets; linear scans beat maps at realistic |K| (a
+// handful of replicas) and recycle with zero garbage.
 type pending struct {
 	t0             time.Time // interception time
 	t1             time.Time // transmission time
-	targets        map[wire.ReplicaID]bool
-	settled        map[wire.ReplicaID]bool // targets whose repository in-flight count was released
-	charged        map[wire.ReplicaID]bool // targets whose suspicion outcome for this request was recorded
+	targets        []wire.ReplicaID
+	settled        []bool // targets whose repository in-flight count was released
+	charged        []bool // targets whose suspicion outcome for this request was recorded
 	replies        int
 	firstDelivered bool
 	failed         bool // timing failure already charged (deadline expiry)
 	method         string
+}
+
+// targetIndex returns the index of id in p.targets, or -1.
+func (p *pending) targetIndex(id wire.ReplicaID) int {
+	for i := range p.targets {
+		if p.targets[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// resetBools returns b resized to n with every element false, reusing the
+// backing array when it is large enough.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// pendShard is one stripe of the pending-request table.
+type pendShard struct {
+	mu sync.Mutex
+	m  map[wire.SeqNo]*pending
+	// Pad to a cache line so adjacent shards don't false-share.
+	_ [40]byte
+}
+
+// schedScratch is the per-decision working set: snapshot copy (only when
+// staleness forces a mutation), probability table, and cold list. Recycled
+// through a small channel free list — unlike sync.Pool, a channel is not
+// emptied by GC cycles mid-benchmark, so the zero-alloc fence is meaningful.
+type schedScratch struct {
+	snaps []repository.ReplicaSnapshot
+	table []model.ReplicaProbability
+	cold  []repository.ReplicaSnapshot
 }
 
 // schedInstruments are the scheduler's live metrics, resolved once at
@@ -242,7 +375,6 @@ func resolveSchedInstruments(r *metrics.Registry) schedInstruments {
 // Scheduler is the timing fault handler's local scheduling agent. It is safe
 // for concurrent use.
 type Scheduler struct {
-	mu        sync.Mutex
 	cfg       Config
 	repo      *repository.Repository
 	predictor *model.Predictor
@@ -250,21 +382,46 @@ type Scheduler struct {
 	reg       *metrics.Registry
 	met       schedInstruments
 
-	nextSeq      wire.SeqNo
-	pend         map[wire.SeqNo]*pending
-	replicaHist  map[wire.ReplicaID]*metrics.Histogram
-	suspicion    map[wire.ReplicaID]*faultWindow // per-replica timing-fault outcomes (lifecycle.go)
-	lastOverhead time.Duration
-	stats        Stats
-	notified     bool // violation callback already fired since last renegotiation
-	mode         Mode // degradation-ladder position (overload.go)
-	bpHold       int  // completions a backpressure signal still pins the ladder for
+	// Hot-path state: all lock-free.
+	nextSeq        atomic.Uint64
+	nPend          atomic.Int64                // pending requests across all shards
+	qos            atomic.Pointer[wire.QoS]    // current contract (Renegotiate swaps it)
+	lastOverheadNs atomic.Int64                // most recent δ, nanoseconds
+	modeA          atomic.Int32                // degradation-ladder position (Mode)
+	bpHoldA        atomic.Int64                // completions a backpressure signal still pins the ladder for; mutated under stateMu
+	stats          schedStats
+
+	shards [pendShardCount]pendShard
+
+	// stratMu serializes the selection step: strategies may be stateful
+	// (RoundRobin, Random) and the per-method Order reuses its previous
+	// permutation. Everything before it — snapshot, probability table — runs
+	// concurrently.
+	stratMu sync.Mutex
+	orders  map[string]*selection.Order // per-method incremental candidate order
+
+	// stateMu guards the QoS accounting window, the violation latch, the
+	// suspicion windows, and degradation-ladder transitions. Acquired after a
+	// shard mutex, never before.
+	stateMu   sync.Mutex
+	notified  bool // violation callback already fired since last renegotiation
+	suspicion map[wire.ReplicaID]*faultWindow // per-replica timing-fault outcomes (lifecycle.go)
 	// winCompleted/winFailures are the QoS accounting window: they track
 	// Completed/TimingFailures but reset on Renegotiate, so the observed
 	// timely fraction is always measured against the QoS it was served
 	// under, never against history from a previous contract.
 	winCompleted uint64
 	winFailures  uint64
+
+	histMu      sync.Mutex
+	replicaHist map[wire.ReplicaID]*metrics.Histogram
+
+	// Free lists. Channels, not sync.Pool: the pool is purged by GC at
+	// arbitrary points, which both defeats the zero-alloc fence and makes
+	// latency bimodal.
+	scratchFree chan *schedScratch
+	pendFree    chan *pending
+	idFree      chan []wire.ReplicaID
 }
 
 // NewScheduler returns a scheduler for one (client, service) pair.
@@ -293,17 +450,92 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		cfg.Repository.EnableLifecycle(cfg.Lifecycle.ProbationSamples)
 	}
 	reg := metrics.OrDefault(cfg.Metrics)
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:         cfg,
 		repo:        cfg.Repository,
 		predictor:   cfg.Predictor,
 		strategy:    cfg.Strategy,
 		reg:         reg,
 		met:         resolveSchedInstruments(reg),
-		pend:        make(map[wire.SeqNo]*pending),
-		replicaHist: make(map[wire.ReplicaID]*metrics.Histogram),
+		orders:      make(map[string]*selection.Order),
 		suspicion:   make(map[wire.ReplicaID]*faultWindow),
-	}, nil
+		replicaHist: make(map[wire.ReplicaID]*metrics.Histogram),
+		scratchFree: make(chan *schedScratch, 8),
+		pendFree:    make(chan *pending, 256),
+		idFree:      make(chan []wire.ReplicaID, 256),
+	}
+	q := cfg.QoS
+	s.qos.Store(&q)
+	for i := range s.shards {
+		s.shards[i].m = make(map[wire.SeqNo]*pending)
+	}
+	return s, nil
+}
+
+// shard returns the pending-table stripe for a sequence number.
+func (s *Scheduler) shard(seq wire.SeqNo) *pendShard {
+	return &s.shards[uint64(seq)&(pendShardCount-1)]
+}
+
+func (s *Scheduler) getScratch() *schedScratch {
+	select {
+	case sc := <-s.scratchFree:
+		return sc
+	default:
+		return &schedScratch{}
+	}
+}
+
+func (s *Scheduler) putScratch(sc *schedScratch) {
+	select {
+	case s.scratchFree <- sc:
+	default:
+	}
+}
+
+func (s *Scheduler) getPending() *pending {
+	select {
+	case p := <-s.pendFree:
+		return p
+	default:
+		return &pending{}
+	}
+}
+
+// putPending recycles a pending entry. The caller must have removed it from
+// its shard map and must not touch it afterwards.
+func (s *Scheduler) putPending(p *pending) {
+	p.t0, p.t1 = time.Time{}, time.Time{}
+	p.targets = p.targets[:0]
+	p.settled = p.settled[:0]
+	p.charged = p.charged[:0]
+	p.replies = 0
+	p.firstDelivered = false
+	p.failed = false
+	p.method = ""
+	select {
+	case s.pendFree <- p:
+	default:
+	}
+}
+
+func (s *Scheduler) getIDBuf() []wire.ReplicaID {
+	select {
+	case b := <-s.idFree:
+		return b[:0]
+	default:
+		return make([]wire.ReplicaID, 0, 8)
+	}
+}
+
+func (s *Scheduler) putIDBuf(b []wire.ReplicaID) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case s.idFree <- b:
+	default:
+	}
 }
 
 // Repository exposes the scheduler's information repository (membership
@@ -311,11 +543,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 func (s *Scheduler) Repository() *repository.Repository { return s.repo }
 
 // QoS returns the current QoS specification.
-func (s *Scheduler) QoS() wire.QoS {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cfg.QoS
-}
+func (s *Scheduler) QoS() wire.QoS { return *s.qos.Load() }
 
 // Renegotiate replaces the QoS specification at runtime (§4: the client
 // "may ... negotiate it at runtime as often as it wants") and re-arms the
@@ -328,11 +556,11 @@ func (s *Scheduler) Renegotiate(q wire.QoS) error {
 	if err := q.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cfg.QoS = q
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.qos.Store(&q)
 	s.notified = false
-	s.stats.ConsecutiveFails = 0
+	s.stats.consecutiveFails.Store(0)
 	s.winCompleted = 0
 	s.winFailures = 0
 	if s.cfg.Lifecycle.Enabled {
@@ -355,37 +583,32 @@ func (s *Scheduler) Renegotiate(q wire.QoS) error {
 // and returns the decision. The caller multicasts the request to
 // Decision.Targets and then calls Dispatched with the transmission time t1.
 //
-// The probability-table computation — the dominant cost, the paper's δ —
-// runs outside the scheduler's mutex: the repository snapshot and the
-// predictor are internally synchronized, so concurrent Schedule calls only
-// serialize on the cheap bookkeeping (sequence allocation, stats, and the
-// strategy invocation, which may be stateful).
+// The cached path is allocation-free: the repository snapshot is shared (and
+// generation-cached), the probability table and selected set land in pooled
+// scratch buffers, and the candidate order is repaired incrementally instead
+// of re-sorted. Concurrent callers only serialize on the strategy invocation
+// (which may be stateful) and their own pending-table shard.
 func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 	start := time.Now() // δ is computational overhead: always wall clock
-
-	// Degradation callbacks fire after every lock below is released (defers
-	// run LIFO, so this one runs last).
 	var reps []DegradationReport
-	defer func() { s.deliverDegradations(reps) }()
 
-	s.mu.Lock()
+	qos := *s.qos.Load()
 	// Admission control: shed before paying for the probability table. The
 	// ceiling compares against tracked in-flight requests, so a backlog of
 	// unanswered multicasts blocks new work instead of amplifying it.
-	if max := s.cfg.Overload.MaxInFlight; max > 0 && len(s.pend) >= max {
-		n := len(s.pend)
-		s.stats.Shed++
+	if max := s.cfg.Overload.MaxInFlight; max > 0 && int(s.nPend.Load()) >= max {
+		n := int(s.nPend.Load())
+		s.stats.shed.Add(1)
 		s.met.shed.Inc()
-		s.evalModeLocked("shed", &reps)
-		mode := s.mode
-		s.mu.Unlock()
+		reps = s.evalMode("shed", reps)
+		mode := s.Mode()
+		s.deliverDegradations(reps)
 		return Decision{Mode: mode}, fmt.Errorf("core: %d requests in flight (ceiling %d) for service %q: %w",
 			n, max, s.cfg.Service, ErrOverloaded)
 	}
-	qos := s.cfg.QoS
 	deadline := qos.Deadline
 	if s.cfg.CompensateOverhead {
-		delta := s.lastOverhead
+		delta := time.Duration(s.lastOverheadNs.Load())
 		if s.cfg.FixedOverhead > 0 {
 			delta = s.cfg.FixedOverhead
 		}
@@ -400,8 +623,6 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 		}
 		deadline -= delta
 	}
-	staleness := s.cfg.StalenessBound
-	s.mu.Unlock()
 
 	if exp := s.cfg.Lifecycle.QuarantineExpiry; exp > 0 {
 		// Second-chance path for deployments without a dependability manager:
@@ -409,47 +630,99 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 		// like the quarantine stamp itself.
 		s.repo.Parole(time.Now().Add(-exp))
 	}
-	snaps := s.repo.Snapshot(method)
+
+	reference := s.cfg.ReferenceDecisionPath
+	var sc *schedScratch
+	var snaps []repository.ReplicaSnapshot
+	if reference {
+		snaps = s.repo.Snapshot(method) // private copy, freely mutable
+	} else {
+		sc = s.getScratch()
+		snaps = s.repo.SnapshotShared(method) // shared: read-only
+	}
 	if s.cfg.Lifecycle.Enabled {
 		// Quarantined and probation replicas are not candidates: not for the
 		// probability table, not for the select-all fallback, and not for the
 		// staleness re-probe below (live traffic is not how they come back).
 		snaps = selectableSnapshots(snaps)
 	}
-	if staleness > 0 {
+	if staleness := s.cfg.StalenessBound; staleness > 0 {
+		stale := false
 		for i := range snaps {
 			if snaps[i].HasHistory && t0.Sub(snaps[i].LastUpdate) > staleness {
-				// Force a probe of the stale replica by treating it as cold.
-				snaps[i].HasHistory = false
+				stale = true
+				break
+			}
+		}
+		if stale {
+			if !reference {
+				// The shared snapshot is immutable; copy before flipping bits.
+				sc.snaps = append(sc.snaps[:0], snaps...)
+				snaps = sc.snaps
+			}
+			for i := range snaps {
+				if snaps[i].HasHistory && t0.Sub(snaps[i].LastUpdate) > staleness {
+					// Force a probe of the stale replica by treating it as cold.
+					snaps[i].HasHistory = false
+				}
 			}
 		}
 	}
+
 	var table []model.ReplicaProbability
 	var cold []repository.ReplicaSnapshot
 	var err error
 	if len(snaps) == 0 {
 		err = fmt.Errorf("core: no replicas available for service %q", s.cfg.Service)
-	} else {
+	} else if reference {
 		table, cold, err = s.predictor.ProbabilityTable(snaps, deadline)
-		if err != nil {
+	} else {
+		table, cold, err = s.predictor.ProbabilityTableInto(snaps, deadline, sc.table[:0], sc.cold[:0])
+		sc.table, sc.cold = table, cold // keep grown buffers for reuse
+	}
+	if err != nil {
+		// Record δ on every outcome, including failures: a transient
+		// predictor error must not leave a stale δ compensating the next
+		// request's deadline.
+		s.lastOverheadNs.Store(int64(time.Since(start)))
+		s.met.errors.Inc()
+		if sc != nil {
+			s.putScratch(sc)
+		}
+		if len(snaps) != 0 {
 			err = fmt.Errorf("core: predicting response times: %w", err)
 		}
-	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Record δ on every outcome, including failures: a transient predictor
-	// or strategy error must not leave a stale δ compensating the next
-	// request's deadline.
-	if err != nil {
-		s.lastOverhead = time.Since(start)
-		s.met.errors.Inc()
 		return Decision{}, err
 	}
-	res := s.strategy.Select(selection.Input{Table: table, Cold: cold, QoS: qos})
-	s.lastOverhead = time.Since(start)
+
+	// The strategy invocation is the only serialized step: strategies may be
+	// stateful, and the per-method Order repairs its previous permutation.
+	s.stratMu.Lock()
+	in := selection.Input{Table: table, Cold: cold, QoS: qos, SelectedBuf: s.getIDBuf()}
+	if !reference {
+		ord := s.orders[method]
+		if ord == nil {
+			ord = selection.NewOrder()
+			s.orders[method] = ord
+		}
+		in.Sorted = ord.Sort(table)
+		// The shared snapshot's InFlight fields lag the live counters (they
+		// refresh per performance report, not per dispatch); hand
+		// load-conditioned strategies the current total instead.
+		in.LiveInFlight = s.repo.InFlightSum(snaps)
+		in.HasLiveInFlight = true
+	}
+	res := s.strategy.Select(in)
+	s.stratMu.Unlock()
+
+	ovh := time.Since(start)
+	s.lastOverheadNs.Store(int64(ovh))
 	if len(res.Selected) == 0 {
 		s.met.errors.Inc()
+		s.putIDBuf(res.Selected)
+		if sc != nil {
+			s.putScratch(sc)
+		}
 		return Decision{}, fmt.Errorf("core: strategy %q selected no replicas", s.strategy.Name())
 	}
 
@@ -460,54 +733,59 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 	// F_Ri(t), so truncating keeps the m0 reserve's shape (Eq. 3) with the
 	// best remaining replica.
 	capped := res.Capped
-	if k := s.cfg.Overload.BestEffortK; s.mode != ModeNormal && res.UsedAll && k > 0 && len(res.Selected) > k {
+	if k := s.cfg.Overload.BestEffortK; Mode(s.modeA.Load()) != ModeNormal && res.UsedAll && k > 0 && len(res.Selected) > k {
 		res.Selected = res.Selected[:k]
 		res.Predicted = predictedFor(table, res.Selected)
 		capped = true
 	}
 	if capped {
-		s.stats.BudgetCapped++
+		s.stats.budgetCapped.Add(1)
 		s.met.budgetCapped.Inc()
 	}
 	if res.Budget > 0 {
 		s.met.budget.Observe(float64(res.Budget))
 	}
 
-	seq := s.nextSeq
-	s.nextSeq++
-	targets := make(map[wire.ReplicaID]bool, len(res.Selected))
-	for _, id := range res.Selected {
-		targets[id] = true
-		s.repo.NoteDispatched(id)
-	}
-	s.pend[seq] = &pending{
-		t0:      t0,
-		targets: targets,
-		settled: make(map[wire.ReplicaID]bool, len(targets)),
-		charged: make(map[wire.ReplicaID]bool, len(targets)),
-		method:  method,
-	}
-	s.stats.Requests++
-	s.stats.SelectedTotal += uint64(len(res.Selected))
+	seq := wire.SeqNo(s.nextSeq.Add(1) - 1)
+	p := s.getPending()
+	p.t0 = t0
+	p.method = method
+	p.targets = append(p.targets[:0], res.Selected...)
+	p.settled = resetBools(p.settled, len(p.targets))
+	p.charged = resetBools(p.charged, len(p.targets))
+	s.repo.NoteDispatchedAll(p.targets)
+	sh := s.shard(seq)
+	sh.mu.Lock()
+	sh.m[seq] = p
+	sh.mu.Unlock()
+	s.nPend.Add(1)
+
+	s.stats.requests.Add(1)
+	s.stats.selectedTotal.Add(uint64(len(res.Selected)))
 	if res.UsedAll {
-		s.stats.UsedAllCount++
+		s.stats.usedAllCount.Add(1)
 	}
 	s.met.selections.Inc()
 	s.met.pending.Add(1)
 	s.met.targets.Observe(float64(len(res.Selected)))
 	s.met.predicted.Observe(res.Predicted)
-	s.met.overhead.ObserveDuration(s.lastOverhead)
-	s.evalModeLocked("schedule", &reps)
+	s.met.overhead.ObserveDuration(ovh)
+	reps = s.evalMode("schedule", reps)
+	if sc != nil {
+		s.putScratch(sc)
+	}
+	s.deliverDegradations(reps)
 	return Decision{
 		Seq:          seq,
 		Targets:      res.Selected,
 		Predicted:    res.Predicted,
-		Overhead:     s.lastOverhead,
+		Overhead:     ovh,
 		UsedAll:      res.UsedAll,
 		ColdStart:    res.ColdStart,
-		Mode:         s.mode,
+		Mode:         Mode(s.modeA.Load()),
 		Budget:       res.Budget,
 		BudgetCapped: capped,
+		owner:        s,
 	}, nil
 }
 
@@ -515,14 +793,13 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 // replicas (absent from the table) contribute nothing, exactly as in the
 // strategy's own accounting.
 func predictedFor(table []model.ReplicaProbability, selected []wire.ReplicaID) float64 {
-	probs := make(map[wire.ReplicaID]float64, len(table))
-	for _, rp := range table {
-		probs[rp.Snapshot.ID] = rp.Probability
-	}
 	miss := 1.0
 	for _, id := range selected {
-		if p, ok := probs[id]; ok {
-			miss *= 1 - p
+		for i := range table {
+			if table[i].Snapshot.ID == id {
+				miss *= 1 - table[i].Probability
+				break
+			}
 		}
 	}
 	return 1 - miss
@@ -530,9 +807,10 @@ func predictedFor(table []model.ReplicaProbability, selected []wire.ReplicaID) f
 
 // Dispatched records the transmission time t1 for a scheduled request.
 func (s *Scheduler) Dispatched(seq wire.SeqNo, t1 time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pend[seq]
+	sh := s.shard(seq)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.m[seq]
 	if !ok {
 		return fmt.Errorf("core: dispatched unknown request %d", seq)
 	}
@@ -547,38 +825,38 @@ func (s *Scheduler) Dispatched(seq wire.SeqNo, t1 time.Time) error {
 func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time, perf wire.PerfReport) ReplyOutcome {
 	var reps []DegradationReport
 	var sreps []SuspectReport
-	defer func() {
-		s.deliverDegradations(reps)
-		s.deliverSuspects(sreps)
-	}()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	qos := *s.qos.Load()
 
-	p, ok := s.pend[seq]
+	sh := s.shard(seq)
+	sh.mu.Lock()
+	p, ok := sh.m[seq]
 	if !ok {
+		sh.mu.Unlock()
 		return ReplyOutcome{Unknown: true}
 	}
-	if !p.targets[replica] {
+	ti := p.targetIndex(replica)
+	if ti < 0 {
 		// A reply from a replica we never asked: ignore, but don't poison
 		// the repository with a mismatched t1.
+		sh.mu.Unlock()
 		return ReplyOutcome{Unknown: true}
 	}
-	if s.cfg.Lifecycle.Enabled && !p.charged[replica] {
+	if s.cfg.Lifecycle.Enabled && !p.charged[ti] {
 		// One suspicion outcome per (request, replica): this reply's, unless
 		// a deadline expiry already charged the replica for this request.
-		p.charged[replica] = true
-		s.recordOutcomeLocked(replica, t4.Sub(p.t0) > s.cfg.QoS.Deadline, &sreps)
+		p.charged[ti] = true
+		sreps = s.recordOutcome(replica, t4.Sub(p.t0) > qos.Deadline, sreps)
 	}
-	if !p.settled[replica] {
+	if !p.settled[ti] {
 		// First word from this copy: its contribution to the replica's
 		// in-flight load is over.
-		p.settled[replica] = true
+		p.settled[ti] = true
 		s.repo.NoteSettled(replica)
 	}
-	s.stats.Replies++
+	s.stats.replies.Add(1)
 	p.replies++
 	s.met.replies.Inc()
-	s.replicaResponseLocked(replica).ObserveDuration(t4.Sub(p.t0))
+	s.replicaResponse(replica).ObserveDuration(t4.Sub(p.t0))
 
 	// Harvest performance data from every reply, duplicates included
 	// (§5.4.1): record (ts, tq, queue length) and the derived round-trip
@@ -594,11 +872,14 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 	out := ReplyOutcome{}
 	if p.firstDelivered {
 		out.Duplicate = true
-		s.stats.Duplicates++
+		s.stats.duplicates.Add(1)
 		s.met.duplicates.Inc()
 		if p.replies >= len(p.targets) {
-			s.dropPendingLocked(seq, &reps)
+			reps = s.dropLocked(sh, seq, p, reps)
 		}
+		sh.mu.Unlock()
+		s.deliverDegradations(reps)
+		s.deliverSuspects(sreps)
 		return out
 	}
 	p.firstDelivered = true
@@ -606,46 +887,52 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 	out.ResponseTime = t4.Sub(p.t0)
 
 	alreadyCharged := p.failed
-	failed := out.ResponseTime > s.cfg.QoS.Deadline
+	failed := out.ResponseTime > qos.Deadline
 	out.TimingFailure = failed || alreadyCharged
 	if !alreadyCharged {
 		// A deadline expiry already finalized the accounting for this
 		// request; a late first reply must not complete it twice.
-		s.completeLocked(failed, &out)
+		s.complete(failed, &out)
 	}
 	if p.replies >= len(p.targets) {
-		s.dropPendingLocked(seq, &reps)
+		reps = s.dropLocked(sh, seq, p, reps)
 	}
+	sh.mu.Unlock()
+	s.deliverDegradations(reps)
+	s.deliverSuspects(sreps)
 	return out
 }
 
-// replicaResponseLocked returns the per-replica response-time histogram,
-// creating it on the replica's first reply. Caller holds s.mu; after the
-// first lookup the registry is not consulted again for that replica.
-func (s *Scheduler) replicaResponseLocked(id wire.ReplicaID) *metrics.Histogram {
+// replicaResponse returns the per-replica response-time histogram, creating
+// it on the replica's first reply; after that the registry is not consulted
+// again for that replica.
+func (s *Scheduler) replicaResponse(id wire.ReplicaID) *metrics.Histogram {
+	s.histMu.Lock()
 	h, ok := s.replicaHist[id]
 	if !ok {
 		h = s.reg.Histogram(metrics.Label(metrics.ReplicaResponseSeconds, "replica", string(id)), metrics.LatencyBuckets)
 		s.replicaHist[id] = h
 	}
+	s.histMu.Unlock()
 	return h
 }
 
-// dropPendingLocked removes one tracked request, releases any still-unsettled
-// in-flight contributions (targets that never replied), keeps the pending
-// gauge in step, and re-evaluates the degradation ladder now that the
-// in-flight count dropped. Caller holds s.mu; the seq must exist.
-func (s *Scheduler) dropPendingLocked(seq wire.SeqNo, reps *[]DegradationReport) {
-	if p, ok := s.pend[seq]; ok {
-		for id := range p.targets {
-			if !p.settled[id] {
-				s.repo.NoteSettled(id)
-			}
+// dropLocked removes one tracked request from its shard, releases any
+// still-unsettled in-flight contributions (targets that never replied),
+// keeps the pending gauge in step, re-evaluates the degradation ladder, and
+// recycles the entry. Caller holds sh.mu and must not touch p afterwards.
+func (s *Scheduler) dropLocked(sh *pendShard, seq wire.SeqNo, p *pending, reps []DegradationReport) []DegradationReport {
+	for i := range p.targets {
+		if !p.settled[i] {
+			s.repo.NoteSettled(p.targets[i])
 		}
 	}
-	delete(s.pend, seq)
+	delete(sh.m, seq)
+	s.nPend.Add(-1)
 	s.met.pending.Add(-1)
-	s.evalModeLocked("complete", reps)
+	reps = s.evalMode("complete", reps)
+	s.putPending(p)
+	return reps
 }
 
 // OnDeadlineExpired charges a timing failure for a request whose deadline
@@ -654,83 +941,89 @@ func (s *Scheduler) dropPendingLocked(seq wire.SeqNo, reps *[]DegradationReport)
 // It returns a violation report exactly as OnReply would.
 func (s *Scheduler) OnDeadlineExpired(seq wire.SeqNo) *ViolationReport {
 	var sreps []SuspectReport
-	defer func() { s.deliverSuspects(sreps) }()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pend[seq]
+	sh := s.shard(seq)
+	sh.mu.Lock()
+	p, ok := sh.m[seq]
 	if !ok {
+		sh.mu.Unlock()
 		return nil
 	}
 	// Per-replica suspicion is charged before the early return below: even
 	// when a first reply already arrived (timely request, straggling copies),
 	// every target silent at the deadline earned a late outcome.
-	s.chargeExpiredTargetsLocked(p, &sreps)
+	sreps = s.chargeExpiredTargets(p, sreps)
 	if p.firstDelivered || p.failed {
+		sh.mu.Unlock()
+		s.deliverSuspects(sreps)
 		return nil
 	}
 	p.failed = true
-	s.stats.DeadlineExpiries++
+	s.stats.deadlineExpiries.Add(1)
 	s.met.deadlineExpiries.Inc()
 	var out ReplyOutcome
-	s.completeLocked(true, &out)
+	s.complete(true, &out)
+	sh.mu.Unlock()
+	s.deliverSuspects(sreps)
 	return out.Violation
 }
 
-// completeLocked finalizes the failure accounting for one request and
-// evaluates the QoS-violation predicate (§5.4.2) over the current QoS
-// accounting window (winCompleted/winFailures, reset by Renegotiate).
-func (s *Scheduler) completeLocked(failed bool, out *ReplyOutcome) {
-	s.stats.Completed++
+// complete finalizes the failure accounting for one request and evaluates
+// the QoS-violation predicate (§5.4.2) over the current QoS accounting
+// window (winCompleted/winFailures, reset by Renegotiate). It takes stateMu;
+// callers may hold a shard mutex.
+func (s *Scheduler) complete(failed bool, out *ReplyOutcome) {
+	qos := *s.qos.Load()
+	s.stateMu.Lock()
+	s.stats.completed.Add(1)
 	s.winCompleted++
-	if s.bpHold > 0 {
+	if h := s.bpHoldA.Load(); h > 0 {
 		// A clean completion is evidence the transport is draining again.
-		s.bpHold--
+		s.bpHoldA.Store(h - 1)
 	}
 	if failed {
-		s.stats.TimingFailures++
+		s.stats.timingFailures.Add(1)
 		s.winFailures++
-		s.stats.ConsecutiveFails++
+		s.stats.consecutiveFails.Add(1)
 		s.met.timingFailures.Inc()
 	} else {
-		s.stats.ConsecutiveFails = 0
+		s.stats.consecutiveFails.Store(0)
 	}
 	if s.notified || s.winCompleted < uint64(s.cfg.MinSamplesForViolation) {
+		s.stateMu.Unlock()
 		return
 	}
 	observed := 1 - float64(s.winFailures)/float64(s.winCompleted)
-	if observed < s.cfg.QoS.MinProbability {
+	if observed < qos.MinProbability {
 		out.Violation = &ViolationReport{
 			Service:          s.cfg.Service,
-			QoS:              s.cfg.QoS,
+			QoS:              qos,
 			Completed:        s.winCompleted,
 			TimingFailures:   s.winFailures,
 			ObservedTimely:   observed,
-			RequiredTimely:   s.cfg.QoS.MinProbability,
-			ConsecutiveFails: s.stats.ConsecutiveFails,
+			RequiredTimely:   qos.MinProbability,
+			ConsecutiveFails: s.stats.consecutiveFails.Load(),
 		}
 		s.notified = true
 		s.met.violations.Inc()
 	}
+	s.stateMu.Unlock()
 }
 
 // Forget drops the pending state for a request (e.g. after a grace period
 // for straggler duplicates). Safe to call for unknown sequence numbers.
 func (s *Scheduler) Forget(seq wire.SeqNo) {
 	var reps []DegradationReport
-	defer func() { s.deliverDegradations(reps) }()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.pend[seq]; ok {
-		s.dropPendingLocked(seq, &reps)
+	sh := s.shard(seq)
+	sh.mu.Lock()
+	if p, ok := sh.m[seq]; ok {
+		reps = s.dropLocked(sh, seq, p, reps)
 	}
+	sh.mu.Unlock()
+	s.deliverDegradations(reps)
 }
 
 // Outstanding returns the number of in-flight requests being tracked.
-func (s *Scheduler) Outstanding() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pend)
-}
+func (s *Scheduler) Outstanding() int { return int(s.nPend.Load()) }
 
 // OnMembershipChange reconciles the repository against a new group view.
 // Crashed replicas disappear from future selections (§5.4). It also sweeps
@@ -757,41 +1050,47 @@ func (s *Scheduler) OnMembershipChangeAt(members []wire.ReplicaID, now time.Time
 	for _, id := range members {
 		alive[id] = true
 	}
+	qos := *s.qos.Load()
 	var degs []DegradationReport
-	defer func() { s.deliverDegradations(degs) }()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Suspicion windows of departed replicas go with them; a replica that
 	// later rejoins under the same ID is judged on fresh evidence.
+	s.stateMu.Lock()
 	for id := range s.suspicion {
 		if !alive[id] {
 			delete(s.suspicion, id)
 		}
 	}
+	s.stateMu.Unlock()
 	var report *ViolationReport
-	for seq, p := range s.pend {
-		doomed := true
-		for id := range p.targets {
-			if alive[id] {
-				doomed = false
-				break
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for seq, p := range sh.m {
+			doomed := true
+			for _, id := range p.targets {
+				if alive[id] {
+					doomed = false
+					break
+				}
 			}
-		}
-		if !doomed {
-			continue
-		}
-		if !p.firstDelivered && !p.failed && now.Sub(p.t0) > s.cfg.QoS.Deadline {
-			p.failed = true
-			s.stats.DeadlineExpiries++
-			s.met.deadlineExpiries.Inc()
-			var out ReplyOutcome
-			s.completeLocked(true, &out)
-			if report == nil {
-				report = out.Violation
+			if !doomed {
+				continue
 			}
+			if !p.firstDelivered && !p.failed && now.Sub(p.t0) > qos.Deadline {
+				p.failed = true
+				s.stats.deadlineExpiries.Add(1)
+				s.met.deadlineExpiries.Inc()
+				var out ReplyOutcome
+				s.complete(true, &out)
+				if report == nil {
+					report = out.Violation
+				}
+			}
+			degs = s.dropLocked(sh, seq, p, degs)
 		}
-		s.dropPendingLocked(seq, &degs)
+		sh.mu.Unlock()
 	}
+	s.deliverDegradations(degs)
 	return report
 }
 
@@ -803,14 +1102,8 @@ func (s *Scheduler) OnPerfUpdate(u wire.PerfUpdate, now time.Time) {
 
 // LastOverhead returns the most recently measured selection overhead δ.
 func (s *Scheduler) LastOverhead() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lastOverhead
+	return time.Duration(s.lastOverheadNs.Load())
 }
 
 // Stats returns a snapshot of the counters.
-func (s *Scheduler) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+func (s *Scheduler) Stats() Stats { return s.stats.snapshot() }

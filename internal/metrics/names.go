@@ -61,6 +61,7 @@ const (
 	TransportLinkDrops         = "aqua_transport_link_drops_total" // in-memory link-policy loss
 	TransportDials             = "aqua_transport_dials_total"
 	TransportDialFailures      = "aqua_transport_dial_failures_total"
+	TransportEncodes           = "aqua_transport_encodes_total" // frame serializations (multicast encodes once)
 	TransportQueueDepth        = "aqua_transport_queue_depth" // per-destination gauge
 )
 

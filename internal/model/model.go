@@ -45,6 +45,17 @@ const defaultMaxSupport = 4096
 // membership churn, where the whole table is dropped and rebuilt.
 const maxCacheEntries = 8192
 
+// cacheShardCount stripes the memoization table so concurrent lookups do not
+// serialize on one mutex: cache hits — the per-request steady state — take
+// only a shard's read lock. Must be a power of two.
+const cacheShardCount = 16
+
+// cacheShard is one stripe of the memoization table.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]*cachedCDF
+}
+
 // cacheKey identifies one memoized convolved distribution. Window versions
 // are globally unique and bumped on every mutation, so equal keys guarantee
 // identical window contents even across replica removal/re-addition.
@@ -73,8 +84,14 @@ type Predictor struct {
 	referenceOnly bool
 	cacheOff      bool
 
-	mu    sync.Mutex
-	cache map[cacheKey]*cachedCDF
+	shards [cacheShardCount]cacheShard
+}
+
+// shardFor stripes by the service-window version: versions are globally
+// unique and monotonic, so they spread entries evenly and a struct-keyed map
+// lookup stays allocation-free (unlike sync.Map, which boxes the key).
+func (p *Predictor) shardFor(key cacheKey) *cacheShard {
+	return &p.shards[key.sVer&(cacheShardCount-1)]
 }
 
 // PredictorOption configures a Predictor.
@@ -118,7 +135,9 @@ func NewPredictor(opts ...PredictorOption) *Predictor {
 	p := &Predictor{
 		resolution: dist.DefaultResolution,
 		maxSupport: defaultMaxSupport,
-		cache:      make(map[cacheKey]*cachedCDF),
+	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[cacheKey]*cachedCDF)
 	}
 	for _, o := range opts {
 		o(p)
@@ -140,17 +159,25 @@ func (p *Predictor) Resolution() time.Duration { return p.resolution }
 // otherwise leave stale entries resident (they would never be hit again, but
 // would hold memory).
 func (p *Predictor) FlushCache() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.cache = make(map[cacheKey]*cachedCDF)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[cacheKey]*cachedCDF)
+		sh.mu.Unlock()
+	}
 }
 
 // CacheSize returns the number of memoized distributions (for tests and
 // introspection).
 func (p *Predictor) CacheSize() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.cache)
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // fastEligible reports whether the snapshot can take the histogram fast
@@ -310,20 +337,21 @@ func (p *Predictor) fastProbability(snap repository.ReplicaSnapshot, t time.Dura
 		return p.uncachedFastProbability(snap, t)
 	}
 	key := cacheKey{replica: snap.ID, method: snap.Method, sVer: snap.ServiceHist.Version, wVer: snap.QueueHist.Version}
-	p.mu.Lock()
-	entry := p.cache[key]
-	p.mu.Unlock()
+	sh := p.shardFor(key)
+	sh.mu.RLock()
+	entry := sh.m[key]
+	sh.mu.RUnlock()
 	if entry == nil {
 		entry, err = p.buildSW(snap)
 		if err != nil {
 			return 0, false, err
 		}
-		p.mu.Lock()
-		if len(p.cache) >= maxCacheEntries {
-			p.cache = make(map[cacheKey]*cachedCDF)
+		sh.mu.Lock()
+		if len(sh.m) >= maxCacheEntries/cacheShardCount {
+			sh.m = make(map[cacheKey]*cachedCDF)
 		}
-		p.cache[key] = entry
-		p.mu.Unlock()
+		sh.m[key] = entry
+		sh.mu.Unlock()
 	}
 	if t < 0 {
 		return 0, true, nil
@@ -396,7 +424,14 @@ type ReplicaProbability struct {
 // apply the cold-start rule. t should already include the overhead
 // compensation if enabled.
 func (p *Predictor) ProbabilityTable(snaps []repository.ReplicaSnapshot, t time.Duration) (table []ReplicaProbability, cold []repository.ReplicaSnapshot, err error) {
-	table = make([]ReplicaProbability, 0, len(snaps))
+	return p.ProbabilityTableInto(snaps, t, make([]ReplicaProbability, 0, len(snaps)), nil)
+}
+
+// ProbabilityTableInto is ProbabilityTable appending into caller-provided
+// buffers (pass them length-zero; they are not reset here), so a caller that
+// recycles its buffers pays no allocation once they have grown to capacity —
+// the scheduler's per-decision fast path.
+func (p *Predictor) ProbabilityTableInto(snaps []repository.ReplicaSnapshot, t time.Duration, table []ReplicaProbability, cold []repository.ReplicaSnapshot) ([]ReplicaProbability, []repository.ReplicaSnapshot, error) {
 	for _, s := range snaps {
 		if !s.HasHistory {
 			cold = append(cold, s)

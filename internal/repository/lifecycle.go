@@ -100,6 +100,7 @@ func (r *Repository) EnableLifecycle(minSamples int) {
 	defer r.mu.Unlock()
 	r.lifecycle = true
 	r.probationSamples = minSamples
+	r.gen.Add(1)
 }
 
 // LifecycleEnabled reports whether health tracking is on.
@@ -132,6 +133,7 @@ func (r *Repository) Suspect(id wire.ReplicaID) bool {
 	}
 	st.health = Suspected
 	r.lifeStats.Suspected++
+	r.gen.Add(1)
 	return true
 }
 
@@ -146,6 +148,7 @@ func (r *Repository) ClearSuspicion(id wire.ReplicaID) bool {
 	}
 	st.health = Active
 	r.lifeStats.Cleared++
+	r.gen.Add(1)
 	return true
 }
 
@@ -165,6 +168,7 @@ func (r *Repository) Quarantine(id wire.ReplicaID, now time.Time) bool {
 	st.quarantinedAt = now
 	st.probationGot = 0
 	r.lifeStats.Quarantined++
+	r.gen.Add(1)
 	return true
 }
 
@@ -187,6 +191,9 @@ func (r *Repository) Parole(cutoff time.Time) []wire.ReplicaID {
 			r.lifeStats.Paroled++
 			out = append(out, id)
 		}
+	}
+	if len(out) > 0 {
+		r.gen.Add(1)
 	}
 	return out
 }
@@ -259,5 +266,6 @@ func (r *Repository) notePerfLocked(st *replicaState) {
 	if st.probationGot >= r.probationSamples {
 		st.health = Active
 		r.lifeStats.Admitted++
+		r.gen.Add(1)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aqua/internal/dist"
@@ -43,10 +44,13 @@ type entry struct {
 
 // replicaState is per-replica state independent of the invoked method.
 type replicaState struct {
-	queueLength int       // current outstanding requests (replica-reported)
-	inFlight    int       // requests this gateway has dispatched and not yet settled
-	lastUpdate  time.Time // freshness marker for the staleness probe
-	hasUpdate   bool
+	queueLength int // current outstanding requests (replica-reported)
+	// inFlight counts requests this gateway has dispatched and not yet
+	// settled. It is atomic so the dispatch/settle hot path only needs the
+	// repository's read lock (map lookup), never the write lock.
+	inFlight   atomic.Int64
+	lastUpdate time.Time // freshness marker for the staleness probe
+	hasUpdate  bool
 	// Lifecycle state (lifecycle.go). The zero value, Active, keeps the
 	// pre-lifecycle behavior: every member is a selection candidate.
 	health        Health
@@ -70,6 +74,23 @@ type Repository struct {
 	probationSamples int
 	bootstrapped     bool // first non-empty membership view absorbed
 	lifeStats        LifecycleStats
+
+	// gen is bumped (under mu) by every mutation that changes snapshot
+	// content — performance reports, gateway delays, membership, health
+	// transitions — but NOT by NoteDispatched/NoteSettled, which only move
+	// the atomic inFlight counters. SnapshotShared keys its cache on gen.
+	gen atomic.Uint64
+	// snapCache memoizes one shared snapshot slice per method, valid while
+	// gen is unchanged. Guarded by snapMu (never held together with mu on
+	// the write side; snapshotLocked reads gen under mu's read lock).
+	snapMu    sync.Mutex
+	snapCache map[string]*snapCacheEntry
+}
+
+// snapCacheEntry is one memoized shared snapshot.
+type snapCacheEntry struct {
+	gen   uint64
+	snaps []ReplicaSnapshot
 }
 
 // Option configures a Repository.
@@ -108,6 +129,7 @@ func New(opts ...Option) *Repository {
 		entries:      make(map[methodKey]*entry),
 		replicas:     make(map[wire.ReplicaID]*replicaState),
 		updatesByRep: make(map[wire.ReplicaID]uint64),
+		snapCache:    make(map[string]*snapCacheEntry),
 	}
 	for _, o := range opts {
 		o(r)
@@ -145,6 +167,7 @@ func (r *Repository) AddReplica(id wire.ReplicaID) {
 	defer r.mu.Unlock()
 	if _, ok := r.replicas[id]; !ok {
 		r.replicas[id] = r.newReplicaStateLocked()
+		r.gen.Add(1)
 	}
 }
 
@@ -157,6 +180,7 @@ func (r *Repository) RemoveReplica(id wire.ReplicaID) {
 	defer r.mu.Unlock()
 	delete(r.replicas, id)
 	r.dropEntriesLocked(id)
+	r.gen.Add(1)
 }
 
 // SetMembership reconciles the replica set against a full membership view:
@@ -186,6 +210,7 @@ func (r *Repository) SetMembership(ids []wire.ReplicaID) {
 		// probation when the lifecycle is enabled.
 		r.bootstrapped = true
 	}
+	r.gen.Add(1)
 }
 
 // Replicas returns the registered replica IDs in deterministic (sorted)
@@ -249,6 +274,7 @@ func (r *Repository) RecordPerf(id wire.ReplicaID, method string, p wire.PerfRep
 	st.hasUpdate = true
 	r.updatesByRep[id]++
 	r.notePerfLocked(st)
+	r.gen.Add(1)
 }
 
 // RecordGatewayDelay stores a newly measured two-way gateway-to-gateway
@@ -267,18 +293,36 @@ func (r *Repository) RecordGatewayDelay(id wire.ReplicaID, method string, td tim
 	}
 	e := r.entryLocked(id, method)
 	e.gateway.Add(td)
+	r.gen.Add(1)
 }
 
 // NoteDispatched records that one request copy was sent to the replica and
 // has not yet settled. The scheduler calls it per selected target, so the
 // snapshot carries this gateway's own contribution to each replica's load in
 // addition to the replica-reported queue length (which lags by one reply).
+// Dispatch/settle accounting deliberately does NOT bump the snapshot
+// generation: it fires on every request, so it would defeat the shared
+// snapshot cache. SnapshotShared consumers therefore see InFlight as of the
+// last performance report (real traffic refreshes it on every reply);
+// Snapshot reads the live counters.
 func (r *Repository) NoteDispatched(id wire.ReplicaID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	if st, ok := r.replicas[id]; ok {
-		st.inFlight++
+		st.inFlight.Add(1)
 	}
+	r.mu.RUnlock()
+}
+
+// NoteDispatchedAll records one dispatched copy per listed replica under a
+// single lock acquisition (the scheduler's per-decision fast path).
+func (r *Repository) NoteDispatchedAll(ids []wire.ReplicaID) {
+	r.mu.RLock()
+	for _, id := range ids {
+		if st, ok := r.replicas[id]; ok {
+			st.inFlight.Add(1)
+		}
+	}
+	r.mu.RUnlock()
 }
 
 // NoteSettled records that a previously dispatched copy resolved: its reply
@@ -286,11 +330,18 @@ func (r *Repository) NoteDispatched(id wire.ReplicaID) {
 // purge, Forget). Calls for unknown replicas — e.g. settled after a
 // membership removal — are no-ops.
 func (r *Repository) NoteSettled(id wire.ReplicaID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if st, ok := r.replicas[id]; ok && st.inFlight > 0 {
-		st.inFlight--
+	r.mu.RLock()
+	if st, ok := r.replicas[id]; ok {
+		// Floor at zero without the write lock: a settle racing a membership
+		// re-add must not leave a negative in-flight count.
+		for {
+			v := st.inFlight.Load()
+			if v <= 0 || st.inFlight.CompareAndSwap(v, v-1) {
+				break
+			}
+		}
 	}
+	r.mu.RUnlock()
 }
 
 // InFlight returns the number of unsettled copies dispatched to a replica.
@@ -298,9 +349,26 @@ func (r *Repository) InFlight(id wire.ReplicaID) int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if st, ok := r.replicas[id]; ok {
-		return st.inFlight
+		return int(st.inFlight.Load())
 	}
 	return 0
+}
+
+// InFlightSum returns the total live in-flight dispatch count across the
+// listed snapshots' replicas, under one read lock. The scheduler pairs it
+// with SnapshotShared so load-conditioned strategies see current dispatch
+// pressure even when the snapshot's InFlight fields are generation-cached.
+// Unknown IDs contribute zero.
+func (r *Repository) InFlightSum(snaps []ReplicaSnapshot) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := 0
+	for i := range snaps {
+		if st, ok := r.replicas[snaps[i].ID]; ok {
+			total += int(st.inFlight.Load())
+		}
+	}
+	return total
 }
 
 // TotalInFlight sums unsettled dispatched copies across all replicas.
@@ -309,7 +377,7 @@ func (r *Repository) TotalInFlight() int {
 	defer r.mu.RUnlock()
 	total := 0
 	for _, st := range r.replicas {
-		total += st.inFlight
+		total += int(st.inFlight.Load())
 	}
 	return total
 }
@@ -370,17 +438,58 @@ type ReplicaSnapshot struct {
 }
 
 // Snapshot returns prediction-ready copies for all registered replicas for
-// the given method, sorted by replica ID for determinism.
+// the given method, sorted by replica ID for determinism. Every call builds
+// fresh slices the caller may retain and mutate; the scheduler's hot path
+// uses SnapshotShared instead.
 func (r *Repository) Snapshot(method string) []ReplicaSnapshot {
+	snaps, _ := r.snapshot(method)
+	return snaps
+}
+
+// SnapshotShared returns the same prediction-ready view as Snapshot but
+// memoized per method: while no snapshot-content mutation has occurred
+// (generation unchanged), repeat calls return the identical shared slice with
+// zero allocation. The returned slice and everything it references are shared
+// and MUST be treated as immutable; a caller that needs to mutate (e.g. the
+// scheduler's staleness re-probe) must copy first. InFlight values in a
+// shared snapshot are as of the last generation bump — dispatch/settle
+// accounting alone does not invalidate the cache (see NoteDispatched).
+func (r *Repository) SnapshotShared(method string) []ReplicaSnapshot {
+	g := r.gen.Load()
+	r.snapMu.Lock()
+	if e, ok := r.snapCache[method]; ok && e.gen == g {
+		snaps := e.snaps
+		r.snapMu.Unlock()
+		return snaps
+	}
+	r.snapMu.Unlock()
+
+	// Build outside snapMu so concurrent readers of other methods (or cache
+	// hits) are not blocked behind the copy. gen is re-read under the
+	// repository read lock, so the cached entry is stamped with a generation
+	// consistent with its content.
+	snaps, built := r.snapshot(method)
+	r.snapMu.Lock()
+	if e, ok := r.snapCache[method]; !ok || e.gen < built {
+		r.snapCache[method] = &snapCacheEntry{gen: built, snaps: snaps}
+	}
+	r.snapMu.Unlock()
+	return snaps
+}
+
+// snapshot builds a fresh snapshot slice and reports the generation it is
+// consistent with (gen is only bumped under the write lock).
+func (r *Repository) snapshot(method string) ([]ReplicaSnapshot, uint64) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	g := r.gen.Load()
 	out := make([]ReplicaSnapshot, 0, len(r.replicas))
 	for id, st := range r.replicas {
 		snap := ReplicaSnapshot{
 			ID:          id,
 			Method:      method,
 			QueueLength: st.queueLength,
-			InFlight:    st.inFlight,
+			InFlight:    int(st.inFlight.Load()),
 			LastUpdate:  st.lastUpdate,
 			Health:      st.health,
 		}
@@ -414,7 +523,7 @@ func (r *Repository) Snapshot(method string) []ReplicaSnapshot {
 		out = append(out, snap)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return out, g
 }
 
 // SnapshotOne returns the snapshot for a single replica.

@@ -1,0 +1,103 @@
+package selection
+
+// Incrementally maintained candidate order.
+//
+// Algorithm 1 consumes the replicas ordered by decreasing F_Ri(t). The seed
+// implementation re-sorted the whole table on every request, but between two
+// consecutive requests the order barely moves: a window update changes one
+// replica's probability, and most requests change nothing at all (the
+// predictor serves memoized F_Ri(t) for unchanged windows). Order exploits
+// that: it keeps the previous request's permutation and repairs it with a
+// stable insertion sort, which costs O(n) when the order is unchanged or one
+// row moved — instead of O(n log n) with fresh allocations per decision.
+//
+// The comparator is identical to sortTable's: decreasing probability, ties
+// broken by ascending replica ID. The repository emits snapshots sorted by
+// ID, so the ID tiebreak preserves repository order for equal-score replicas
+// (see sortTable) and the maintained order equals sortTable's output exactly.
+
+import (
+	"aqua/internal/model"
+	"aqua/internal/wire"
+)
+
+// Order maintains a probability-descending view of a probability table across
+// requests. It is NOT safe for concurrent use; the scheduler serializes
+// access (the same serialization its selection strategies already need).
+type Order struct {
+	sorted []model.ReplicaProbability
+	rank   map[wire.ReplicaID]int // ID → index in sorted, as of the last Sort
+}
+
+// NewOrder returns an empty order maintainer.
+func NewOrder() *Order {
+	return &Order{rank: make(map[wire.ReplicaID]int)}
+}
+
+// Sort returns table's rows ordered by decreasing probability (ties by
+// ascending ID), reusing the previous call's permutation as the starting
+// point. The returned slice is owned by the Order and valid until the next
+// Sort call; callers must not retain or mutate it.
+func (o *Order) Sort(table []model.ReplicaProbability) []model.ReplicaProbability {
+	if !o.sameMembers(table) {
+		// Membership changed (replica joined, left, or went cold): rebuild.
+		o.sorted = append(o.sorted[:0], table...)
+		insertionSortRows(o.sorted)
+		o.reindex()
+		return o.sorted
+	}
+	// Same members: overwrite each row in its previous position, then repair.
+	// Rows keep their old rank as the insertion-sort starting permutation, so
+	// the common no-change and one-change cases cost one linear pass.
+	for i := range table {
+		o.sorted[o.rank[table[i].Snapshot.ID]] = table[i]
+	}
+	insertionSortRows(o.sorted)
+	o.reindex()
+	return o.sorted
+}
+
+// sameMembers reports whether table holds exactly the IDs of the previous
+// sort (any order).
+func (o *Order) sameMembers(table []model.ReplicaProbability) bool {
+	if len(table) != len(o.sorted) {
+		return false
+	}
+	for i := range table {
+		if _, ok := o.rank[table[i].Snapshot.ID]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// reindex refreshes the ID → position map. Keys already exist in the
+// same-members case, so this allocates nothing in steady state.
+func (o *Order) reindex() {
+	if len(o.rank) != len(o.sorted) {
+		o.rank = make(map[wire.ReplicaID]int, len(o.sorted))
+	}
+	for i := range o.sorted {
+		o.rank[o.sorted[i].Snapshot.ID] = i
+	}
+}
+
+// rowLess is sortTable's comparator: decreasing probability, ascending ID on
+// ties.
+func rowLess(a, b *model.ReplicaProbability) bool {
+	if a.Probability != b.Probability {
+		return a.Probability > b.Probability
+	}
+	return a.Snapshot.ID < b.Snapshot.ID
+}
+
+// insertionSortRows stable-sorts rows in place with rowLess. The comparator
+// is a total order (IDs are unique), so the result is the unique sorted
+// permutation — identical to sort.SliceStable in sortTable.
+func insertionSortRows(rows []model.ReplicaProbability) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rowLess(&rows[j], &rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package selection
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"aqua/internal/model"
+	"aqua/internal/repository"
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+func tableRow(id wire.ReplicaID, p float64) model.ReplicaProbability {
+	return model.ReplicaProbability{
+		Snapshot:    repository.ReplicaSnapshot{ID: id},
+		Probability: p,
+	}
+}
+
+// TestOrderMatchesSortTable drives Order.Sort through randomized mutation
+// sequences (probability changes, joins, departures) and checks every result
+// against the reference sortTable output. The comparator is a total order, so
+// the permutations must be identical element-for-element.
+func TestOrderMatchesSortTable(t *testing.T) {
+	rng := stats.NewRand(42)
+	o := NewOrder()
+
+	ids := []wire.ReplicaID{"a", "b", "c", "d", "e", "f"}
+	table := make([]model.ReplicaProbability, 0, len(ids))
+	for _, id := range ids {
+		table = append(table, tableRow(id, rng.Float64()))
+	}
+
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(5) {
+		case 0: // no change at all — the dominant steady-state case
+		case 1, 2: // one replica's window updated
+			if len(table) > 0 {
+				table[rng.Intn(len(table))].Probability = rng.Float64()
+			}
+		case 3: // replica departs
+			if len(table) > 1 {
+				i := rng.Intn(len(table))
+				table = append(table[:i], table[i+1:]...)
+			}
+		case 4: // replica joins (possibly a returning ID)
+			id := ids[rng.Intn(len(ids))]
+			present := false
+			for i := range table {
+				if table[i].Snapshot.ID == id {
+					present = true
+					break
+				}
+			}
+			if !present {
+				table = append(table, tableRow(id, rng.Float64()))
+			}
+		}
+		want := sortTable(table)
+		got := o.Sort(table)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: Order.Sort diverged from sortTable\n got %v\nwant %v", step, got, want)
+		}
+	}
+}
+
+// TestOrderStableTiebreak pins the satellite audit: equal-probability replicas
+// must keep repository order (ascending ID — repository snapshots are emitted
+// ID-sorted) and must not reshuffle across repeated sorts.
+func TestOrderStableTiebreak(t *testing.T) {
+	table := []model.ReplicaProbability{
+		tableRow("r3", 0.9),
+		tableRow("r1", 0.9),
+		tableRow("r2", 0.9),
+	}
+	o := NewOrder()
+	want := []wire.ReplicaID{"r1", "r2", "r3"}
+	for round := 0; round < 3; round++ {
+		got := o.Sort(table)
+		for i, id := range want {
+			if got[i].Snapshot.ID != id {
+				t.Fatalf("round %d: position %d = %s, want %s", round, i, got[i].Snapshot.ID, id)
+			}
+		}
+	}
+	ref := sortTable(table)
+	for i, id := range want {
+		if ref[i].Snapshot.ID != id {
+			t.Fatalf("sortTable position %d = %s, want %s", i, ref[i].Snapshot.ID, id)
+		}
+	}
+}
+
+// TestOrderSteadyStateNoAllocs fences the tentpole claim: once warmed, a Sort
+// over an unchanged membership allocates nothing.
+func TestOrderSteadyStateNoAllocs(t *testing.T) {
+	o := NewOrder()
+	table := []model.ReplicaProbability{
+		tableRow("a", 0.5), tableRow("b", 0.7), tableRow("c", 0.3),
+	}
+	o.Sort(table) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		table[1].Probability = 0.2
+		o.Sort(table)
+		table[1].Probability = 0.7
+		o.Sort(table)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Order.Sort allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSortedViewUsedByStrategies checks that strategies honour a caller-provided
+// order and scratch buffer and produce results identical to the self-sorting
+// path.
+func TestSortedViewUsedByStrategies(t *testing.T) {
+	table := []model.ReplicaProbability{
+		tableRow("c", 0.4), tableRow("a", 0.95), tableRow("b", 0.8),
+	}
+	qos := wire.QoS{Deadline: 100 * time.Millisecond, MinProbability: 0.99}
+	o := NewOrder()
+	strategies := []Strategy{
+		NewDynamic(), NewDynamicCapped(2), NewBudgeted(), SingleBest{}, FixedK{K: 2}, All{},
+	}
+	for _, s := range strategies {
+		plain := s.Select(Input{Table: table, QoS: qos})
+		buf := make([]wire.ReplicaID, 0, 8)
+		fast := s.Select(Input{Table: table, QoS: qos, Sorted: o.Sort(table), SelectedBuf: buf})
+		if !reflect.DeepEqual(plain.Selected, fast.Selected) {
+			t.Errorf("%s: Selected %v (sorted view) != %v (plain)", s.Name(), fast.Selected, plain.Selected)
+		}
+		if plain.Predicted != fast.Predicted {
+			t.Errorf("%s: Predicted %v (sorted view) != %v (plain)", s.Name(), fast.Predicted, plain.Predicted)
+		}
+	}
+}

@@ -35,6 +35,32 @@ type Input struct {
 	Cold []repository.ReplicaSnapshot
 	// QoS carries the deadline t and required probability Pc(t).
 	QoS wire.QoS
+	// Sorted, when non-nil, is Table already ordered by decreasing
+	// probability with ties broken by ascending replica ID — e.g. by the
+	// scheduler's incrementally maintained Order — and strategies skip their
+	// own sort. It must hold exactly Table's rows; callers own the invariant.
+	Sorted []model.ReplicaProbability
+	// SelectedBuf, when non-nil, is a caller-owned scratch buffer (used from
+	// length zero) that strategies may return as Result.Selected, avoiding a
+	// per-decision allocation. A caller that reuses the buffer must copy
+	// Result.Selected out before its next Select.
+	SelectedBuf []wire.ReplicaID
+	// LiveInFlight, when HasLiveInFlight is set, is the total local
+	// in-flight dispatch count across the listed replicas measured at
+	// decision time. Load-conditioned strategies prefer it over summing the
+	// snapshots' InFlight fields, which may be generation-cached and lag the
+	// live counters by one performance report.
+	LiveInFlight    int
+	HasLiveInFlight bool
+}
+
+// sortedView returns the probability-descending view of the input table,
+// reusing the caller-provided order when present.
+func sortedView(in Input) []model.ReplicaProbability {
+	if in.Sorted != nil {
+		return in.Sorted
+	}
+	return sortTable(in.Table)
 }
 
 // Result is a selection decision.
@@ -71,43 +97,91 @@ type Strategy interface {
 
 // replicaIDs extracts IDs from a probability table.
 func replicaIDs(table []model.ReplicaProbability) []wire.ReplicaID {
-	ids := make([]wire.ReplicaID, len(table))
-	for i, rp := range table {
-		ids[i] = rp.Snapshot.ID
-	}
-	return ids
+	return appendTableIDs(make([]wire.ReplicaID, 0, len(table)), table)
 }
 
 // coldIDs extracts IDs from cold snapshots.
 func coldIDs(cold []repository.ReplicaSnapshot) []wire.ReplicaID {
-	ids := make([]wire.ReplicaID, len(cold))
-	for i, s := range cold {
-		ids[i] = s.ID
+	return appendColdIDs(make([]wire.ReplicaID, 0, len(cold)), cold)
+}
+
+// appendTableIDs appends each row's ID to ids.
+func appendTableIDs(ids []wire.ReplicaID, table []model.ReplicaProbability) []wire.ReplicaID {
+	for i := range table {
+		ids = append(ids, table[i].Snapshot.ID)
 	}
 	return ids
 }
 
+// appendColdIDs appends each cold snapshot's ID to ids.
+func appendColdIDs(ids []wire.ReplicaID, cold []repository.ReplicaSnapshot) []wire.ReplicaID {
+	for i := range cold {
+		ids = append(ids, cold[i].ID)
+	}
+	return ids
+}
+
+// candidateIDs collects every candidate (warm then cold) into buf and sorts
+// ascending by ID. The repository emits snapshots in ascending ID order, so
+// this equals repository order — the deterministic, score-free ordering the
+// baseline strategies (All, Random, RoundRobin) share. It replaces three
+// previously duplicated sort.Slice blocks.
+func candidateIDs(in Input, buf []wire.ReplicaID) []wire.ReplicaID {
+	ids := appendTableIDs(buf, in.Table)
+	ids = appendColdIDs(ids, in.Cold)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // sortTable orders a copy of the table by decreasing probability, breaking
-// ties by replica ID so runs are deterministic.
+// ties by ascending replica ID so runs are deterministic. Because the
+// repository emits snapshots sorted by ID, the ID tiebreak is exactly
+// "repository order" for equal-score replicas — the stable-tiebreak
+// requirement of the paper's ranking (equal F_Ri(t) must not reshuffle
+// between requests).
 func sortTable(table []model.ReplicaProbability) []model.ReplicaProbability {
 	sorted := make([]model.ReplicaProbability, len(table))
 	copy(sorted, table)
 	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Probability != sorted[j].Probability {
-			return sorted[i].Probability > sorted[j].Probability
-		}
-		return sorted[i].Snapshot.ID < sorted[j].Snapshot.ID
+		return rowLess(&sorted[i], &sorted[j])
 	})
 	return sorted
 }
 
-// subsetProb applies Equation 1 to the listed table rows.
+// subsetProb applies Equation 1 to the listed table rows without
+// materializing a probability slice (see model.SubsetProbability).
 func subsetProb(rows []model.ReplicaProbability) float64 {
-	probs := make([]float64, len(rows))
-	for i, r := range rows {
-		probs[i] = r.Probability
+	failAll := 1.0
+	for i := range rows {
+		g := 1 - rows[i].Probability
+		if g < 0 {
+			g = 0
+		}
+		failAll *= g
 	}
-	return model.SubsetProbability(probs)
+	return 1 - failAll
+}
+
+// headRestProb is subsetProb over the concatenation head ++ rest without
+// materializing it. The multiply order matches subsetProb exactly, so the
+// result is bit-identical to subsetProb(append(head, rest...)).
+func headRestProb(head, rest []model.ReplicaProbability) float64 {
+	failAll := 1.0
+	for i := range head {
+		g := 1 - head[i].Probability
+		if g < 0 {
+			g = 0
+		}
+		failAll *= g
+	}
+	for i := range rest {
+		g := 1 - rest[i].Probability
+		if g < 0 {
+			g = 0
+		}
+		failAll *= g
+	}
+	return 1 - failAll
 }
 
 // Dynamic is the paper's Algorithm 1 generalized to reserve the top
@@ -169,7 +243,7 @@ func (d *Dynamic) Select(in Input) Result {
 	if len(in.Table) == 0 {
 		return Result{Selected: forced, Predicted: 0, UsedAll: true, ColdStart: true}
 	}
-	sorted := sortTable(in.Table)
+	sorted := sortedView(in)
 
 	reserve := 0
 	if d.Reserve {
@@ -195,11 +269,12 @@ func (d *Dynamic) Select(in Input) Result {
 		prod *= g
 		if 1-prod >= in.QoS.MinProbability {
 			x := rest[:i+1]
-			selected := append(replicaIDs(head), replicaIDs(x)...)
+			selected := appendTableIDs(in.SelectedBuf[:0], head)
+			selected = appendTableIDs(selected, x)
 			selected = append(selected, forced...)
 			return Result{
 				Selected:  selected,
-				Predicted: subsetProb(append(append([]model.ReplicaProbability{}, head...), x...)),
+				Predicted: headRestProb(head, x),
 				ColdStart: len(forced) > 0,
 			}
 		}
@@ -213,7 +288,7 @@ func (d *Dynamic) Select(in Input) Result {
 	if d.Cap > 0 && d.Cap < len(sorted) {
 		fallback = sorted[:d.Cap]
 	}
-	all := append(replicaIDs(fallback), forced...)
+	all := append(appendTableIDs(in.SelectedBuf[:0], fallback), forced...)
 	return Result{
 		Selected:  all,
 		Predicted: subsetProb(fallback),
@@ -302,10 +377,20 @@ func (b *Budgeted) BudgetFor(in Input) int {
 	}
 	var outstanding float64
 	for _, rp := range in.Table {
-		outstanding += float64(rp.Snapshot.QueueLength + rp.Snapshot.InFlight)
+		outstanding += float64(rp.Snapshot.QueueLength)
 	}
 	for _, s := range in.Cold {
-		outstanding += float64(s.QueueLength + s.InFlight)
+		outstanding += float64(s.QueueLength)
+	}
+	if in.HasLiveInFlight {
+		outstanding += float64(in.LiveInFlight)
+	} else {
+		for _, rp := range in.Table {
+			outstanding += float64(rp.Snapshot.InFlight)
+		}
+		for _, s := range in.Cold {
+			outstanding += float64(s.InFlight)
+		}
 	}
 	load := outstanding / float64(n)
 	switch {
@@ -357,7 +442,7 @@ func (b *Budgeted) Select(in Input) Result {
 			// probe is still a working member — only its timeliness is
 			// unknown, which is exactly why it must be measured.
 			res.Selected[capped.Cap-1] = in.Cold[0].ID
-			res.Predicted = subsetProb(sortTable(in.Table)[:capped.Cap-1])
+			res.Predicted = subsetProb(sortedView(in)[:capped.Cap-1])
 			res.ColdStart = true
 		}
 	}
@@ -385,10 +470,10 @@ func (SingleBest) Select(in Input) Result {
 		forced := coldIDs(in.Cold)
 		return Result{Selected: forced, UsedAll: true, ColdStart: true}
 	}
-	sorted := sortTable(in.Table)
+	sorted := sortedView(in)
 	best := sorted[0]
 	return Result{
-		Selected:  []wire.ReplicaID{best.Snapshot.ID},
+		Selected:  append(in.SelectedBuf[:0], best.Snapshot.ID),
 		Predicted: best.Probability,
 	}
 }
@@ -416,8 +501,8 @@ func (f FixedK) Select(in Input) Result {
 	if k > len(in.Table) {
 		k = len(in.Table)
 	}
-	sorted := sortTable(in.Table)[:k]
-	return Result{Selected: replicaIDs(sorted), Predicted: subsetProb(sorted)}
+	sorted := sortedView(in)[:k]
+	return Result{Selected: appendTableIDs(in.SelectedBuf[:0], sorted), Predicted: subsetProb(sorted)}
 }
 
 // All multicasts every request to every replica: AQuA's active-replication
@@ -431,8 +516,7 @@ func (All) Name() string { return "all" }
 
 // Select implements Strategy.
 func (All) Select(in Input) Result {
-	ids := append(replicaIDs(in.Table), coldIDs(in.Cold)...)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := candidateIDs(in, in.SelectedBuf[:0])
 	return Result{Selected: ids, Predicted: subsetProb(in.Table), UsedAll: true}
 }
 
@@ -455,8 +539,7 @@ func (r *Random) Name() string { return fmt.Sprintf("random-%d", r.K) }
 
 // Select implements Strategy.
 func (r *Random) Select(in Input) Result {
-	ids := append(replicaIDs(in.Table), coldIDs(in.Cold)...)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := candidateIDs(in, nil)
 	if len(ids) == 0 {
 		return Result{}
 	}
@@ -501,8 +584,7 @@ func (r *RoundRobin) Name() string { return fmt.Sprintf("roundrobin-%d", r.K) }
 
 // Select implements Strategy.
 func (r *RoundRobin) Select(in Input) Result {
-	ids := append(replicaIDs(in.Table), coldIDs(in.Cold)...)
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids := candidateIDs(in, nil)
 	if len(ids) == 0 {
 		return Result{}
 	}

@@ -1,0 +1,337 @@
+package transport
+
+// Hand-rolled binary codec for the internal/wire message shapes.
+//
+// gob is self-describing: every frame re-transmits type definitions, field
+// names cost bytes, and both directions allocate (reflection, buffer copies,
+// interface boxing). On the decision path the codec is the last per-request
+// allocator, so the wire messages — six fixed shapes — get a fixed binary
+// layout instead:
+//
+//	frame  := len(4, big-endian) body
+//	body   := magic(0xAB) version(0x01) msgType(1) from(str) fields…
+//	str    := uvarint len, raw bytes
+//	bytes  := uvarint len, raw bytes (len 0 decodes as nil)
+//	uint   := uvarint            (Seq, View)
+//	int    := varint (zigzag)    (QueueLength)
+//	dur    := varint nanoseconds
+//	time   := varint UnixNano; math.MinInt64 encodes the zero time
+//	bool   := 1 byte, 0 or 1
+//
+// Field order per message is the struct field order in internal/wire. The
+// encoding is deterministic — no maps, no optional fields — so a decoded
+// message re-encodes byte-exactly (fenced by FuzzBinaryRoundTrip).
+//
+// Version negotiation: the magic byte 0xAB cannot begin a gob stream (gob
+// frames start with a uvarint byte count: one byte in 0x01–0x7F, or a
+// negative-length marker 0xF8–0xFF), so a receiver sniffs byte 0 of the body
+// and routes to this codec or the gob fallback — a mixed-version rollout
+// keeps working in both directions. An unknown version or message type is a
+// versioned error, never a panic; every length is bounds-checked against the
+// remaining body before use.
+//
+// Payload []byte fields decode zero-copy: they alias the received frame
+// buffer, which the read loop allocates per frame and never reuses.
+//
+// Times travel as UnixNano, so the monotonic reading and location are
+// dropped (gob does the same for monotonic) and representable times are
+// limited to years 1678–2262 — far beyond any transport timestamp.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+const (
+	binMagic   = 0xAB // body[0]: unreachable as a gob first byte, see package comment
+	binVersion = 0x01 // body[1]: bumped on any layout change
+)
+
+// Message type codes (body[2]).
+const (
+	binRequest byte = iota + 1
+	binResponse
+	binSubscribe
+	binUnsubscribe
+	binPerfUpdate
+	binHeartbeat
+)
+
+// zeroTimeSentinel encodes time.Time{} — its UnixNano is undefined, and no
+// representable timestamp maps to MinInt64.
+const zeroTimeSentinel = math.MinInt64
+
+var errMalformedFrame = errors.New("transport: malformed binary frame")
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendByteSlice(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendTime(b []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return binary.AppendVarint(b, zeroTimeSentinel)
+	}
+	return binary.AppendVarint(b, t.UnixNano())
+}
+
+func appendPerf(b []byte, p wire.PerfReport) []byte {
+	b = binary.AppendVarint(b, int64(p.ServiceTime))
+	b = binary.AppendVarint(b, int64(p.QueueDelay))
+	return binary.AppendVarint(b, int64(p.QueueLength))
+}
+
+// appendBinaryBody appends the binary body for one known wire message,
+// reporting false (buf unchanged) for payload types the codec does not
+// cover — those take the gob fallback.
+func appendBinaryBody(buf []byte, from Addr, payload any) ([]byte, bool) {
+	var typ byte
+	switch payload.(type) {
+	case wire.Request:
+		typ = binRequest
+	case wire.Response:
+		typ = binResponse
+	case wire.Subscribe:
+		typ = binSubscribe
+	case wire.Unsubscribe:
+		typ = binUnsubscribe
+	case wire.PerfUpdate:
+		typ = binPerfUpdate
+	case wire.Heartbeat:
+		typ = binHeartbeat
+	default:
+		return buf, false
+	}
+	buf = append(buf, binMagic, binVersion, typ)
+	buf = appendStr(buf, string(from))
+	switch m := payload.(type) {
+	case wire.Request:
+		buf = appendStr(buf, string(m.Client))
+		buf = binary.AppendUvarint(buf, uint64(m.Seq))
+		buf = appendStr(buf, string(m.Service))
+		buf = appendStr(buf, m.Method)
+		buf = appendByteSlice(buf, m.Payload)
+		buf = appendTime(buf, m.SentAt)
+		buf = appendBool(buf, m.Probe)
+	case wire.Response:
+		buf = appendStr(buf, string(m.Client))
+		buf = binary.AppendUvarint(buf, uint64(m.Seq))
+		buf = appendStr(buf, string(m.Replica))
+		buf = appendStr(buf, string(m.Service))
+		buf = appendByteSlice(buf, m.Payload)
+		buf = appendStr(buf, m.Err)
+		buf = appendPerf(buf, m.Perf)
+		buf = appendTime(buf, m.SentAt)
+		buf = appendBool(buf, m.Probe)
+	case wire.Subscribe:
+		buf = appendStr(buf, string(m.Client))
+		buf = appendStr(buf, string(m.Service))
+	case wire.Unsubscribe:
+		buf = appendStr(buf, string(m.Client))
+		buf = appendStr(buf, string(m.Service))
+	case wire.PerfUpdate:
+		buf = appendStr(buf, string(m.Replica))
+		buf = appendStr(buf, string(m.Service))
+		buf = appendStr(buf, m.Method)
+		buf = appendPerf(buf, m.Perf)
+	case wire.Heartbeat:
+		buf = appendStr(buf, string(m.From))
+		buf = appendStr(buf, m.Service)
+		buf = binary.AppendUvarint(buf, m.View)
+		buf = appendTime(buf, m.At)
+	}
+	return buf, true
+}
+
+// binReader is a bounds-checked cursor over one frame body with a sticky
+// error: a malformed length poisons every subsequent read, and the caller
+// checks err once at the end. No read can panic.
+type binReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errMalformedFrame
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errMalformedFrame
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// take returns the next n bytes of the body without copying.
+func (r *binReader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.err = errMalformedFrame
+		return nil
+	}
+	p := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p
+}
+
+func (r *binReader) str() string { return string(r.take(r.uvarint())) }
+
+// byteSlice returns the next length-prefixed byte field aliasing the frame
+// buffer (zero-copy); a zero length decodes as nil.
+func (r *binReader) byteSlice() []byte {
+	n := r.uvarint()
+	if n == 0 {
+		return nil
+	}
+	return r.take(n)
+}
+
+func (r *binReader) bool8() bool {
+	p := r.take(1)
+	return len(p) == 1 && p[0] != 0
+}
+
+func (r *binReader) dur() time.Duration { return time.Duration(r.varint()) }
+
+func (r *binReader) timeAt() time.Time {
+	ns := r.varint()
+	if ns == zeroTimeSentinel {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+func (r *binReader) perf() wire.PerfReport {
+	return wire.PerfReport{
+		ServiceTime: r.dur(),
+		QueueDelay:  r.dur(),
+		QueueLength: int(r.varint()),
+	}
+}
+
+// decodeBinaryBody decodes one binary-codec body (body[0] is known to be
+// binMagic). Unknown versions and message types return versioned errors so a
+// newer peer's frames are rejected loudly, not mis-parsed.
+func decodeBinaryBody(body []byte) (envelope, error) {
+	if len(body) < 3 {
+		return envelope{}, fmt.Errorf("transport: binary frame truncated at %d bytes", len(body))
+	}
+	if body[1] != binVersion {
+		return envelope{}, fmt.Errorf("transport: unsupported binary codec version %d (this build speaks %d)", body[1], binVersion)
+	}
+	typ := body[2]
+	r := &binReader{b: body, off: 3}
+	from := Addr(r.str())
+	var payload any
+	switch typ {
+	case binRequest:
+		payload = wire.Request{
+			Client:  wire.ClientID(r.str()),
+			Seq:     wire.SeqNo(r.uvarint()),
+			Service: wire.Service(r.str()),
+			Method:  r.str(),
+			Payload: r.byteSlice(),
+			SentAt:  r.timeAt(),
+			Probe:   r.bool8(),
+		}
+	case binResponse:
+		payload = wire.Response{
+			Client:  wire.ClientID(r.str()),
+			Seq:     wire.SeqNo(r.uvarint()),
+			Replica: wire.ReplicaID(r.str()),
+			Service: wire.Service(r.str()),
+			Payload: r.byteSlice(),
+			Err:     r.str(),
+			Perf:    r.perf(),
+			SentAt:  r.timeAt(),
+			Probe:   r.bool8(),
+		}
+	case binSubscribe:
+		payload = wire.Subscribe{
+			Client:  wire.ClientID(r.str()),
+			Service: wire.Service(r.str()),
+		}
+	case binUnsubscribe:
+		payload = wire.Unsubscribe{
+			Client:  wire.ClientID(r.str()),
+			Service: wire.Service(r.str()),
+		}
+	case binPerfUpdate:
+		payload = wire.PerfUpdate{
+			Replica: wire.ReplicaID(r.str()),
+			Service: wire.Service(r.str()),
+			Method:  r.str(),
+			Perf:    r.perf(),
+		}
+	case binHeartbeat:
+		payload = wire.Heartbeat{
+			From:    wire.ReplicaID(r.str()),
+			Service: r.str(),
+			View:    r.uvarint(),
+			At:      r.timeAt(),
+		}
+	default:
+		return envelope{}, fmt.Errorf("transport: unknown binary message type %d", typ)
+	}
+	if r.err != nil {
+		return envelope{}, fmt.Errorf("transport: decoding binary %s frame: %w", binTypeName(typ), r.err)
+	}
+	if r.off != len(body) {
+		return envelope{}, fmt.Errorf("transport: %d trailing bytes after binary %s frame", len(body)-r.off, binTypeName(typ))
+	}
+	return envelope{From: from, Payload: payload}, nil
+}
+
+func binTypeName(t byte) string {
+	switch t {
+	case binRequest:
+		return "request"
+	case binResponse:
+		return "response"
+	case binSubscribe:
+		return "subscribe"
+	case binUnsubscribe:
+		return "unsubscribe"
+	case binPerfUpdate:
+		return "perf-update"
+	case binHeartbeat:
+		return "heartbeat"
+	default:
+		return "unknown"
+	}
+}

@@ -34,7 +34,17 @@ func init() {
 }
 
 // encodeFrame serializes an envelope with a 4-byte big-endian length prefix.
+// The six internal/wire message shapes take the binary codec (binary.go);
+// anything else falls back to gob, which stays registered so mixed-version
+// peers and out-of-tree payloads keep working.
 func encodeFrame(from Addr, payload any) ([]byte, error) {
+	if body, ok := appendBinaryBody(make([]byte, 4, 64), from, payload); ok {
+		if len(body)-4 > maxFrameSize {
+			return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(body)-4)
+		}
+		binary.BigEndian.PutUint32(body[:4], uint32(len(body)-4))
+		return body, nil
+	}
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(envelope{From: from, Payload: payload}); err != nil {
 		return nil, fmt.Errorf("transport: encoding %T: %w", payload, err)
@@ -48,7 +58,10 @@ func encodeFrame(from Addr, payload any) ([]byte, error) {
 	return frame, nil
 }
 
-// decodeFrame reads one length-prefixed envelope from r.
+// decodeFrame reads one length-prefixed envelope from r, sniffing the body's
+// first byte to pick the codec: binMagic routes to the binary decoder, any
+// other value is a gob stream (binMagic cannot begin one — see binary.go).
+// Both legs reject malformed input with an error; neither panics.
 func decodeFrame(r io.Reader) (envelope, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -62,9 +75,26 @@ func decodeFrame(r io.Reader) (envelope, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return envelope{}, fmt.Errorf("transport: reading frame body: %w", err)
 	}
+	if len(body) > 0 && body[0] == binMagic {
+		return decodeBinaryBody(body)
+	}
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
 		return envelope{}, fmt.Errorf("transport: decoding frame: %w", err)
 	}
 	return env, nil
+}
+
+// encodeGobFrame forces the gob leg of the codec. Production traffic never
+// uses it for wire types; it exists so cross-compatibility tests can produce
+// the frames an old (pre-binary-codec) peer would send.
+func encodeGobFrame(from Addr, payload any) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(envelope{From: from, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("transport: encoding %T: %w", payload, err)
+	}
+	frame := make([]byte, 4+body.Len())
+	binary.BigEndian.PutUint32(frame, uint32(body.Len()))
+	copy(frame[4:], body.Bytes())
+	return frame, nil
 }

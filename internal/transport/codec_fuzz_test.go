@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"aqua/internal/wire"
 )
@@ -34,6 +35,56 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if _, err := encodeFrame(env.From, env.Payload); err != nil {
 			t.Errorf("decoded envelope does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip fences the binary codec's determinism: for arbitrary
+// field values, encode → decode → re-encode must reproduce the frame
+// byte-exactly, and decode must yield back every field.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add("from", "client", uint64(1), "svc", "m", []byte("p"), int64(1754700000123456789), true)
+	f.Add("", "", uint64(0), "", "", []byte{}, int64(0), false)
+	f.Add("a", "b", ^uint64(0), "c", "d", []byte{0xAB, 0x01}, int64(-1), true)
+	f.Fuzz(func(t *testing.T, from, client string, seq uint64, service, method string, payload []byte, sentNs int64, probe bool) {
+		if sentNs == zeroTimeSentinel {
+			return // reserved encoding for the zero time
+		}
+		in := wire.Request{
+			Client:  wire.ClientID(client),
+			Seq:     wire.SeqNo(seq),
+			Service: wire.Service(service),
+			Method:  method,
+			Payload: payload,
+			SentAt:  time.Unix(0, sentNs),
+			Probe:   probe,
+		}
+		frame, err := encodeFrame(Addr(from), in)
+		if err != nil {
+			if len(payload) > maxFrameSize-1024 {
+				return
+			}
+			t.Fatalf("encode: %v", err)
+		}
+		env, err := decodeFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out, ok := env.Payload.(wire.Request)
+		if !ok {
+			t.Fatalf("payload type %T", env.Payload)
+		}
+		if env.From != Addr(from) || out.Client != in.Client || out.Seq != in.Seq ||
+			out.Service != in.Service || out.Method != in.Method ||
+			!bytes.Equal(out.Payload, in.Payload) || !out.SentAt.Equal(in.SentAt) || out.Probe != in.Probe {
+			t.Errorf("round trip mismatch: %+v vs %+v", out, in)
+		}
+		again, err := encodeFrame(env.From, env.Payload)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Errorf("re-encode not byte-exact:\n got %x\nwant %x", again, frame)
 		}
 	})
 }

@@ -35,7 +35,8 @@ const (
 var ErrBackpressure = errors.New("transport: send queue full")
 
 // TCP is a Network whose endpoints listen on real sockets and exchange
-// gob-encoded, length-prefixed frames. Sends are asynchronous: each
+// length-prefixed frames (binary codec for wire messages, gob fallback —
+// see codec.go and binary.go). Sends are asynchronous: each
 // destination gets its own bounded queue and writer goroutine, so a slow,
 // partitioned, or dead peer never blocks callers or traffic to other
 // destinations. Connections are cached per destination, written with a
@@ -63,6 +64,7 @@ type transportInstruments struct {
 	recvDrops         *metrics.Counter
 	dials             *metrics.Counter
 	dialFailures      *metrics.Counter
+	encodes           *metrics.Counter
 }
 
 func resolveTransportInstruments(reg *metrics.Registry) transportInstruments {
@@ -73,6 +75,7 @@ func resolveTransportInstruments(reg *metrics.Registry) transportInstruments {
 		recvDrops:         reg.Counter(metrics.TransportRecvDrops),
 		dials:             reg.Counter(metrics.TransportDials),
 		dialFailures:      reg.Counter(metrics.TransportDialFailures),
+		encodes:           reg.Counter(metrics.TransportEncodes),
 	}
 }
 
@@ -227,10 +230,45 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 // unreachable — is lost like a datagram; only queue overflow is reported
 // (ErrBackpressure), because it is the one failure the caller caused.
 func (e *tcpEndpoint) Send(to Addr, payload any) error {
-	frame, err := encodeFrame(e.addr, payload)
+	frame, err := e.encode(payload)
 	if err != nil {
 		return err
 	}
+	return e.enqueue(to, frame)
+}
+
+// SendMulticast implements MultiSender: the payload is serialized exactly
+// once and the same frame is enqueued to every destination. Sharing the
+// buffer is safe because nothing downstream mutates a frame — writer
+// goroutines only pass it to net.Conn.Write.
+func (e *tcpEndpoint) SendMulticast(to []Addr, payload any) error {
+	frame, err := e.encode(payload)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, t := range to {
+		if err := e.enqueue(t, frame); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("transport: multicast to %s: %w", t, err)
+		}
+	}
+	return firstErr
+}
+
+var _ MultiSender = (*tcpEndpoint)(nil)
+
+func (e *tcpEndpoint) encode(payload any) ([]byte, error) {
+	frame, err := encodeFrame(e.addr, payload)
+	if err != nil {
+		return nil, err
+	}
+	e.met.encodes.Inc()
+	return frame, nil
+}
+
+// enqueue hands one already-encoded frame to the destination's writer,
+// creating the writer on first use.
+func (e *tcpEndpoint) enqueue(to Addr, frame []byte) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()

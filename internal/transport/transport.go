@@ -4,8 +4,9 @@
 //
 // Two implementations are provided. The in-memory network wires endpoints
 // through channels with optional injected latency and loss — the substrate
-// for unit and integration tests. The TCP network carries gob-encoded,
-// length-prefixed frames over real sockets — the substrate for the runnable
+// for unit and integration tests. The TCP network carries length-prefixed
+// binary frames (with a gob fallback for mixed-version peers) over real
+// sockets — the substrate for the runnable
 // examples and the standalone binaries. (The original AQuA used the
 // Maestro/Ensemble stack over a LAN; see DESIGN.md for the substitution
 // argument.)
@@ -51,10 +52,25 @@ type Network interface {
 	Listen(addr Addr) (Endpoint, error)
 }
 
+// MultiSender is implemented by endpoints that can deliver one payload to
+// many destinations from a single serialization. Without it, Multicast
+// degrades to per-destination Send calls, which re-encode an identical frame
+// once per target — pure waste on the request fan-out path, where every
+// multicast payload is the same bytes for every destination.
+type MultiSender interface {
+	// SendMulticast encodes payload once and enqueues the shared frame to
+	// every target, attempting all targets and returning the first error.
+	SendMulticast(to []Addr, payload any) error
+}
+
 // Multicast sends payload to each target through ep, collecting the first
 // error but attempting every target (a failed member must not mask delivery
-// to the rest).
+// to the rest). Endpoints implementing MultiSender serialize the payload
+// exactly once for the whole target set.
 func Multicast(ep Endpoint, targets []Addr, payload any) error {
+	if ms, ok := ep.(MultiSender); ok {
+		return ms.SendMulticast(targets, payload)
+	}
 	var firstErr error
 	for _, t := range targets {
 		if err := ep.Send(t, payload); err != nil && firstErr == nil {
