@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 race-lifecycle metrics-smoke fuzz clean
+.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 a17 race-lifecycle metrics-smoke fuzz clean
 
 all: build vet test
 
@@ -64,6 +64,14 @@ a13:
 # Exits non-zero when any recovery bound is missed (see EXPERIMENTS.md, a14).
 a14:
 	$(GO) run ./cmd/aqua-exp -exp a14
+
+# Heavy-tail cancellation sweep: first-response-wins cancellation and the
+# online redundancy controller vs static budgets under Pareto service times.
+# Exits non-zero when cancellation stops lifting saturated goodput, the
+# controller falls behind the best static budget, or cancelled copies stop
+# being reclaimed (see EXPERIMENTS.md, a17).
+a17:
+	$(GO) run ./cmd/aqua-exp -exp a17
 
 # Race detector focused on the lifecycle-bearing packages (CI runs this in
 # addition to the full `make race` inside `make check`).

@@ -147,6 +147,16 @@ const (
 // ceiling sheds the request instead of queueing it. Match with errors.Is.
 var ErrOverloaded = core.ErrOverloaded
 
+// AdaptiveBudgetConfig tunes the online redundancy controller (see
+// ClientConfig.AdaptiveBudget). MinK is floored at the crash reserve;
+// MaxK defaults to the pool size at client creation; the remaining zero
+// values take the controller defaults.
+type AdaptiveBudgetConfig = core.AdaptiveBudgetConfig
+
+// ControllerStats is a snapshot of the adaptive budget controller's
+// counters; see Client.ControllerStats.
+type ControllerStats = core.ControllerStats
+
 // MetricsRegistry holds named counters, gauges, and latency histograms.
 // Every component reports to the process-wide default registry unless a
 // cluster is built with WithMetrics.
@@ -215,6 +225,21 @@ type ClientConfig struct {
 	// transitions are forwarded to the dependability manager, which retires
 	// the sick replica and boots a replacement.
 	Lifecycle LifecycleConfig
+	// CancelOnFirstReply multicasts a Cancel to the losing replicas of a
+	// selection as soon as the first successful reply is delivered, so a
+	// queued duplicate is purged (or a mid-service one aborted) instead of
+	// burning a full service time. Cancel is advisory and idempotent;
+	// losing one merely restores the default serve-the-duplicate behavior,
+	// and replies already in flight are still harvested for performance
+	// data.
+	CancelOnFirstReply bool
+	// AdaptiveBudget, when non-nil, installs the online redundancy
+	// controller: it replaces the static load→|K| interpolation inside a
+	// budgeted strategy with an epoch hill climb on measured timely
+	// goodput. Effective only with a budget-aware Strategy
+	// (BudgetedSelection); nil Strategy defaults to BudgetedSelection when
+	// this is set. Zero MaxK means the pool size at client creation.
+	AdaptiveBudget *AdaptiveBudgetConfig
 }
 
 // Client is a connected service client. Create with Cluster.NewClient;
@@ -238,6 +263,12 @@ func (c *Client) Renegotiate(q QoS) error { return c.handler.Renegotiate(q) }
 
 // Stats returns the handler's counters (requests, failures, redundancy).
 func (c *Client) Stats() Stats { return c.handler.Stats() }
+
+// ControllerStats returns the adaptive budget controller's counters; ok is
+// false when ClientConfig.AdaptiveBudget was not set.
+func (c *Client) ControllerStats() (s ControllerStats, ok bool) {
+	return c.handler.ControllerStats()
+}
 
 // Close releases the client.
 func (c *Client) Close() {
@@ -671,6 +702,30 @@ func (c *Cluster) lifecycleFor(cfg LifecycleConfig) LifecycleConfig {
 }
 
 // NewClient mints a client of this cluster's service.
+// strategyFor resolves the effective selection strategy: an explicit
+// Strategy wins; with an adaptive budget configured the default is
+// BudgetedSelection (the controller only acts through a budget-aware
+// strategy); otherwise nil keeps the handler's DynamicSelection default.
+func strategyFor(cfg ClientConfig) Strategy {
+	if cfg.Strategy == nil && cfg.AdaptiveBudget != nil {
+		return BudgetedSelection()
+	}
+	return cfg.Strategy
+}
+
+// controllerFor builds the client's adaptive budget controller, defaulting
+// the budget ceiling to the pool size observed at creation.
+func controllerFor(cfg ClientConfig, pool int) *core.AdaptiveBudget {
+	if cfg.AdaptiveBudget == nil {
+		return nil
+	}
+	ac := *cfg.AdaptiveBudget
+	if ac.MaxK <= 0 {
+		ac.MaxK = pool
+	}
+	return core.NewAdaptiveBudget(ac)
+}
+
 func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("client-%d", time.Now().UnixNano())
@@ -687,7 +742,7 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 		Client:             wire.ClientID(cfg.Name),
 		Service:            c.service,
 		QoS:                cfg.QoS,
-		Strategy:           cfg.Strategy,
+		Strategy:           strategyFor(cfg),
 		WindowSize:         cfg.WindowSize,
 		CompensateOverhead: cfg.CompensateOverhead,
 		OnViolation:        cfg.OnViolation,
@@ -697,6 +752,8 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 		Overload:           cfg.Overload,
 		ShedRetryDelay:     cfg.ShedRetryDelay,
 		Lifecycle:          c.lifecycleFor(cfg.Lifecycle),
+		CancelOnFirstReply: cfg.CancelOnFirstReply,
+		Controller:         controllerFor(cfg, len(static)),
 		StaticReplicas:     static,
 		Metrics:            c.reg,
 	})
@@ -788,7 +845,7 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 		h, err := mg.LoadHandler(gateway.Config{
 			Service:            c.service,
 			QoS:                cfg.QoS,
-			Strategy:           cfg.Strategy,
+			Strategy:           strategyFor(cfg),
 			WindowSize:         cfg.WindowSize,
 			CompensateOverhead: cfg.CompensateOverhead,
 			OnViolation:        cfg.OnViolation,
@@ -796,6 +853,8 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 			Overload:           cfg.Overload,
 			ShedRetryDelay:     cfg.ShedRetryDelay,
 			Lifecycle:          c.lifecycleFor(cfg.Lifecycle),
+			CancelOnFirstReply: cfg.CancelOnFirstReply,
+			Controller:         controllerFor(cfg, len(static)),
 			StaticReplicas:     static,
 			Metrics:            c.reg,
 		})

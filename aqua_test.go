@@ -64,6 +64,51 @@ func TestClusterCallRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCancelAndAdaptiveBudgetThroughPublicAPI exercises the facade wiring:
+// CancelOnFirstReply and AdaptiveBudget on ClientConfig must reach the
+// handler (controller stats become visible, calls still round-trip), and
+// AdaptiveBudget alone must default the strategy to BudgetedSelection.
+func TestCancelAndAdaptiveBudgetThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, 3, aqua.WithSimulatedLoad(5*ms, 1*ms), aqua.WithSeed(7))
+	client, err := c.NewClient(aqua.ClientConfig{
+		Name:               "cancel",
+		QoS:                aqua.QoS{Deadline: 500 * ms, MinProbability: 0.9},
+		CancelOnFirstReply: true,
+		AdaptiveBudget:     &aqua.AdaptiveBudgetConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Call(context.Background(), "m", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, ok := client.ControllerStats()
+	if !ok {
+		t.Fatal("controller stats not exposed despite AdaptiveBudget")
+	}
+	if cs.Selected == 0 {
+		t.Error("controller saw no dispatches — not wired into the scheduler")
+	}
+	if cs.Budget < 2 || cs.Budget > 3 {
+		t.Errorf("budget %d escaped [2, pool=3]", cs.Budget)
+	}
+
+	plain, err := c.NewClient(aqua.ClientConfig{
+		Name: "plain",
+		QoS:  aqua.QoS{Deadline: 500 * ms, MinProbability: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, ok := plain.ControllerStats(); ok {
+		t.Error("controller stats reported without AdaptiveBudget")
+	}
+}
+
 func TestClusterQoSInvalid(t *testing.T) {
 	c := newTestCluster(t, 1)
 	if _, err := c.NewClient(aqua.ClientConfig{Name: "bad", QoS: aqua.QoS{Deadline: -1}}); err == nil {

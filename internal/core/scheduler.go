@@ -91,6 +91,11 @@ type Config struct {
 	// and probation re-admission (lifecycle.go). The zero value keeps the
 	// paper-exact behavior: detection without pool feedback.
 	Lifecycle LifecycleConfig
+	// Controller, when set, is the online redundancy controller
+	// (controller.go): it replaces selection.Budgeted's static load→|K|
+	// interpolation on every decision and is fed each request outcome plus
+	// the cancel-savings signal from CancelTargets.
+	Controller *AdaptiveBudget
 	// Metrics receives live counters and histograms (selections, |K|,
 	// predicted P_K(t), δ, failures, per-replica response times); nil means
 	// the process-wide default registry.
@@ -276,6 +281,7 @@ type pending struct {
 	replies        int
 	firstDelivered bool
 	failed         bool // timing failure already charged (deadline expiry)
+	discounted     bool // removed from the admission count by CancelTargets
 	method         string
 }
 
@@ -512,6 +518,7 @@ func (s *Scheduler) putPending(p *pending) {
 	p.replies = 0
 	p.firstDelivered = false
 	p.failed = false
+	p.discounted = false
 	p.method = ""
 	select {
 	case s.pendFree <- p:
@@ -699,6 +706,9 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 	// stateful, and the per-method Order repairs its previous permutation.
 	s.stratMu.Lock()
 	in := selection.Input{Table: table, Cold: cold, QoS: qos, SelectedBuf: s.getIDBuf()}
+	if s.cfg.Controller != nil {
+		in.Controller = s.cfg.Controller
+	}
 	if !reference {
 		ord := s.orders[method]
 		if ord == nil {
@@ -762,6 +772,9 @@ func (s *Scheduler) Schedule(t0 time.Time, method string) (Decision, error) {
 
 	s.stats.requests.Add(1)
 	s.stats.selectedTotal.Add(uint64(len(res.Selected)))
+	if s.cfg.Controller != nil {
+		s.cfg.Controller.NoteSelected(len(res.Selected))
+	}
 	if res.UsedAll {
 		s.stats.usedAllCount.Add(1)
 	}
@@ -928,11 +941,61 @@ func (s *Scheduler) dropLocked(sh *pendShard, seq wire.SeqNo, p *pending, reps [
 		}
 	}
 	delete(sh.m, seq)
-	s.nPend.Add(-1)
-	s.met.pending.Add(-1)
-	reps = s.evalMode("complete", reps)
+	if !p.discounted {
+		// CancelTargets already removed a cancelled request from the
+		// admission count; discounting it twice would let the in-flight
+		// ceiling drift.
+		s.nPend.Add(-1)
+		s.met.pending.Add(-1)
+		reps = s.evalMode("complete", reps)
+	}
 	s.putPending(p)
 	return reps
+}
+
+// CancelTargets settles every selected replica that has not yet replied for
+// seq and returns their IDs appended to buf — the fan-out list for a
+// first-response-wins wire.Cancel. It is a no-op (returning buf unchanged)
+// unless the first reply has already been delivered.
+//
+// For each cancelled target the repository in-flight contribution is
+// released now (the copy will never reply) and the suspicion outcome is
+// marked recorded, so obedient silence at the deadline is not charged as a
+// timing fault. The pending entry itself stays until Forget so straggler
+// replies already in flight are still harvested as duplicates, but it is
+// discounted from the admission count — a cancelled request holds no
+// capacity.
+func (s *Scheduler) CancelTargets(seq wire.SeqNo, buf []wire.ReplicaID) []wire.ReplicaID {
+	var reps []DegradationReport
+	sh := s.shard(seq)
+	sh.mu.Lock()
+	p, ok := sh.m[seq]
+	if !ok || !p.firstDelivered {
+		sh.mu.Unlock()
+		return buf
+	}
+	start := len(buf)
+	for i := range p.targets {
+		if p.settled[i] {
+			continue
+		}
+		buf = append(buf, p.targets[i])
+		p.settled[i] = true
+		s.repo.NoteSettled(p.targets[i])
+		p.charged[i] = true
+	}
+	if !p.discounted {
+		p.discounted = true
+		s.nPend.Add(-1)
+		s.met.pending.Add(-1)
+		reps = s.evalMode("complete", reps)
+	}
+	sh.mu.Unlock()
+	if s.cfg.Controller != nil && len(buf) > start {
+		s.cfg.Controller.NoteCancelled(len(buf) - start)
+	}
+	s.deliverDegradations(reps)
+	return buf
 }
 
 // OnDeadlineExpired charges a timing failure for a request whose deadline
@@ -972,6 +1035,11 @@ func (s *Scheduler) OnDeadlineExpired(seq wire.SeqNo) *ViolationReport {
 // window (winCompleted/winFailures, reset by Renegotiate). It takes stateMu;
 // callers may hold a shard mutex.
 func (s *Scheduler) complete(failed bool, out *ReplyOutcome) {
+	if c := s.cfg.Controller; c != nil {
+		// Feed the budget climb first, outside stateMu; the controller's
+		// lock nests under nothing of the scheduler's.
+		c.OnOutcome(!failed)
+	}
 	qos := *s.qos.Load()
 	s.stateMu.Lock()
 	s.stats.completed.Add(1)

@@ -87,6 +87,16 @@ type Config struct {
 	// ProbeInterval so probation replicas have a warm-up path back into
 	// selection.
 	Lifecycle core.LifecycleConfig
+	// CancelOnFirstReply enables first-response-wins cancellation: when the
+	// earliest reply is delivered, a wire.Cancel is multicast to the
+	// remaining selected replicas so a queued duplicate is purged (or a
+	// mid-service one aborted) instead of burning a full service time.
+	// Replies already in flight are still harvested as duplicates.
+	CancelOnFirstReply bool
+	// Controller, when set, is the online redundancy controller replacing
+	// selection.Budgeted's static load→|K| interpolation; it is wired into
+	// the scheduler and fed the cancel-savings signal.
+	Controller *core.AdaptiveBudget
 	// ProbeInterval, when positive, enables active probing (the paper's §8
 	// extension): replicas whose performance data is older than
 	// StalenessBound (or ProbeInterval if no bound is set) receive probe
@@ -112,6 +122,7 @@ type TimingFaultHandler struct {
 	metCalls       *metrics.Counter
 	metCallErrors  *metrics.Counter
 	metShedRetries *metrics.Counter
+	metCancels     *metrics.Counter
 
 	mu         sync.Mutex
 	addrOf     map[wire.ReplicaID]transport.Addr
@@ -148,6 +159,7 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 		StalenessBound:     cfg.StalenessBound,
 		Overload:           cfg.Overload,
 		Lifecycle:          cfg.Lifecycle,
+		Controller:         cfg.Controller,
 		Metrics:            reg,
 	})
 	if err != nil {
@@ -161,6 +173,7 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 		metCalls:       reg.Counter(metrics.GatewayCalls),
 		metCallErrors:  reg.Counter(metrics.GatewayCallErrors),
 		metShedRetries: reg.Counter(metrics.GatewayShedRetries),
+		metCancels:     reg.Counter(metrics.GatewayCancels),
 		addrOf:         make(map[wire.ReplicaID]transport.Addr),
 		waiters:        make(map[wire.SeqNo]chan wire.Response),
 		subscribed:     make(map[wire.ReplicaID]bool),
@@ -211,6 +224,15 @@ func (h *TimingFaultHandler) Stats() core.Stats { return h.sched.Stats() }
 
 // Renegotiate replaces the QoS specification at runtime.
 func (h *TimingFaultHandler) Renegotiate(q wire.QoS) error { return h.sched.Renegotiate(q) }
+
+// ControllerStats returns the adaptive budget controller's counters; ok is
+// false when no controller is configured.
+func (h *TimingFaultHandler) ControllerStats() (s core.ControllerStats, ok bool) {
+	if h.cfg.Controller == nil {
+		return core.ControllerStats{}, false
+	}
+	return h.cfg.Controller.Stats(), true
+}
 
 // ProbesSent returns how many active probes have been dispatched (0 when
 // probing is disabled).
@@ -496,6 +518,9 @@ func (h *TimingFaultHandler) handleMessage(msg transport.Message, now time.Time)
 				}
 			}
 		}
+		if out.First && h.cfg.CancelOnFirstReply {
+			h.fanCancel(m.Seq)
+		}
 	case wire.PerfUpdate:
 		if m.Service == h.cfg.Service {
 			h.sched.OnPerfUpdate(m, now)
@@ -506,6 +531,30 @@ func (h *TimingFaultHandler) handleMessage(msg transport.Message, now time.Time)
 		}
 	default:
 	}
+}
+
+// fanCancel multicasts a first-response-wins Cancel to every selected
+// replica that has not yet replied for seq (the losers of the race). The
+// scheduler settles their in-flight contributions and suppresses their
+// suspicion charges; the multicast reuses the single-encode path, so the
+// Cancel costs one serialization regardless of fan-out. Best-effort: a lost
+// Cancel just means that replica serves a duplicate, as before.
+func (h *TimingFaultHandler) fanCancel(seq wire.SeqNo) {
+	targets := h.sched.CancelTargets(seq, nil)
+	if len(targets) == 0 {
+		return
+	}
+	addrs := make([]transport.Addr, 0, len(targets))
+	for _, id := range targets {
+		if a, ok := h.resolve(id); ok {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return
+	}
+	_ = transport.Multicast(h.ep, addrs, wire.Cancel{Client: h.cfg.Client, Seq: seq, Service: h.cfg.Service})
+	h.metCancels.Add(uint64(len(addrs)))
 }
 
 // NewActiveHandler returns AQuA's active-replication handler: every request

@@ -40,10 +40,18 @@ const (
 	// harvested reply). Labelled by replica.
 	ReplicaResponseSeconds = "aqua_replica_response_seconds"
 
+	// Server replica (internal/server): first-response-wins cancellation and
+	// the duplicate-frame dedup window.
+	ServerCancelPurged    = "aqua_server_cancel_purged_total"    // cancels that removed a queued request
+	ServerCancelAborted   = "aqua_server_cancel_aborted_total"   // cancels that aborted mid-service work
+	ServerCancelUnmatched = "aqua_server_cancel_unmatched_total" // cancels for already-served/unknown requests
+	ServerDupFrames       = "aqua_server_dup_frames_total"       // duplicate request frames dropped by the dedup window
+
 	// Gateway (internal/gateway).
 	GatewayCalls       = "aqua_gateway_calls_total"
 	GatewayCallErrors  = "aqua_gateway_call_errors_total"
 	GatewayShedRetries = "aqua_gateway_shed_retries_total" // bounded retries of admission-shed calls
+	GatewayCancels     = "aqua_gateway_cancels_sent_total" // first-response-wins cancels fanned to losing replicas
 
 	// Active prober (internal/gateway/prober.go).
 	ProbeSent        = "aqua_probe_sent_total"

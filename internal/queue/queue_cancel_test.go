@@ -1,0 +1,236 @@
+package queue
+
+// Fences for the (Client, Seq) index: O(1) Cancel semantics, the
+// close/cancel interleavings the server relies on, and the pinning fix —
+// vacated ring slots must be zeroed so the backing array never keeps a
+// served or purged request's payload alive.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"aqua/internal/wire"
+)
+
+// assertNoPinnedSlots white-box checks that every ring slot outside the
+// occupied region is the zero slot. This is the finalizer-free form of the
+// pinning test: a reachable payload would have to live in some slot, and the
+// occupied region is enumerable, so "all vacated slots are zero" is exactly
+// "nothing served or purged is pinned".
+func assertNoPinnedSlots(t *testing.T, q *Queue) {
+	t.Helper()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	occupied := make(map[int]bool, q.n)
+	for i := 0; i < q.n; i++ {
+		occupied[(q.head+i)%len(q.buf)] = true
+	}
+	for i := range q.buf {
+		if occupied[i] {
+			continue
+		}
+		sl := q.buf[i]
+		if sl.cancelled || sl.item.Req.Payload != nil || sl.item.Req.Client != "" || sl.item.From != "" || !sl.item.EnqueuedAt.IsZero() {
+			t.Errorf("vacated slot %d not zeroed: %+v", i, sl.item)
+		}
+	}
+}
+
+func payloadReq(seq wire.SeqNo) wire.Request {
+	return wire.Request{Client: "c", Seq: seq, Service: "s", Payload: make([]byte, 1<<10)}
+}
+
+func TestDequeueDoesNotPinPayloads(t *testing.T) {
+	q := New()
+	now := time.Now()
+	// Fill past one grow cycle, drain completely, and check every slot.
+	for i := 0; i < 20; i++ {
+		q.Enqueue(payloadReq(wire.SeqNo(i)), "gw", now)
+	}
+	for i := 0; i < 20; i++ {
+		if _, ok := q.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+	}
+	assertNoPinnedSlots(t, q)
+	// Interleaved enqueue/dequeue wraps the ring; vacated slots must still
+	// be zero while items remain queued.
+	for i := 20; i < 50; i++ {
+		q.Enqueue(payloadReq(wire.SeqNo(i)), "gw", now)
+		if i%2 == 0 {
+			if _, ok := q.TryDequeue(); !ok {
+				t.Fatal("try-dequeue failed")
+			}
+		}
+	}
+	assertNoPinnedSlots(t, q)
+}
+
+func TestCancelPurgesQueuedRequest(t *testing.T) {
+	q := New()
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		q.Enqueue(payloadReq(wire.SeqNo(i)), "gw", now)
+	}
+	if !q.Cancel("c", 1) {
+		t.Fatal("cancel of queued request reported no-op")
+	}
+	if got := q.Len(); got != 2 {
+		t.Errorf("Len after cancel = %d, want 2", got)
+	}
+	if got := q.Purged(); got != 1 {
+		t.Errorf("Purged = %d, want 1", got)
+	}
+	// The purged payload is released immediately, before its slot is
+	// reclaimed by a later Dequeue.
+	q.mu.Lock()
+	for i := 0; i < q.n; i++ {
+		sl := q.buf[(q.head+i)%len(q.buf)]
+		if sl.cancelled && sl.item.Req.Payload != nil {
+			t.Error("cancelled slot still pins its payload")
+		}
+	}
+	q.mu.Unlock()
+	// The cancelled request is never served; FIFO order of the rest holds.
+	var seqs []wire.SeqNo
+	for {
+		item, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		seqs = append(seqs, item.Req.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 2 {
+		t.Errorf("drained %v, want [0 2]", seqs)
+	}
+	assertNoPinnedSlots(t, q)
+}
+
+func TestCancelAlreadyServedIsNoOp(t *testing.T) {
+	q := New()
+	q.Enqueue(req(5), "gw", time.Now())
+	if _, ok := q.Dequeue(); !ok {
+		t.Fatal("dequeue failed")
+	}
+	if q.Cancel("c", 5) {
+		t.Error("cancel of already-served request reported a purge")
+	}
+	if q.Purged() != 0 {
+		t.Errorf("Purged = %d, want 0", q.Purged())
+	}
+	// Cancelling twice: the second is a no-op too.
+	q.Enqueue(req(6), "gw", time.Now())
+	if !q.Cancel("c", 6) {
+		t.Fatal("first cancel failed")
+	}
+	if q.Cancel("c", 6) {
+		t.Error("second cancel of same request reported a purge")
+	}
+}
+
+func TestCancelHeadThenDequeueSkips(t *testing.T) {
+	q := New()
+	now := time.Now()
+	q.Enqueue(req(0), "gw", now)
+	q.Enqueue(req(1), "gw", now)
+	if !q.Cancel("c", 0) {
+		t.Fatal("cancel failed")
+	}
+	item, ok := q.Dequeue()
+	if !ok || item.Req.Seq != 1 {
+		t.Fatalf("dequeue after head cancel: ok=%v seq=%v, want seq 1", ok, item.Req.Seq)
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Error("queue should be empty")
+	}
+	assertNoPinnedSlots(t, q)
+}
+
+func TestDrainAfterCloseWithPendingCancels(t *testing.T) {
+	q := New()
+	now := time.Now()
+	for i := 0; i < 4; i++ {
+		q.Enqueue(req(wire.SeqNo(i)), "gw", now)
+	}
+	q.Close()
+	// Cancels still land on a closed queue so a drain can be trimmed.
+	if !q.Cancel("c", 0) || !q.Cancel("c", 2) {
+		t.Fatal("cancel after close failed")
+	}
+	var seqs []wire.SeqNo
+	for {
+		item, ok := q.TryDequeue()
+		if !ok {
+			break
+		}
+		seqs = append(seqs, item.Req.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 3 {
+		t.Errorf("drained %v, want [1 3]", seqs)
+	}
+	if q.Purged() != 2 {
+		t.Errorf("Purged = %d, want 2", q.Purged())
+	}
+	// A blocked Dequeue with only cancelled items left must return !ok.
+	if _, ok := q.Dequeue(); ok {
+		t.Error("dequeue on drained closed queue returned ok")
+	}
+}
+
+// TestCancelRacesDequeue drives Cancel and Dequeue of the same seqs from
+// concurrent goroutines (run under -race in make check): every request must
+// be either served exactly once or purged exactly once, never both.
+func TestCancelRacesDequeue(t *testing.T) {
+	q := New()
+	const total = 400
+	served := make(chan wire.SeqNo, total)
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				item, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				served <- item.Req.Seq
+			}
+		}()
+	}
+	var cancelled int64
+	var cg sync.WaitGroup
+	cg.Add(1)
+	go func() {
+		defer cg.Done()
+		for i := 0; i < total; i++ {
+			if q.Cancel("c", wire.SeqNo(i)) {
+				cancelled++
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		q.Enqueue(req(wire.SeqNo(i)), "gw", time.Now())
+	}
+	cg.Wait()
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	wg.Wait()
+	close(served)
+	seen := make(map[wire.SeqNo]bool)
+	for s := range served {
+		if seen[s] {
+			t.Fatalf("seq %d served twice", s)
+		}
+		seen[s] = true
+	}
+	if int64(len(seen))+cancelled != total {
+		t.Errorf("served %d + purged %d != %d", len(seen), cancelled, total)
+	}
+	if q.Purged() != uint64(cancelled) {
+		t.Errorf("Purged = %d, want %d", q.Purged(), cancelled)
+	}
+}

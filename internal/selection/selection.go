@@ -52,6 +52,20 @@ type Input struct {
 	// live counters by one performance report.
 	LiveInFlight    int
 	HasLiveInFlight bool
+	// Controller, when non-nil, replaces Budgeted's static load→budget
+	// interpolation with an online set-point search (core.AdaptiveBudget):
+	// the strategy hands it the measured per-replica outstanding level and
+	// lets it pick the |K| budget, clamped to the strategy's [MinK, MaxK].
+	Controller BudgetController
+}
+
+// BudgetController is an online redundancy controller: given the measured
+// per-replica outstanding-work level and the pool size, it returns the |K|
+// budget to apply to this decision. Implementations live above this package
+// (core.AdaptiveBudget); the interface keeps selection free of a dependency
+// on the controller's state machine.
+type BudgetController interface {
+	BudgetFor(perReplicaOutstanding float64, n int) int
 }
 
 // sortedView returns the probability-descending view of the input table,
@@ -351,7 +365,9 @@ func (b *Budgeted) Name() string {
 
 // BudgetFor computes the redundancy budget for one input: the per-replica
 // mean of (reported queue length + local in-flight) interpolated between the
-// ceiling at LowLoad and the floor at HighLoad.
+// ceiling at LowLoad and the floor at HighLoad — or, when in.Controller is
+// set, whatever the online controller picks for that load level, clamped to
+// [MinK, MaxK].
 func (b *Budgeted) BudgetFor(in Input) int {
 	n := len(in.Table) + len(in.Cold)
 	maxK := b.MaxK
@@ -393,6 +409,16 @@ func (b *Budgeted) BudgetFor(in Input) int {
 		}
 	}
 	load := outstanding / float64(n)
+	if in.Controller != nil {
+		budget := in.Controller.BudgetFor(load, n)
+		if budget < minK {
+			budget = minK
+		}
+		if budget > maxK {
+			budget = maxK
+		}
+		return budget
+	}
 	switch {
 	case load <= low:
 		return maxK

@@ -8,14 +8,21 @@
 // A configurable load injector reproduces the paper's experimental setup, in
 // which each replica "respond[s] to a request after a delay that was
 // normally distributed".
+//
+// The replica also speaks the first-response-wins cancel protocol: a
+// wire.Cancel purges the matching queued request in O(1), or aborts the
+// request currently being served (the injected load delay stops early and
+// the optional Config.OnAbort hook lets application work stop too).
 package server
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aqua/internal/group"
+	"aqua/internal/metrics"
 	"aqua/internal/queue"
 	"aqua/internal/stats"
 	"aqua/internal/transport"
@@ -44,7 +51,23 @@ type Config struct {
 	// layer (heartbeats + views). Leave nil for driver-managed membership
 	// in tests.
 	Group *group.Config
+	// OnAbort, when set, is invoked (off the worker goroutine's critical
+	// section, at most once per request) when a Cancel lands while the
+	// request is being served, so mid-service application work can stop
+	// early. The handler itself still runs to completion if it has already
+	// started; its reply is simply discarded.
+	OnAbort func(req wire.Request)
+	// Metrics receives the replica's counters; nil uses the Default
+	// registry.
+	Metrics *metrics.Registry
 }
+
+// dedupWindow is the size of the recent-(Client, Seq) window recvLoop keeps
+// to drop duplicate request frames re-delivered by the network (e.g.
+// transport.Faulty's duplicate policy). Keys are never reused, so a key seen
+// inside the window is always a true duplicate; a duplicate older than the
+// window is harvested client-side like any stray reply.
+const dedupWindow = 512
 
 // Replica is a running server replica. Create with Start; stop with Stop.
 type Replica struct {
@@ -56,7 +79,25 @@ type Replica struct {
 
 	mu          sync.Mutex
 	subscribers map[wire.ClientID]transport.Addr
-	served      uint64
+
+	// Serving state for mid-service aborts: at most one request is in
+	// service at a time, registered here by the worker and matched by
+	// abortServing. Guarded by serveMu (never held across user code).
+	serveMu      sync.Mutex
+	servingOn    bool
+	servingKey   queue.Key
+	servingReq   wire.Request
+	servingAbort chan struct{}
+
+	served          atomic.Uint64
+	cancelAborted   atomic.Uint64
+	cancelUnmatched atomic.Uint64
+	dupDropped      atomic.Uint64
+
+	metPurged    *metrics.Counter
+	metAborted   *metrics.Counter
+	metUnmatched *metrics.Counter
+	metDupFrames *metrics.Counter
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -83,6 +124,11 @@ func Start(ep transport.Endpoint, cfg Config) (*Replica, error) {
 		subscribers: make(map[wire.ClientID]transport.Addr),
 		stop:        make(chan struct{}),
 	}
+	met := metrics.OrDefault(cfg.Metrics)
+	r.metPurged = met.Counter(metrics.ServerCancelPurged)
+	r.metAborted = met.Counter(metrics.ServerCancelAborted)
+	r.metUnmatched = met.Counter(metrics.ServerCancelUnmatched)
+	r.metDupFrames = met.Counter(metrics.ServerDupFrames)
 	if cfg.Group != nil {
 		gcfg := *cfg.Group
 		gcfg.Role = group.Member
@@ -110,11 +156,18 @@ func (r *Replica) Addr() transport.Addr { return r.ep.Addr() }
 func (r *Replica) QueueLen() int { return r.queue.Len() }
 
 // Served returns the number of requests processed.
-func (r *Replica) Served() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.served
+func (r *Replica) Served() uint64 { return r.served.Load() }
+
+// CancelStats returns the replica's cancel accounting: queued requests
+// purged before service, mid-service aborts, and cancels that matched
+// nothing (already served or never seen).
+func (r *Replica) CancelStats() (purged, aborted, unmatched uint64) {
+	return r.queue.Purged(), r.cancelAborted.Load(), r.cancelUnmatched.Load()
 }
+
+// DupFramesDropped returns the number of duplicate request frames the
+// dedup window discarded.
+func (r *Replica) DupFramesDropped() uint64 { return r.dupDropped.Load() }
 
 // Stop terminates the replica: it leaves the group, closes the endpoint,
 // and waits for the loops to exit.
@@ -131,16 +184,51 @@ func (r *Replica) Stop() {
 }
 
 // recvLoop routes incoming messages: requests to the FIFO queue (stamping
-// t2), subscriptions to the subscriber table, heartbeats to the group node.
+// t2, behind the duplicate-frame window), cancels to the queue index or the
+// in-service abort, subscriptions to the subscriber table, heartbeats to
+// the group node.
 func (r *Replica) recvLoop() {
 	defer r.wg.Done()
+	// Recent-(Client, Seq) dedup window: a fixed ring plus a set, both
+	// local to this goroutine. Without it a frame duplicated in flight is
+	// re-enqueued and burns a second full service time.
+	var (
+		dedupRing [dedupWindow]queue.Key
+		dedupSet  = make(map[queue.Key]struct{}, dedupWindow)
+		dedupPos  int
+	)
 	for msg := range r.ep.Recv() {
 		switch m := msg.Payload.(type) {
 		case wire.Request:
 			if m.Service != r.cfg.Service {
 				continue
 			}
+			key := queue.Key{Client: m.Client, Seq: m.Seq}
+			if _, dup := dedupSet[key]; dup {
+				r.dupDropped.Add(1)
+				r.metDupFrames.Inc()
+				continue
+			}
+			if len(dedupSet) == dedupWindow {
+				delete(dedupSet, dedupRing[dedupPos])
+			}
+			dedupRing[dedupPos] = key
+			dedupSet[key] = struct{}{}
+			dedupPos = (dedupPos + 1) % dedupWindow
 			r.queue.Enqueue(m, string(msg.From), time.Now())
+		case wire.Cancel:
+			if m.Service != r.cfg.Service {
+				continue
+			}
+			if r.queue.Cancel(m.Client, m.Seq) {
+				r.metPurged.Inc()
+			} else if r.abortServing(m.Client, m.Seq) {
+				r.cancelAborted.Add(1)
+				r.metAborted.Inc()
+			} else {
+				r.cancelUnmatched.Add(1)
+				r.metUnmatched.Inc()
+			}
 		case wire.Subscribe:
 			r.mu.Lock()
 			r.subscribers[m.Client] = msg.From
@@ -160,10 +248,80 @@ func (r *Replica) recvLoop() {
 	}
 }
 
+// abortServing aborts the in-service request if it matches (client, seq):
+// the worker's injected delay wakes immediately, no reply is sent, and the
+// OnAbort hook (if any) runs outside serveMu. Reports whether a serve was
+// aborted.
+func (r *Replica) abortServing(client wire.ClientID, seq wire.SeqNo) bool {
+	key := queue.Key{Client: client, Seq: seq}
+	r.serveMu.Lock()
+	match := r.servingOn && r.servingKey == key
+	var req wire.Request
+	if match {
+		r.servingOn = false
+		close(r.servingAbort)
+		req = r.servingReq
+	}
+	r.serveMu.Unlock()
+	if match && r.cfg.OnAbort != nil {
+		r.cfg.OnAbort(req)
+	}
+	return match
+}
+
+// beginServe registers the request the worker is about to serve and returns
+// its abort channel.
+func (r *Replica) beginServe(req wire.Request) chan struct{} {
+	abort := make(chan struct{})
+	r.serveMu.Lock()
+	r.servingOn = true
+	r.servingKey = queue.Key{Client: req.Client, Seq: req.Seq}
+	r.servingReq = req
+	r.servingAbort = abort
+	r.serveMu.Unlock()
+	return abort
+}
+
+// endServe deregisters the in-service request, reporting whether it was
+// aborted while being served.
+func (r *Replica) endServe() (aborted bool) {
+	r.serveMu.Lock()
+	aborted = !r.servingOn
+	r.servingOn = false
+	r.serveMu.Unlock()
+	return aborted
+}
+
+// subEntry is one subscriber snapshot row (flat slice instead of a copied
+// map: the snapshot is iterated once and reused across requests).
+type subEntry struct {
+	client wire.ClientID
+	addr   transport.Addr
+}
+
+// snapshotSubscribers fills buf with the current subscribers, excluding the
+// requester (who gets the report piggybacked on its response). With no
+// subscribers it returns buf[:0] without touching the map contents — the
+// common path allocates nothing (fenced by BenchmarkSnapshotSubscribers).
+func (r *Replica) snapshotSubscribers(buf []subEntry, exclude wire.ClientID) []subEntry {
+	buf = buf[:0]
+	r.mu.Lock()
+	for c, a := range r.subscribers {
+		if c == exclude {
+			continue
+		}
+		buf = append(buf, subEntry{client: c, addr: a})
+	}
+	r.mu.Unlock()
+	return buf
+}
+
 // workerLoop serves the queue FIFO: dequeue (t3), compute tq, run the
 // handler measuring ts, reply with the perf report, publish the update.
+// A request cancelled mid-service produces no reply and no publication.
 func (r *Replica) workerLoop() {
 	defer r.wg.Done()
+	var subScratch []subEntry
 	for {
 		item, ok := r.queue.Dequeue()
 		if !ok {
@@ -172,10 +330,16 @@ func (r *Replica) workerLoop() {
 		t3 := time.Now()
 		tq := t3.Sub(item.EnqueuedAt)
 
+		abort := r.beginServe(item.Req)
 		if r.cfg.LoadDelay != nil {
 			delay := r.cfg.LoadDelay.Sample(r.rng)
-			if !r.sleep(delay) {
+			stopped, cancelled := r.sleep(delay, abort)
+			if stopped {
 				return
+			}
+			if cancelled {
+				r.endServe()
+				continue
 			}
 		}
 		var payload []byte
@@ -184,6 +348,11 @@ func (r *Replica) workerLoop() {
 			payload, err = r.cfg.Handler(item.Req.Method, item.Req.Payload)
 		}
 		ts := time.Since(t3)
+		if r.endServe() {
+			// Cancelled while the handler ran: the client already has its
+			// first reply, so drop ours.
+			continue
+		}
 
 		perf := wire.PerfReport{
 			ServiceTime: ts,
@@ -207,13 +376,11 @@ func (r *Replica) workerLoop() {
 		// is gone, which the client-side deadline machinery absorbs.
 		_ = r.ep.Send(transport.Addr(item.From), resp)
 
-		r.mu.Lock()
-		r.served++
-		subs := make(map[wire.ClientID]transport.Addr, len(r.subscribers))
-		for c, a := range r.subscribers {
-			subs[c] = a
+		r.served.Add(1)
+		subScratch = r.snapshotSubscribers(subScratch, item.Req.Client)
+		if len(subScratch) == 0 {
+			continue
 		}
-		r.mu.Unlock()
 
 		// Publish the performance update to all subscribers each time a
 		// request is processed (§5.4.1). The requester already has the data
@@ -224,27 +391,27 @@ func (r *Replica) workerLoop() {
 			Method:  item.Req.Method,
 			Perf:    perf,
 		}
-		for c, a := range subs {
-			if c == item.Req.Client {
-				continue
-			}
-			_ = r.ep.Send(a, update)
+		for _, s := range subScratch {
+			_ = r.ep.Send(s.addr, update)
 		}
 	}
 }
 
-// sleep waits for d unless the replica stops first; it reports whether the
-// full delay elapsed.
-func (r *Replica) sleep(d time.Duration) bool {
+// sleep waits for d unless the replica stops or the in-service request is
+// cancelled first. stopped reports replica shutdown; cancelled reports a
+// mid-service abort.
+func (r *Replica) sleep(d time.Duration, abort <-chan struct{}) (stopped, cancelled bool) {
 	if d <= 0 {
-		return true
+		return false, false
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
-		return true
+		return false, false
 	case <-r.stop:
-		return false
+		return true, false
+	case <-abort:
+		return false, true
 	}
 }

@@ -59,6 +59,104 @@ type Replica struct {
 	slow      stats.DelayDist
 	slowFrom  time.Duration
 	slowUntil time.Duration
+
+	// Event mode (Scenario.Cancellation): instead of computing each reply
+	// analytically at arrival, the replica runs a live FIFO queue of jobs so
+	// a Cancel arriving later can still purge a queued copy or abort the one
+	// in service. Single worker only — the queue discipline is the paper's.
+	evQueue   []evJob
+	evBusy    bool
+	evCur     jobKey
+	evGen     uint64 // invalidates in-flight completion events on abort
+	evPurged  int
+	evAborted int
+}
+
+// jobKey identifies one dispatched request copy: (client, seq) is globally
+// unique because sequence numbers are never reused.
+type jobKey struct {
+	client wire.ClientID
+	seq    wire.SeqNo
+}
+
+// evJob is one queued request copy in event mode.
+type evJob struct {
+	key     jobKey
+	arrived time.Duration
+	reply   func(done time.Duration, perf wire.PerfReport)
+}
+
+// evSubmit accepts a request copy in event mode; reply fires at the virtual
+// completion time unless the job is cancelled or the replica crashes first.
+func (r *Replica) evSubmit(key jobKey, reply func(done time.Duration, perf wire.PerfReport)) {
+	now := r.kernel.Now()
+	if r.Crashed(now) {
+		return
+	}
+	r.evQueue = append(r.evQueue, evJob{key: key, arrived: now, reply: reply})
+	if !r.evBusy {
+		r.evStartNext()
+	}
+}
+
+// evStartNext pops the queue head into service and schedules its completion.
+func (r *Replica) evStartNext() {
+	now := r.kernel.Now()
+	if r.Crashed(now) || len(r.evQueue) == 0 {
+		r.evBusy = false
+		return
+	}
+	job := r.evQueue[0]
+	r.evQueue = r.evQueue[1:]
+	backlog := len(r.evQueue)
+	dist := r.service
+	if r.slowAt(now) {
+		dist = r.slow
+	}
+	ts := dist.Sample(r.rng)
+	r.evBusy = true
+	r.evCur = job.key
+	r.evGen++
+	gen := r.evGen
+	start := now
+	r.kernel.After(ts, func() {
+		if r.evGen != gen || !r.evBusy {
+			return // aborted (or the worker was handed newer work)
+		}
+		r.evBusy = false
+		done := r.kernel.Now()
+		if done <= r.crashAt {
+			r.served++
+			job.reply(done, wire.PerfReport{
+				ServiceTime: ts,
+				QueueDelay:  start - job.arrived,
+				QueueLength: backlog,
+			})
+		}
+		r.evStartNext()
+	})
+}
+
+// evCancel drops the request copy identified by key: an in-service job is
+// aborted (the worker frees immediately — the next queued job starts now,
+// not at the phantom completion time), a queued one is purged in place, and
+// a key the replica never saw — or already finished — is a no-op, exactly
+// like the real server's unmatched path.
+func (r *Replica) evCancel(key jobKey) {
+	if r.evBusy && r.evCur == key {
+		r.evGen++ // the scheduled completion event is now stale
+		r.evBusy = false
+		r.evAborted++
+		r.evStartNext()
+		return
+	}
+	for i := range r.evQueue {
+		if r.evQueue[i].key == key {
+			r.evQueue = append(r.evQueue[:i], r.evQueue[i+1:]...)
+			r.evPurged++
+			return
+		}
+	}
 }
 
 // newReplica constructs a replica bound to the kernel.
@@ -209,6 +307,13 @@ type Client struct {
 	lifecycle           bool
 	probeEvery          time.Duration
 	probationViolations int
+
+	// Cancellation (Scenario.Cancellation): fan a cancel to the losing
+	// replicas when the first reply arrives. cancelBuf is reused across
+	// requests (CancelTargets appends into it).
+	cancellation bool
+	cancelsSent  int
+	cancelBuf    []wire.ReplicaID
 }
 
 // probeLoop is the gateway prober's warm-up role inside the kernel: every
@@ -362,6 +467,26 @@ func (c *Client) issueOne() {
 		}
 		reqDelay += extra
 		seq := d.Seq
+		if c.cancellation {
+			// Event mode: the replica queues the copy live, so a later
+			// Cancel can still purge or abort it. The reply callback fires
+			// at the true virtual completion time.
+			key := jobKey{client: c.ID, seq: seq}
+			c.kernel.After(reqDelay, func() {
+				rep.evSubmit(key, func(done time.Duration, perf wire.PerfReport) {
+					respDelay := c.network.delay(c.rng)
+					drop, extra := c.linkFault(rep, done)
+					if drop {
+						return // reply lost on the faulty link
+					}
+					replica := rep.ID
+					c.kernel.After(respDelay+extra, func() {
+						c.onReply(seq, replica, perf)
+					})
+				})
+			})
+			continue
+		}
 		c.kernel.After(reqDelay, func() {
 			done, perf, ok := rep.process(c.kernel.Now())
 			if !ok {
@@ -442,6 +567,9 @@ func (c *Client) onReply(seq wire.SeqNo, replica wire.ReplicaID, perf wire.PerfR
 	if !out.First {
 		return
 	}
+	if c.cancellation {
+		c.fanCancel(seq)
+	}
 	rec, ok := c.pendRec[seq]
 	if !ok {
 		return
@@ -460,6 +588,33 @@ func (c *Client) onReply(seq wire.SeqNo, replica wire.ReplicaID, perf wire.PerfR
 		// Think, then issue the next request (paper: "a one second delay
 		// between receiving a response and issuing the next request").
 		c.kernel.After(c.think, c.issueNext)
+	}
+}
+
+// fanCancel mirrors the gateway's first-response-wins fan-out inside the
+// kernel: the scheduler settles the losers' bookkeeping, then each loser
+// receives a Cancel one network delay later (subject to the same link
+// faults as any other message — a lost Cancel just means that replica
+// serves its duplicate, as before).
+func (c *Client) fanCancel(seq wire.SeqNo) {
+	c.cancelBuf = c.sched.CancelTargets(seq, c.cancelBuf[:0])
+	if len(c.cancelBuf) == 0 {
+		return
+	}
+	now := c.kernel.Now()
+	key := jobKey{client: c.ID, seq: seq}
+	for _, id := range c.cancelBuf {
+		rep, ok := c.replicas[id]
+		if !ok {
+			continue
+		}
+		d := c.network.delay(c.rng)
+		drop, extra := c.linkFault(rep, now)
+		if drop {
+			continue // cancel lost: the duplicate is served, as without it
+		}
+		c.cancelsSent++
+		c.kernel.After(d+extra, func() { rep.evCancel(key) })
 	}
 }
 

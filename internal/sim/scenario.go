@@ -150,6 +150,19 @@ type Scenario struct {
 	// replicas are killed and fresh incarnations boot at the same host
 	// index. Requires Lifecycle.Enabled.
 	Rejuvenation RejuvenationSpec
+	// Cancellation enables first-response-wins cancellation: when a client's
+	// earliest reply arrives, a Cancel is sent to each losing replica (one
+	// network delay later, subject to link faults), purging its queued copy
+	// or aborting the one in service. This switches every replica from the
+	// analytic arrival-time arithmetic to a live event-driven queue — the
+	// only mode in which "un-serving" a request is expressible — so it is
+	// incompatible with Workers > 1, ProbeInterval, and Rejuvenation.
+	Cancellation bool
+	// Controller, when non-nil, gives every client an online redundancy
+	// controller (core.AdaptiveBudget) built from this config in place of
+	// selection.Budgeted's static interpolation. The controller's clock is
+	// the kernel's virtual clock unless the config sets its own.
+	Controller *core.AdaptiveBudgetConfig
 }
 
 // DefaultDetectionDelay models heartbeat-based failure detection latency.
@@ -168,6 +181,12 @@ type ClientResult struct {
 	// fallback before the kernel drains, so non-zero means a bookkeeping
 	// leak.
 	Outstanding int
+	// CancelsSent counts Cancel messages this client put on the virtual
+	// network (zero unless Scenario.Cancellation).
+	CancelsSent int
+	// Controller snapshots the client's adaptive budget controller (zero
+	// value unless Scenario.Controller was set).
+	Controller core.ControllerStats
 }
 
 // MeanSelected returns the average redundancy level over completed records.
@@ -276,6 +295,11 @@ type Result struct {
 	Restarts            int // rejuvenation restarts performed
 	RestartsSuppressed  int // restarts refused by the storm cap
 	ProbationViolations int // sum over clients; zero is the guardrail
+
+	// Cancellation aggregates (zero unless Scenario.Cancellation).
+	CancelsSent    int // Cancel messages put on the network by all clients
+	CancelsPurged  int // cancelled copies removed from replica queues
+	CancelsAborted int // cancelled copies aborted mid-service
 }
 
 // TotalServed sums requests served across replicas (the redundancy cost).
@@ -321,6 +345,16 @@ func Run(s Scenario) (*Result, error) {
 	if s.Rejuvenation.Enabled && !s.Lifecycle.Enabled {
 		return nil, fmt.Errorf("sim: rejuvenation requires Lifecycle.Enabled (nothing quarantines without it)")
 	}
+	if s.Cancellation {
+		if s.Rejuvenation.Enabled || s.ProbeInterval > 0 {
+			return nil, fmt.Errorf("sim: Cancellation's event-driven replicas do not mix with rejuvenation or probing (both use the analytic path)")
+		}
+		for i, spec := range s.Replicas {
+			if spec.Workers > 1 {
+				return nil, fmt.Errorf("sim: replica %d has %d workers; Cancellation supports the single-worker queue only", i, spec.Workers)
+			}
+		}
+	}
 
 	k := NewKernel()
 	root := stats.NewRand(s.Seed)
@@ -349,6 +383,7 @@ func Run(s Scenario) (*Result, error) {
 	// Build clients, each with its own repository + scheduler (the paper's
 	// per-handler local information repository).
 	clients := make([]*Client, len(s.Clients))
+	ctrls := make([]*core.AdaptiveBudget, len(s.Clients))
 	remaining := len(s.Clients)
 
 	// Lifecycle plumbing: the rejuvenator shares the replicas slice and the
@@ -397,6 +432,14 @@ func Run(s Scenario) (*Result, error) {
 				}
 			}
 		}
+		var ctrl *core.AdaptiveBudget
+		if s.Controller != nil {
+			ccfg := *s.Controller
+			if ccfg.Clock == nil {
+				ccfg.Clock = k.NowTime
+			}
+			ctrl = core.NewAdaptiveBudget(ccfg)
+		}
 		sched, err := core.NewScheduler(core.Config{
 			Service:            "sim-service",
 			QoS:                spec.QoS,
@@ -408,6 +451,7 @@ func Run(s Scenario) (*Result, error) {
 			StalenessBound:     s.StalenessBound,
 			Overload:           s.Overload,
 			Lifecycle:          lc,
+			Controller:         ctrl,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sim: client %d: %w", i, err)
@@ -419,23 +463,25 @@ func Run(s Scenario) (*Result, error) {
 			giveUp = time.Second
 		}
 		c := &Client{
-			ID:       wire.ClientID(fmt.Sprintf("client-%02d", i)),
-			kernel:   k,
-			sched:    sched,
-			network:  s.Network,
-			faults:   s.Faults,
-			rng:      root.Split(),
-			replicas: byID,
-			think:    spec.Think,
-			total:    spec.Requests,
-			giveUp:   giveUp,
-			arrival:  spec.Arrival,
-			pendRec:  make(map[wire.SeqNo]*RequestRecord),
-			startAt:  spec.StartAt,
-			finished: func() { remaining-- },
-			rec:      s.Trace,
+			ID:           wire.ClientID(fmt.Sprintf("client-%02d", i)),
+			kernel:       k,
+			sched:        sched,
+			network:      s.Network,
+			faults:       s.Faults,
+			rng:          root.Split(),
+			replicas:     byID,
+			think:        spec.Think,
+			total:        spec.Requests,
+			giveUp:       giveUp,
+			arrival:      spec.Arrival,
+			pendRec:      make(map[wire.SeqNo]*RequestRecord),
+			startAt:      spec.StartAt,
+			finished:     func() { remaining-- },
+			rec:          s.Trace,
+			cancellation: s.Cancellation,
 		}
 		clients[i] = c
+		ctrls[i] = ctrl
 		if s.Lifecycle.Enabled {
 			c.lifecycle = true
 			if s.ProbeInterval > 0 {
@@ -486,20 +532,30 @@ func Run(s Scenario) (*Result, error) {
 		res.Restarts = rj.restarts
 		res.RestartsSuppressed = rj.suppressed
 	}
-	for _, c := range clients {
+	for i, c := range clients {
 		// Flush any record still pending (reply arrived after the run's
 		// last event would be impossible — kernel drained — but a crashed
 		// run may leave one).
 		for seq := range c.pendRec {
 			c.closeRecord(seq)
 		}
-		res.Clients = append(res.Clients, ClientResult{
+		cr := ClientResult{
 			Stats:               c.sched.Stats(),
 			Records:             c.records,
 			ProbationViolations: c.probationViolations,
 			Outstanding:         c.sched.Outstanding(),
-		})
+			CancelsSent:         c.cancelsSent,
+		}
+		if ctrls[i] != nil {
+			cr.Controller = ctrls[i].Stats()
+		}
+		res.Clients = append(res.Clients, cr)
 		res.ProbationViolations += c.probationViolations
+		res.CancelsSent += c.cancelsSent
+	}
+	for _, r := range replicas {
+		res.CancelsPurged += r.evPurged
+		res.CancelsAborted += r.evAborted
 	}
 	for i, r := range replicas {
 		n := r.Served()

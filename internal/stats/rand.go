@@ -124,6 +124,39 @@ func (l LogNormal) String() string {
 	return fmt.Sprintf("lognormal(mu=%.3f, sigma=%.3f)", l.Mu, l.Sigma)
 }
 
+// Pareto is a heavy-tailed delay distribution with scale xm (the minimum
+// delay) and shape alpha. Smaller alpha means a heavier tail; the mean is
+// finite only for alpha > 1 (alpha·xm/(alpha−1)) and the variance only for
+// alpha > 2, so at alpha in (1, 2] — the regime the a17 experiment uses —
+// occasional draws are enormous relative to the mean. That is exactly the
+// service-time shape under which redundant dispatch pays off (Raaijmakers
+// et al.): a duplicate hedges against landing in the tail.
+type Pareto struct {
+	Scale time.Duration // xm, the minimum delay
+	Alpha float64       // tail shape; > 1 for a finite mean
+}
+
+var _ DelayDist = Pareto{}
+
+// Sample draws via inversion: xm / U^(1/alpha) with U uniform in (0, 1].
+func (p Pareto) Sample(r *Rand) time.Duration {
+	u := 1 - r.Float64() // (0, 1]: excludes 0, so the draw is finite
+	return time.Duration(float64(p.Scale) / math.Pow(u, 1/p.Alpha))
+}
+
+// Mean returns alpha·xm/(alpha−1), or the largest duration when alpha <= 1
+// (the mean diverges).
+func (p Pareto) Mean() time.Duration {
+	if p.Alpha <= 1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(p.Alpha * float64(p.Scale) / (p.Alpha - 1))
+}
+
+func (p Pareto) String() string {
+	return fmt.Sprintf("pareto(xm=%v, alpha=%.2f)", p.Scale, p.Alpha)
+}
+
 // Constant is a degenerate distribution that always returns the same delay.
 type Constant struct {
 	Delay time.Duration

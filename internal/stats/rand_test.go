@@ -73,6 +73,39 @@ func TestLogNormalMean(t *testing.T) {
 	}
 }
 
+func TestParetoShape(t *testing.T) {
+	// alpha = 2.5 has a finite variance, so the sample mean converges well
+	// enough to check against alpha·xm/(alpha−1) = 50ms/0.6·... directly.
+	d := Pareto{Scale: 30 * time.Millisecond, Alpha: 2.5}
+	r := NewRand(8)
+	if got, want := d.Mean(), 50*time.Millisecond; got != want {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	mean := sampleMean(d, r, 200000)
+	if diff := (mean - d.Mean()).Seconds(); math.Abs(diff) > 0.002 {
+		t.Errorf("sample mean %v too far from %v", mean, d.Mean())
+	}
+	// Every draw is at least the scale (the distribution's support floor),
+	// and the tail index shows: P[X > 4·xm] = 4^(−alpha) ≈ 3.1%.
+	tail := 0
+	for i := 0; i < 100000; i++ {
+		s := d.Sample(r)
+		if s < d.Scale {
+			t.Fatalf("sample %v below scale %v", s, d.Scale)
+		}
+		if s > 4*d.Scale {
+			tail++
+		}
+	}
+	if frac := float64(tail) / 100000; math.Abs(frac-math.Pow(4, -2.5)) > 0.005 {
+		t.Errorf("tail fraction %v, want ~%v", frac, math.Pow(4, -2.5))
+	}
+	// A diverging mean (alpha <= 1) must not overflow into nonsense.
+	if m := (Pareto{Scale: time.Millisecond, Alpha: 1}).Mean(); m <= 0 {
+		t.Errorf("diverging Mean() = %v, want a huge positive sentinel", m)
+	}
+}
+
 func TestConstant(t *testing.T) {
 	d := Constant{Delay: 42 * time.Millisecond}
 	r := NewRand(5)
@@ -121,6 +154,7 @@ func TestDistStrings(t *testing.T) {
 		Normal{Mu: time.Millisecond, Sigma: time.Millisecond},
 		Exponential{MeanDelay: time.Millisecond},
 		LogNormal{Mu: 0, Sigma: 1},
+		Pareto{Scale: time.Millisecond, Alpha: 1.5},
 		Constant{Delay: time.Millisecond},
 		Bimodal{Light: Constant{}, Heavy: Constant{}, HeavyProb: 0.5},
 		Shifted{Base: Constant{}, Offset: time.Millisecond},

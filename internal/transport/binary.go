@@ -5,7 +5,7 @@ package transport
 // gob is self-describing: every frame re-transmits type definitions, field
 // names cost bytes, and both directions allocate (reflection, buffer copies,
 // interface boxing). On the decision path the codec is the last per-request
-// allocator, so the wire messages — six fixed shapes — get a fixed binary
+// allocator, so the wire messages — seven fixed shapes — get a fixed binary
 // layout instead:
 //
 //	frame  := len(4, big-endian) body
@@ -60,6 +60,7 @@ const (
 	binUnsubscribe
 	binPerfUpdate
 	binHeartbeat
+	binCancel
 )
 
 // zeroTimeSentinel encodes time.Time{} — its UnixNano is undefined, and no
@@ -116,6 +117,8 @@ func appendBinaryBody(buf []byte, from Addr, payload any) ([]byte, bool) {
 		typ = binPerfUpdate
 	case wire.Heartbeat:
 		typ = binHeartbeat
+	case wire.Cancel:
+		typ = binCancel
 	default:
 		return buf, false
 	}
@@ -156,6 +159,10 @@ func appendBinaryBody(buf []byte, from Addr, payload any) ([]byte, bool) {
 		buf = appendStr(buf, m.Service)
 		buf = binary.AppendUvarint(buf, m.View)
 		buf = appendTime(buf, m.At)
+	case wire.Cancel:
+		buf = appendStr(buf, string(m.Client))
+		buf = binary.AppendUvarint(buf, uint64(m.Seq))
+		buf = appendStr(buf, string(m.Service))
 	}
 	return buf, true
 }
@@ -305,6 +312,12 @@ func decodeBinaryBody(body []byte) (envelope, error) {
 			View:    r.uvarint(),
 			At:      r.timeAt(),
 		}
+	case binCancel:
+		payload = wire.Cancel{
+			Client:  wire.ClientID(r.str()),
+			Seq:     wire.SeqNo(r.uvarint()),
+			Service: wire.Service(r.str()),
+		}
 	default:
 		return envelope{}, fmt.Errorf("transport: unknown binary message type %d", typ)
 	}
@@ -331,6 +344,8 @@ func binTypeName(t byte) string {
 		return "perf-update"
 	case binHeartbeat:
 		return "heartbeat"
+	case binCancel:
+		return "cancel"
 	default:
 		return "unknown"
 	}

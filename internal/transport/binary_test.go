@@ -16,7 +16,7 @@ import (
 	"aqua/internal/wire"
 )
 
-// binaryCodecCases covers all six wire message types, each with fully
+// binaryCodecCases covers all seven wire message types, each with fully
 // populated and zero-value variants. Times are built with time.Unix so the
 // decoded value (wall clock only, no monotonic reading) compares equal under
 // reflect.DeepEqual.
@@ -39,6 +39,8 @@ func binaryCodecCases() []struct {
 		{"perf-update", wire.PerfUpdate{Replica: "r1", Service: "svc", Method: "m", Perf: wire.PerfReport{ServiceTime: time.Second, QueueLength: -1}}},
 		{"heartbeat", wire.Heartbeat{From: "r3", Service: "svc", View: 9, At: at}},
 		{"heartbeat-zero", wire.Heartbeat{}},
+		{"cancel", wire.Cancel{Client: "c7", Seq: 42, Service: "svc"}},
+		{"cancel-zero", wire.Cancel{}},
 	}
 }
 

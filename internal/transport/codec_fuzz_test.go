@@ -17,6 +17,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid)
+	cancel, err := encodeFrame("seed", wire.Cancel{Client: "c", Seq: 3, Service: "svc"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cancel)
 	f.Add(valid[:4])
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})

@@ -129,6 +129,19 @@ type PerfUpdate struct {
 	Perf    PerfReport
 }
 
+// Cancel asks a replica to stop work on one request (first-response-wins
+// cancellation): once the client gateway has delivered the earliest reply,
+// the remaining selected replicas receive a Cancel so a copy still sitting
+// in a FIFO queue is purged before it burns a full service time, and a copy
+// already being served can be aborted early. Cancel is advisory — a replica
+// that already replied simply ignores it, and the client-side machinery is
+// correct whether or not any Cancel arrives.
+type Cancel struct {
+	Client  ClientID
+	Seq     SeqNo
+	Service Service
+}
+
 // Heartbeat is exchanged by the group-communication failure detector.
 type Heartbeat struct {
 	From    ReplicaID
