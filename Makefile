@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 a17 race-lifecycle metrics-smoke fuzz clean
+.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 a16 a17 race-lifecycle metrics-smoke fuzz clean
 
 all: build vet test
 
@@ -64,6 +64,14 @@ a13:
 # Exits non-zero when any recovery bound is missed (see EXPERIMENTS.md, a14).
 a14:
 	$(GO) run ./cmd/aqua-exp -exp a14
+
+# WAN deployment ranking: place a replica budget over regions with bimodal
+# (epoch-congested) links and rank placements by timely fraction under the
+# point-mass T vs the windowed per-link T distribution. Exits non-zero when
+# the windowed T's best placement stops matching or beating the point-mass
+# T's best (see EXPERIMENTS.md, a16). Quick mode (1 seed) for CI.
+a16:
+	$(GO) run ./cmd/aqua-exp -exp a16 -quick
 
 # Heavy-tail cancellation sweep: first-response-wins cancellation and the
 # online redundancy controller vs static budgets under Pareto service times.

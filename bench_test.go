@@ -180,7 +180,7 @@ func predictBenchRepo() *repository.Repository {
 				QueueDelay:  queue.Sample(rng),
 			}, time.Now())
 		}
-		repo.RecordGatewayDelay(id, "", time.Duration(rng.Intn(5000))*time.Microsecond)
+		repo.RecordGatewayDelay(id, time.Duration(rng.Intn(5000))*time.Microsecond)
 	}
 	return repo
 }

@@ -27,7 +27,7 @@ func variedRepo(t testing.TB, n int) *repository.Repository {
 		for j := 0; j < repository.DefaultWindowSize; j++ {
 			repo.RecordPerf(id, "", wire.PerfReport{ServiceTime: svc, QueueDelay: ms}, base)
 		}
-		repo.RecordGatewayDelay(id, "", ms)
+		repo.RecordGatewayDelay(id, ms)
 	}
 	return repo
 }

@@ -879,7 +879,7 @@ func (s *Scheduler) OnReply(seq wire.SeqNo, replica wire.ReplicaID, t4 time.Time
 	s.repo.RecordPerf(replica, p.method, perf, t4)
 	if !p.t1.IsZero() {
 		td := t4.Sub(p.t1) - perf.QueueDelay - perf.ServiceTime
-		s.repo.RecordGatewayDelay(replica, p.method, td)
+		s.repo.RecordGatewayDelay(replica, td)
 	}
 
 	out := ReplyOutcome{}

@@ -23,7 +23,7 @@ func warmRepo(t *testing.T, n int, svc, qd, gw time.Duration) *repository.Reposi
 		for j := 0; j < repository.DefaultWindowSize; j++ {
 			repo.RecordPerf(id, "", wire.PerfReport{ServiceTime: svc, QueueDelay: qd}, base)
 		}
-		repo.RecordGatewayDelay(id, "", gw)
+		repo.RecordGatewayDelay(id, gw)
 	}
 	return repo
 }

@@ -60,7 +60,7 @@ func syntheticRepo(n, windowSize int, rng *stats.Rand) *repository.Repository {
 				QueueLength: rng.Intn(4),
 			}, time.Now())
 		}
-		repo.RecordGatewayDelay(id, "", time.Duration(rng.Intn(3))*time.Millisecond)
+		repo.RecordGatewayDelay(id, time.Duration(rng.Intn(3))*time.Millisecond)
 	}
 	return repo
 }

@@ -112,7 +112,7 @@ func RunA8() (*Table, error) {
 		Title:   "A8: gateway-delay estimation under a spiky LAN (15% of messages +60ms)",
 		Columns: []string{"T_estimate", "mean_selected", "failure_prob"},
 		Notes: []string{
-			"most-recent T (paper default) whipsaws after each spike; a T window smooths the estimate",
+			"most-recent T (paper default) whipsaws after each spike; a windowed T pmf convolved as a third factor absorbs it",
 		},
 	}
 	for _, v := range []struct {
@@ -120,8 +120,8 @@ func RunA8() (*Table, error) {
 		history int
 	}{
 		{"most-recent (paper)", 1},
-		{"window-5 mean", 5},
-		{"window-20 mean", 20},
+		{"window-5 pmf", 5},
+		{"window-20 pmf", 20},
 	} {
 		sel, fail, _, err := b.point(nil, spiky(v.history))
 		if err != nil {

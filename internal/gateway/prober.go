@@ -171,7 +171,7 @@ func (p *prober) onProbeReply(m wire.Response, t4 time.Time) {
 	repo.RecordPerf(m.Replica, "", m.Perf, t4)
 	if !m.SentAt.IsZero() {
 		td := t4.Sub(m.SentAt) - m.Perf.QueueDelay - m.Perf.ServiceTime
-		repo.RecordGatewayDelay(m.Replica, "", td)
+		repo.RecordGatewayDelay(m.Replica, td)
 	}
 	p.mu.Lock()
 	if _, ok := p.sentAt[m.Replica]; ok {

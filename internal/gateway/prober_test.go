@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"aqua/internal/metrics"
+	"aqua/internal/model"
+	"aqua/internal/repository"
 	"aqua/internal/server"
 	"aqua/internal/stats"
 	"aqua/internal/transport"
@@ -256,6 +258,89 @@ func TestProbeReplyCannotCompleteCall(t *testing.T) {
 	}}, time.Now())
 	if st := h.Stats(); st.Completed != 1 {
 		t.Errorf("real reply did not complete the call: %+v", st)
+	}
+}
+
+// TestProbeGatewayDelayReachesMethodSnapshots is the regression test for the
+// T-routing bug: probe replies carry no method, and the measured gateway
+// delay used to be filed under a per-(replica, method:"") entry that no
+// named method's snapshot ever read. The delay is per-link state now, so a
+// probe-warmed T must appear in Snapshot("someMethod") and shift that
+// method's F_Ri(t).
+func TestProbeGatewayDelayReachesMethodSnapshots(t *testing.T) {
+	// A symmetric 10ms injected link delay makes the probe's measured
+	// two-way gateway delay ≈ 20ms — far above anything the in-memory
+	// transport contributes on its own.
+	inj := transport.NewInjector(1)
+	inj.SetDefault(transport.FaultPolicy{Delay: stats.Constant{Delay: 10 * ms}})
+	net := transport.NewFaulty(transport.NewInMem(), inj)
+	t.Cleanup(func() { _ = net.Inner().(*transport.InMem).Close() })
+
+	sep, err := net.Listen("r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Start(sep, server.Config{
+		ID: "r0", Service: "svc",
+		Handler: func(string, []byte) ([]byte, error) { return nil, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+
+	cep, err := net.Listen("client:probe-t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewTimingFaultHandler(cep, Config{
+		Client: "probe-t", Service: "svc",
+		QoS:            wire.QoS{Deadline: 300 * ms, MinProbability: 0.5},
+		ProbeInterval:  10 * ms,
+		StalenessBound: 20 * ms,
+		StaticReplicas: map[wire.ReplicaID]transport.Addr{"r0": srv.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+
+	// No real traffic at all: only probes feed the repository.
+	repo := h.Scheduler().Repository()
+	waitFor(t, 2*time.Second, func() bool {
+		return repo.UpdateCount("r0") > 0
+	}, "probe reply absorbed")
+
+	snap, err := repo.SnapshotOne("r0", "someMethod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GatewayDelay < 10*ms {
+		t.Fatalf("Snapshot(someMethod).GatewayDelay = %v, want the probe-measured ≈20ms link delay", snap.GatewayDelay)
+	}
+
+	// The probe-measured T must shift the method's F_Ri(t): give the method
+	// S/W history and compare against the same snapshot with T erased.
+	repo.RecordPerf("r0", "someMethod", wire.PerfReport{ServiceTime: 5 * ms, QueueDelay: ms}, time.Now())
+	snap, err = repo.SnapshotOne("r0", "someMethod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.NewPredictor()
+	withT, err := pred.Probability(snap, 15*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noT := snap
+	noT.GatewayDelay = 0
+	noT.GatewayDelays = nil
+	noT.GatewayHist = repository.HistView{}
+	withoutT, err := pred.Probability(noT, 15*ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(withT < withoutT) {
+		t.Errorf("F_Ri(15ms) with probe T = %v, without = %v; want the probe-measured delay to shift F right", withT, withoutT)
 	}
 }
 

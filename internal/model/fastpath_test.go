@@ -33,7 +33,7 @@ func randomRepo(rng *stats.Rand, n, windowSize int, res time.Duration) *reposito
 				QueueLength: rng.Intn(4),
 			}, time.Now())
 		}
-		repo.RecordGatewayDelay(id, "", time.Duration(rng.Intn(5000))*time.Microsecond)
+		repo.RecordGatewayDelay(id, time.Duration(rng.Intn(5000))*time.Microsecond)
 	}
 	return repo
 }
@@ -83,6 +83,134 @@ func TestFastPathEquivalence(t *testing.T) {
 	}
 	if windows < 1000 {
 		t.Fatalf("only %d randomized windows exercised, want >= 1000", windows)
+	}
+}
+
+// randomWANRepo is randomRepo plus a gateway-delay history window of size
+// tWin filled from a bimodal link (calm ~2ms, congested ~60ms), so T is a
+// genuine empirical distribution rather than a point mass.
+func randomWANRepo(rng *stats.Rand, n, windowSize, tWin int, res time.Duration) *repository.Repository {
+	repo := repository.New(
+		repository.WithWindowSize(windowSize),
+		repository.WithResolution(res),
+		repository.WithGatewayHistory(tWin),
+	)
+	service := stats.Normal{Mu: 40 * ms, Sigma: 25 * ms}
+	queue := stats.Exponential{MeanDelay: 15 * ms}
+	link := stats.Bimodal{
+		Light:     stats.Normal{Mu: 2 * ms, Sigma: ms},
+		Heavy:     stats.Normal{Mu: 60 * ms, Sigma: 10 * ms},
+		HeavyProb: 0.3,
+	}
+	for i := 0; i < n; i++ {
+		id := wire.ReplicaID(fmt.Sprintf("replica-%02d", i))
+		repo.AddReplica(id)
+		for j := 0; j < windowSize; j++ {
+			repo.RecordPerf(id, "", wire.PerfReport{
+				ServiceTime: service.Sample(rng) + time.Duration(rng.Intn(1000))*time.Microsecond,
+				QueueDelay:  queue.Sample(rng),
+				QueueLength: rng.Intn(4),
+			}, time.Now())
+		}
+		for j := 0; j < tWin; j++ {
+			repo.RecordGatewayDelay(id, link.Sample(rng)+time.Duration(rng.Intn(1000))*time.Microsecond)
+		}
+	}
+	return repo
+}
+
+// TestThreeFactorEquivalence pins the distributional-T fast path to the
+// reference path within 1e-12 over randomized S/W/T windows — the ISSUE 8
+// extension of the PR 1 equivalence fence to the full three-factor
+// convolution.
+func TestThreeFactorEquivalence(t *testing.T) {
+	rng := stats.NewRand(23)
+	ref := NewPredictor(WithReferencePath())
+	fast := NewPredictor()
+	uncached := NewPredictor(WithoutCache())
+
+	const trials = 120
+	const replicas = 3
+	windows := 0
+	for trial := 0; trial < trials; trial++ {
+		l := 1 + rng.Intn(80)
+		tWin := 2 + rng.Intn(19)
+		repo := randomWANRepo(rng, replicas, l, tWin, ms)
+		deadline := time.Duration(rng.Intn(250)) * ms
+		for _, s := range repo.Snapshot("") {
+			if !distributionalT(s) {
+				t.Fatalf("trial %d: T window not distributional (%d samples)", trial, len(s.GatewayDelays))
+			}
+			want, err := ref.Probability(s, deadline)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, p := range map[string]*Predictor{"cached": fast, "uncached": uncached} {
+				got, err := p.Probability(s, deadline)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if math.Abs(want-got) > 1e-12 {
+					t.Fatalf("trial %d (%s, l=%d, tWin=%d, t=%v): fast %v vs reference %v (Δ=%g)",
+						trial, name, l, tWin, deadline, got, want, math.Abs(want-got))
+				}
+			}
+			// Each replica's three S, W, T windows are independently randomized.
+			windows += 3
+		}
+	}
+	if windows < 1000 {
+		t.Fatalf("only %d randomized windows exercised, want >= 1000", windows)
+	}
+}
+
+// TestThreeFactorTOnlyMutation mutates ONLY the T window between
+// evaluations: the extended memo key (tVer) must invalidate the cached
+// three-factor table without FlushCache, and the re-built fast result must
+// track the reference.
+func TestThreeFactorTOnlyMutation(t *testing.T) {
+	rng := stats.NewRand(31)
+	ref := NewPredictor(WithReferencePath())
+	fast := NewPredictor()
+	repo := randomWANRepo(rng, 1, 30, 8, ms)
+	const deadline = 90 * ms
+
+	check := func(step string) float64 {
+		t.Helper()
+		s, err := repo.SnapshotOne("replica-00", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Probability(s, deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fast.Probability(s, deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(want-got) > 1e-12 {
+			t.Fatalf("%s: fast %v vs reference %v (Δ=%g)", step, got, want, math.Abs(want-got))
+		}
+		return got
+	}
+
+	before := check("initial")
+	if got := fast.CacheSize(); got != 1 {
+		t.Fatalf("CacheSize() = %d after first evaluation, want 1", got)
+	}
+	// Only T mutates: push the whole window to the congested mode. S and W
+	// (and therefore sVer/wVer) are untouched, so only tVer can save us
+	// from serving the stale memoized table.
+	for i := 0; i < 8; i++ {
+		repo.RecordGatewayDelay("replica-00", 120*ms)
+	}
+	after := check("after T-only mutation")
+	if got := fast.CacheSize(); got != 2 {
+		t.Fatalf("CacheSize() = %d after T mutation, want 2 (new tVer entry, no flush)", got)
+	}
+	if !(after < before) {
+		t.Fatalf("F(%v) did not drop after T shifted to 120ms: before %v, after %v", deadline, before, after)
 	}
 }
 

@@ -2,8 +2,12 @@
 //
 // For a replica i, the response time is R_i = S_i + W_i + T_i. S_i and W_i
 // are empirical pmfs over the sliding-window measurements in the gateway
-// information repository; T_i is a point mass at the most recently measured
-// two-way gateway-to-gateway delay. F_Ri(t), the probability that replica i
+// information repository; T_i is the per-link gateway-to-gateway delay. With
+// the paper's configuration T_i is a point mass at the most recent
+// measurement; with a gateway-delay history window (the WAN extension) it is
+// an empirical pmf convolved as a third factor, so a bimodal link's
+// congested mode keeps its probability mass instead of being forgotten the
+// moment one calm sample arrives. F_Ri(t), the probability that replica i
 // responds within t, is the CDF of the discrete convolution of the three.
 // Equation 1 combines per-replica probabilities into the probability that a
 // subset produces at least one timely response.
@@ -58,17 +62,23 @@ type cacheShard struct {
 
 // cacheKey identifies one memoized convolved distribution. Window versions
 // are globally unique and bumped on every mutation, so equal keys guarantee
-// identical window contents even across replica removal/re-addition.
+// identical window contents even across replica removal/re-addition. tVer is
+// 0 when T is a point mass (the shift-at-lookup special case: the entry
+// ignores T, so it survives T fluctuations); for a distributional T it is
+// the gateway window's version, so a T mutation invalidates the memoized
+// table without any explicit flush.
 type cacheKey struct {
 	replica wire.ReplicaID
 	method  string
 	sVer    uint64
 	wVer    uint64
+	tVer    uint64
 }
 
-// cachedCDF is the convolved, support-bounded S+W distribution as a CDF
-// table. The gateway-delay shift T is applied at lookup time (a point mass
-// only offsets bins), so the entry stays valid while T fluctuates.
+// cachedCDF is a convolved, support-bounded distribution as a CDF table:
+// S+W when T is a point mass (the gateway-delay shift is applied at lookup
+// time — a point mass only offsets bins — so the entry stays valid while T
+// fluctuates), S+W+T when T is distributional (keyed by tVer).
 type cachedCDF struct {
 	res  time.Duration // resolution after support bounding (≥ predictor resolution)
 	bins []int64
@@ -183,13 +193,43 @@ func (p *Predictor) CacheSize() int {
 // fastEligible reports whether the snapshot can take the histogram fast
 // path: matching resolution, both histograms present, plain windowed W, and
 // a non-negative gateway delay (Shift's clamp-at-zero merging only occurs
-// for negative shifts, which the fast lookup does not model).
+// for negative shifts, which the fast lookup does not model). A
+// distributional T additionally needs its own histogram — without one the
+// memo key has no T version to invalidate on.
 func (p *Predictor) fastEligible(snap repository.ReplicaSnapshot) bool {
 	return !p.referenceOnly && !p.queueAware &&
 		snap.HasHistory &&
 		snap.Resolution == p.resolution &&
 		snap.ServiceHist.OK() && snap.QueueHist.OK() &&
-		snap.GatewayDelay >= 0
+		snap.GatewayDelay >= 0 &&
+		(!distributionalT(snap) || snap.GatewayHist.OK())
+}
+
+// distributionalT reports whether the snapshot's T window holds more than
+// one sample. If so, T enters the model as an empirical pmf (convolved third
+// factor); otherwise it is the paper's point mass at GatewayDelay. Both the
+// fast and reference paths branch on this same predicate, so they cannot
+// disagree about which model a snapshot gets.
+func distributionalT(snap repository.ReplicaSnapshot) bool {
+	return len(snap.GatewayDelays) > 1
+}
+
+// gatewayPMF builds the empirical T pmf, from the incremental histogram when
+// it is usable at the predictor's resolution and from the raw samples
+// otherwise.
+func (p *Predictor) gatewayPMF(snap repository.ReplicaSnapshot) (*dist.PMF, error) {
+	if !p.referenceOnly && snap.Resolution == p.resolution && snap.GatewayHist.OK() {
+		tp, err := dist.FromCounts(p.resolution, snap.GatewayHist.Bins, snap.GatewayHist.Counts)
+		if err != nil {
+			return nil, fmt.Errorf("model: gateway-delay pmf for %q: %w", snap.ID, err)
+		}
+		return tp, nil
+	}
+	tp, err := dist.FromSamples(snap.GatewayDelays, p.resolution)
+	if err != nil {
+		return nil, fmt.Errorf("model: gateway-delay pmf for %q: %w", snap.ID, err)
+	}
+	return tp, nil
 }
 
 // inputPMFs builds the S and W pmfs for a snapshot, from the incremental
@@ -231,9 +271,27 @@ func (p *Predictor) ResponsePMF(snap repository.ReplicaSnapshot) (*dist.PMF, err
 	if err != nil {
 		return nil, fmt.Errorf("model: convolving S and W for %q: %w", snap.ID, err)
 	}
+	sw = p.bound(sw)
+	if distributionalT(snap) {
+		// WAN extension: T carries more than one sample, so convolve the
+		// empirical per-link pmf as the third factor.
+		tp, err := p.gatewayPMF(snap)
+		if err != nil {
+			return nil, err
+		}
+		sw, tp, err = align(sw, p.bound(tp))
+		if err != nil {
+			return nil, fmt.Errorf("model: aligning S+W and T for %q: %w", snap.ID, err)
+		}
+		swt, err := p.convolve(sw, tp)
+		if err != nil {
+			return nil, fmt.Errorf("model: convolving S+W and T for %q: %w", snap.ID, err)
+		}
+		return p.bound(swt), nil
+	}
 	// T is a point mass at the most recent gateway delay, so the final
 	// convolution is a shift.
-	return p.bound(sw).Shift(snap.GatewayDelay), nil
+	return sw.Shift(snap.GatewayDelay), nil
 }
 
 // convolve dispatches between the dense fast convolution and the map-based
@@ -306,7 +364,7 @@ func (p *Predictor) bound(pmf *dist.PMF) *dist.PMF {
 }
 
 // buildSW computes the support-bounded S+W distribution for a fast-eligible
-// snapshot and returns it as a CDF table.
+// snapshot — S+W+T when T is distributional — and returns it as a CDF table.
 func (p *Predictor) buildSW(snap repository.ReplicaSnapshot) (*cachedCDF, error) {
 	s, w, err := p.inputPMFs(snap)
 	if err != nil {
@@ -322,6 +380,21 @@ func (p *Predictor) buildSW(snap repository.ReplicaSnapshot) (*cachedCDF, error)
 		return nil, fmt.Errorf("model: convolving S and W for %q: %w", snap.ID, err)
 	}
 	sw = p.bound(sw)
+	if distributionalT(snap) {
+		tp, err := p.gatewayPMF(snap)
+		if err != nil {
+			return nil, err
+		}
+		sw, tp, err = align(sw, p.bound(tp))
+		if err != nil {
+			return nil, fmt.Errorf("model: aligning S+W and T for %q: %w", snap.ID, err)
+		}
+		sw, err = sw.ConvolveDense(tp)
+		if err != nil {
+			return nil, fmt.Errorf("model: convolving S+W and T for %q: %w", snap.ID, err)
+		}
+		sw = p.bound(sw)
+	}
 	bins, cdf := sw.CDFTable()
 	return &cachedCDF{res: sw.Resolution(), bins: bins, cdf: cdf}, nil
 }
@@ -337,6 +410,10 @@ func (p *Predictor) fastProbability(snap repository.ReplicaSnapshot, t time.Dura
 		return p.uncachedFastProbability(snap, t)
 	}
 	key := cacheKey{replica: snap.ID, method: snap.Method, sVer: snap.ServiceHist.Version, wVer: snap.QueueHist.Version}
+	dT := distributionalT(snap)
+	if dT {
+		key.tVer = snap.GatewayHist.Version
+	}
 	sh := p.shardFor(key)
 	sh.mu.RLock()
 	entry := sh.m[key]
@@ -356,10 +433,14 @@ func (p *Predictor) fastProbability(snap repository.ReplicaSnapshot, t time.Dura
 	if t < 0 {
 		return 0, true, nil
 	}
-	// Shifting by the point mass T offsets every support bin by
-	// Quantize(T); evaluating the shifted CDF at t is a lookup at
-	// Quantize(t) − Quantize(T) on the unshifted table.
-	target := dist.Quantize(t, entry.res) - dist.Quantize(snap.GatewayDelay, entry.res)
+	target := dist.Quantize(t, entry.res)
+	if !dT {
+		// Shifting by the point mass T offsets every support bin by
+		// Quantize(T); evaluating the shifted CDF at t is a lookup at
+		// Quantize(t) − Quantize(T) on the unshifted table. (A distributional
+		// T is already convolved into the cached table.)
+		target -= dist.Quantize(snap.GatewayDelay, entry.res)
+	}
 	return dist.CDFLookup(entry.bins, entry.cdf, target), true, nil
 }
 
@@ -368,6 +449,11 @@ func (p *Predictor) fastProbability(snap repository.ReplicaSnapshot, t time.Dura
 // not have exceeded maxSupport (otherwise the reference path would rebin,
 // and results would diverge); wider products fall back.
 func (p *Predictor) uncachedFastProbability(snap repository.ReplicaSnapshot, t time.Duration) (v float64, ok bool, err error) {
+	if distributionalT(snap) {
+		// Three factors need a materialized intermediate anyway; take the
+		// ResponsePMF route (still histogram pmfs + dense convolution).
+		return 0, false, nil
+	}
 	s, w, err := p.inputPMFs(snap)
 	if err != nil {
 		return 0, false, err

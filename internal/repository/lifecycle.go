@@ -29,6 +29,7 @@ package repository
 import (
 	"time"
 
+	"aqua/internal/window"
 	"aqua/internal/wire"
 )
 
@@ -185,9 +186,11 @@ func (r *Repository) Parole(cutoff time.Time) []wire.ReplicaID {
 			st.health = Probation
 			st.probationGot = 0
 			// A paroled replica's windows are stale by construction — it
-			// was quarantined for being slow. Drop them so probation
-			// re-admits on fresh measurements only.
+			// was quarantined for being slow. Drop them (including the
+			// per-link T window) so probation re-admits on fresh
+			// measurements only.
 			r.dropEntriesLocked(id)
+			st.gateway = r.newGatewayWindowLocked()
 			r.lifeStats.Paroled++
 			out = append(out, id)
 		}
@@ -236,12 +239,20 @@ func (r *Repository) QuarantinedCount() int {
 // protect — the paper's §5.4.1 cold-start rule applies); after it, lifecycle
 // mode admits newcomers on Probation. Caller holds r.mu.
 func (r *Repository) newReplicaStateLocked() *replicaState {
-	st := &replicaState{}
+	st := &replicaState{gateway: r.newGatewayWindowLocked()}
 	if r.lifecycle && r.bootstrapped {
 		st.health = Probation
 		r.lifeStats.Joined++
 	}
 	return st
+}
+
+// newGatewayWindowLocked builds the per-link T window. Caller holds r.mu.
+func (r *Repository) newGatewayWindowLocked() *window.Window {
+	if r.resolution > 0 {
+		return window.NewHistogrammed(r.gatewayHist, r.resolution)
+	}
+	return window.New(r.gatewayHist)
 }
 
 // dropEntriesLocked deletes every measurement window for a replica. Caller

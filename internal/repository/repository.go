@@ -39,11 +39,17 @@ type methodKey struct {
 type entry struct {
 	service *window.Window // service time vector S_i
 	queue   *window.Window // queuing delay vector W_i
-	gateway *window.Window // optional T_i history (extension); len 1 if disabled
 }
 
 // replicaState is per-replica state independent of the invoked method.
 type replicaState struct {
+	// gateway is the T_i history: the two-way gateway-to-gateway delay is a
+	// property of the link, not of the invoked method, so it lives here and
+	// is shared by every method's snapshot. Probe-measured delays (recorded
+	// without a method) therefore warm real methods' predictions. Window
+	// size 1 (the default) reproduces the paper's point mass at the most
+	// recent value.
+	gateway     *window.Window
 	queueLength int // current outstanding requests (replica-reported)
 	// inFlight counts requests this gateway has dispatched and not yet
 	// settled. It is atomic so the dispatch/settle hot path only needs the
@@ -246,7 +252,6 @@ func (r *Repository) entryLocked(id wire.ReplicaID, method string) *entry {
 		e = &entry{
 			service: newWindow(),
 			queue:   newWindow(),
-			gateway: window.New(r.gatewayHist),
 		}
 		r.entries[k] = e
 	}
@@ -279,20 +284,28 @@ func (r *Repository) RecordPerf(id wire.ReplicaID, method string, p wire.PerfRep
 
 // RecordGatewayDelay stores a newly measured two-way gateway-to-gateway
 // delay td for a replica (§5.4.1: computed from every reply, including
-// discarded duplicates).
-func (r *Repository) RecordGatewayDelay(id wire.ReplicaID, method string, td time.Duration) {
-	if td < 0 {
-		// Clock-adjustment artifacts; a negative delay is physically
-		// meaningless and would poison the point-mass estimate.
-		td = 0
-	}
+// discarded duplicates). The delay is per-link state shared by every method
+// — probe replies (which carry no method) warm real methods' predictions.
+//
+// Negative samples are clock-adjustment artifacts. With the paper's
+// point-mass window (size 1) they are clamped to 0, so the estimate stays
+// fresh; with a history window (WithGatewayHistory > 1) they are dropped
+// instead — a fabricated 0 would poison the empirical distribution with
+// probability mass at a delay that was never observed.
+func (r *Repository) RecordGatewayDelay(id wire.ReplicaID, td time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.replicas[id]; !ok {
+	if td < 0 {
+		if r.gatewayHist > 1 {
+			return
+		}
+		td = 0
+	}
+	st, ok := r.replicas[id]
+	if !ok {
 		return
 	}
-	e := r.entryLocked(id, method)
-	e.gateway.Add(td)
+	st.gateway.Add(td)
 	r.gen.Add(1)
 }
 
@@ -410,8 +423,17 @@ type ReplicaSnapshot struct {
 	Method       string
 	ServiceTimes []time.Duration // oldest → newest
 	QueueDelays  []time.Duration // oldest → newest
-	GatewayDelay time.Duration   // most recent T (or mean of the T window if enabled)
-	QueueLength  int
+	// GatewayDelay is the most recently measured two-way gateway delay T.
+	// With the paper-default window (size 1) it is the whole T model: a point
+	// mass. With WithGatewayHistory(n>1) it remains the last value for
+	// compatibility, while GatewayDelays/GatewayHist carry the full empirical
+	// per-link distribution the predictor convolves as the third factor.
+	GatewayDelay time.Duration
+	// GatewayDelays is the raw T window, oldest → newest. Per-link state: the
+	// same window backs every method's snapshot, so probe-measured delays are
+	// visible to methods that have never carried traffic.
+	GatewayDelays []time.Duration
+	QueueLength   int
 	// InFlight is the number of copies this gateway has dispatched to the
 	// replica that have not yet settled — the gateway's own, instantly
 	// current contribution to the replica's load, complementing the
@@ -431,6 +453,11 @@ type ReplicaSnapshot struct {
 	Resolution  time.Duration
 	ServiceHist HistView
 	QueueHist   HistView
+	// GatewayHist is the incremental histogram of the T window. Its Version
+	// extends the predictor's memo key so a T mutation invalidates cached CDF
+	// tables without a flush; a single-bin view keeps the fast path on the
+	// paper's shift-by-point-mass special case.
+	GatewayHist HistView
 	// HasHistory is false until at least one service-time and one queuing
 	// delay sample exist; the scheduler must fall back to selecting all
 	// replicas (the paper's cold-start rule, §5.4.1).
@@ -485,53 +512,63 @@ func (r *Repository) snapshot(method string) ([]ReplicaSnapshot, uint64) {
 	g := r.gen.Load()
 	out := make([]ReplicaSnapshot, 0, len(r.replicas))
 	for id, st := range r.replicas {
-		snap := ReplicaSnapshot{
-			ID:          id,
-			Method:      method,
-			QueueLength: st.queueLength,
-			InFlight:    int(st.inFlight.Load()),
-			LastUpdate:  st.lastUpdate,
-			Health:      st.health,
-		}
-		if e, ok := r.entries[methodKey{replica: id, method: method}]; ok {
-			snap.ServiceTimes = e.service.Values()
-			snap.QueueDelays = e.queue.Values()
-			if r.resolution > 0 {
-				snap.Resolution = r.resolution
-				if bins, counts, ok := e.service.HistCounts(); ok {
-					snap.ServiceHist = HistView{Bins: bins, Counts: counts, Version: e.service.Version()}
-				}
-				if bins, counts, ok := e.queue.HistCounts(); ok {
-					snap.QueueHist = HistView{Bins: bins, Counts: counts, Version: e.queue.Version()}
-				}
-			}
-			if td, ok := e.gateway.Last(); ok {
-				if r.gatewayHist > 1 {
-					// Extension: smooth over the configured T window.
-					var sum time.Duration
-					vals := e.gateway.Values()
-					for _, v := range vals {
-						sum += v
-					}
-					snap.GatewayDelay = sum / time.Duration(len(vals))
-				} else {
-					snap.GatewayDelay = td
-				}
-			}
-			snap.HasHistory = len(snap.ServiceTimes) > 0 && len(snap.QueueDelays) > 0
-		}
-		out = append(out, snap)
+		out = append(out, r.snapshotReplicaLocked(id, st, method))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, g
 }
 
-// SnapshotOne returns the snapshot for a single replica.
-func (r *Repository) SnapshotOne(id wire.ReplicaID, method string) (ReplicaSnapshot, error) {
-	for _, s := range r.Snapshot(method) {
-		if s.ID == id {
-			return s, nil
+// snapshotReplicaLocked builds one replica's prediction-ready copy. The T
+// fields come from the per-replica (per-link) window, independently of
+// whether the method has an entry yet: a probe- or cross-method-measured
+// gateway delay is visible to every method's prediction. Caller holds r.mu
+// (read or write).
+func (r *Repository) snapshotReplicaLocked(id wire.ReplicaID, st *replicaState, method string) ReplicaSnapshot {
+	snap := ReplicaSnapshot{
+		ID:          id,
+		Method:      method,
+		QueueLength: st.queueLength,
+		InFlight:    int(st.inFlight.Load()),
+		LastUpdate:  st.lastUpdate,
+		Health:      st.health,
+	}
+	if r.resolution > 0 {
+		snap.Resolution = r.resolution
+	}
+	if td, ok := st.gateway.Last(); ok {
+		snap.GatewayDelay = td
+		snap.GatewayDelays = st.gateway.Values()
+		if r.resolution > 0 {
+			if bins, counts, ok := st.gateway.HistCounts(); ok {
+				snap.GatewayHist = HistView{Bins: bins, Counts: counts, Version: st.gateway.Version()}
+			}
 		}
 	}
-	return ReplicaSnapshot{}, fmt.Errorf("repository: unknown replica %q", id)
+	if e, ok := r.entries[methodKey{replica: id, method: method}]; ok {
+		snap.ServiceTimes = e.service.Values()
+		snap.QueueDelays = e.queue.Values()
+		if r.resolution > 0 {
+			if bins, counts, ok := e.service.HistCounts(); ok {
+				snap.ServiceHist = HistView{Bins: bins, Counts: counts, Version: e.service.Version()}
+			}
+			if bins, counts, ok := e.queue.HistCounts(); ok {
+				snap.QueueHist = HistView{Bins: bins, Counts: counts, Version: e.queue.Version()}
+			}
+		}
+		snap.HasHistory = len(snap.ServiceTimes) > 0 && len(snap.QueueDelays) > 0
+	}
+	return snap
+}
+
+// SnapshotOne returns the snapshot for a single replica. It builds just that
+// replica's entry — cost independent of membership size — so per-replica
+// probes and staleness checks stay O(1).
+func (r *Repository) SnapshotOne(id wire.ReplicaID, method string) (ReplicaSnapshot, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, ok := r.replicas[id]
+	if !ok {
+		return ReplicaSnapshot{}, fmt.Errorf("repository: unknown replica %q", id)
+	}
+	return r.snapshotReplicaLocked(id, st, method), nil
 }

@@ -21,7 +21,7 @@ func benchRepo(n, l int) *Repository {
 				QueueLength: j,
 			}, now)
 		}
-		r.RecordGatewayDelay(id, "", time.Millisecond)
+		r.RecordGatewayDelay(id, time.Millisecond)
 	}
 	return r
 }
@@ -54,6 +54,46 @@ func BenchmarkSnapshot(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkSnapshotOne measures the single-replica lookup used by probes and
+// staleness checks. Its cost must not scale with membership size (it used to
+// build and sort the full snapshot slice).
+func BenchmarkSnapshotOne(b *testing.B) {
+	for _, n := range []int{2, 32, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := benchRepo(n, 5)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.SnapshotOne("replica-000", ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotOneConstantWork pins SnapshotOne to per-replica cost: the
+// allocations for one lookup must be identical at 10 and 1000 members. With
+// the old full-snapshot implementation the large pool allocates hundreds of
+// times more.
+func TestSnapshotOneConstantWork(t *testing.T) {
+	small := benchRepo(10, 5)
+	large := benchRepo(1000, 5)
+	measure := func(r *Repository) float64 {
+		return testing.AllocsPerRun(100, func() {
+			if _, err := r.SnapshotOne("replica-001", "m-never-seen"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.SnapshotOne("replica-001", ""); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a, b := measure(small), measure(large)
+	if a != b {
+		t.Errorf("SnapshotOne allocs scale with membership: %v at n=10 vs %v at n=1000", a, b)
 	}
 }
 

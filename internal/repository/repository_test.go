@@ -79,7 +79,7 @@ func TestSlidingWindowEviction(t *testing.T) {
 func TestRecordForUnknownReplicaIgnored(t *testing.T) {
 	r := New()
 	r.RecordPerf("ghost", "", perf(ms, ms, 1), time.Now())
-	r.RecordGatewayDelay("ghost", "", ms)
+	r.RecordGatewayDelay("ghost", ms)
 	if r.Len() != 0 {
 		t.Error("unknown replica should not be materialized")
 	}
@@ -92,8 +92,8 @@ func TestGatewayDelayMostRecentWins(t *testing.T) {
 	r := New()
 	r.AddReplica("a")
 	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
-	r.RecordGatewayDelay("a", "", 3*ms)
-	r.RecordGatewayDelay("a", "", 9*ms)
+	r.RecordGatewayDelay("a", 3*ms)
+	r.RecordGatewayDelay("a", 9*ms)
 	s := r.Snapshot("")[0]
 	if s.GatewayDelay != 9*ms {
 		t.Errorf("GatewayDelay = %v, want most recent 9ms", s.GatewayDelay)
@@ -101,24 +101,92 @@ func TestGatewayDelayMostRecentWins(t *testing.T) {
 }
 
 func TestGatewayDelayNegativeClamped(t *testing.T) {
+	// Paper-default point-mass window: a negative (clock-adjustment) sample
+	// is clamped to 0 so the estimate stays fresh.
 	r := New()
 	r.AddReplica("a")
 	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
-	r.RecordGatewayDelay("a", "", -4*ms)
+	r.RecordGatewayDelay("a", -4*ms)
 	if got := r.Snapshot("")[0].GatewayDelay; got != 0 {
 		t.Errorf("GatewayDelay = %v, want clamped 0", got)
 	}
 }
 
-func TestGatewayHistoryExtensionAverages(t *testing.T) {
+func TestGatewayDelayNegativeDroppedWithHistory(t *testing.T) {
+	// With a T history window a fabricated 0 would put probability mass at a
+	// delay that was never observed; the sample is dropped instead.
 	r := New(WithGatewayHistory(3))
 	r.AddReplica("a")
 	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
-	r.RecordGatewayDelay("a", "", 2*ms)
-	r.RecordGatewayDelay("a", "", 4*ms)
-	r.RecordGatewayDelay("a", "", 6*ms)
-	if got := r.Snapshot("")[0].GatewayDelay; got != 4*ms {
-		t.Errorf("GatewayDelay = %v, want window mean 4ms", got)
+	r.RecordGatewayDelay("a", 5*ms)
+	r.RecordGatewayDelay("a", -4*ms)
+	s := r.Snapshot("")[0]
+	if got := s.GatewayDelay; got != 5*ms {
+		t.Errorf("GatewayDelay = %v, want 5ms (negative sample dropped)", got)
+	}
+	if len(s.GatewayDelays) != 1 || s.GatewayDelays[0] != 5*ms {
+		t.Errorf("GatewayDelays = %v, want [5ms]", s.GatewayDelays)
+	}
+}
+
+func TestGatewayHistoryWindowExposed(t *testing.T) {
+	r := New(WithGatewayHistory(3))
+	r.AddReplica("a")
+	r.RecordPerf("a", "", perf(ms, ms, 0), time.Now())
+	r.RecordGatewayDelay("a", 2*ms)
+	r.RecordGatewayDelay("a", 4*ms)
+	r.RecordGatewayDelay("a", 6*ms)
+	s := r.Snapshot("")[0]
+	// The scalar stays the most recent value (point-mass compatibility); the
+	// full window rides along for the distributional model.
+	if got := s.GatewayDelay; got != 6*ms {
+		t.Errorf("GatewayDelay = %v, want last value 6ms", got)
+	}
+	if len(s.GatewayDelays) != 3 || s.GatewayDelays[0] != 2*ms || s.GatewayDelays[2] != 6*ms {
+		t.Errorf("GatewayDelays = %v, want [2ms 4ms 6ms]", s.GatewayDelays)
+	}
+	if !s.GatewayHist.OK() || s.GatewayHist.Version == 0 {
+		t.Errorf("GatewayHist missing: %+v", s.GatewayHist)
+	}
+	if len(s.GatewayHist.Bins) != 3 {
+		t.Errorf("GatewayHist.Bins = %v, want 3 distinct bins", s.GatewayHist.Bins)
+	}
+	// Eviction: a fourth sample pushes out the oldest and bumps the version.
+	before := s.GatewayHist.Version
+	r.RecordGatewayDelay("a", 8*ms)
+	s = r.Snapshot("")[0]
+	if len(s.GatewayDelays) != 3 || s.GatewayDelays[0] != 4*ms {
+		t.Errorf("GatewayDelays after eviction = %v, want [4ms 6ms 8ms]", s.GatewayDelays)
+	}
+	if s.GatewayHist.Version == before {
+		t.Error("GatewayHist.Version unchanged after a new sample")
+	}
+}
+
+func TestGatewayDelaySharedAcrossMethods(t *testing.T) {
+	// Regression: the T window is per-link state. A delay recorded with no
+	// method history at all (the prober's case) must be visible in every
+	// method's snapshot — before the fix it was filed under a per-(replica,
+	// method) entry and never reached named methods.
+	r := New()
+	r.AddReplica("a")
+	r.RecordGatewayDelay("a", 7*ms)
+	s, err := r.SnapshotOne("a", "someMethod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GatewayDelay != 7*ms {
+		t.Errorf("Snapshot(someMethod).GatewayDelay = %v, want probe-measured 7ms", s.GatewayDelay)
+	}
+	// And once the method has its own S/W history, T still comes from the
+	// shared link state.
+	r.RecordPerf("a", "someMethod", perf(ms, ms, 0), time.Now())
+	s, err = r.SnapshotOne("a", "someMethod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasHistory || s.GatewayDelay != 7*ms {
+		t.Errorf("warm snapshot = {HasHistory:%v GatewayDelay:%v}, want {true 7ms}", s.HasHistory, s.GatewayDelay)
 	}
 }
 
@@ -216,7 +284,7 @@ func TestConcurrentAccess(t *testing.T) {
 			id := ids[i%len(ids)]
 			for j := 0; j < 200; j++ {
 				r.RecordPerf(id, "", perf(ms, ms, j), time.Now())
-				r.RecordGatewayDelay(id, "", ms)
+				r.RecordGatewayDelay(id, ms)
 				_ = r.Snapshot("")
 				_ = r.Replicas()
 			}

@@ -291,6 +291,12 @@ type Client struct {
 	rng      *stats.Rand
 	replicas map[wire.ReplicaID]*Replica
 
+	// WAN mode (Scenario.WAN): per-replica one-way delay distributions by
+	// host index, request and response directions. When set they replace
+	// the shared NetworkModel for this client's traffic.
+	linkTo   []stats.DelayDist
+	linkFrom []stats.DelayDist
+
 	think    time.Duration
 	total    int
 	giveUp   time.Duration // no-reply fallback so the loop always advances
@@ -334,7 +340,7 @@ func (c *Client) probeLoop() {
 		if !ok {
 			continue // left the view (or was retired) since the snapshot
 		}
-		reqDelay := c.network.delay(c.rng)
+		reqDelay := c.delayTo(rep)
 		drop, extra := c.linkFault(rep, now)
 		if drop {
 			continue // probe lost on the faulty link
@@ -345,7 +351,7 @@ func (c *Client) probeLoop() {
 			if !ok {
 				return // crashed before completing: no probe reply
 			}
-			respDelay := c.network.delay(c.rng)
+			respDelay := c.delayFrom(rep)
 			drop, extra := c.linkFault(rep, done)
 			if drop {
 				return
@@ -460,7 +466,7 @@ func (c *Client) issueOne() {
 		if !ok {
 			continue
 		}
-		reqDelay := c.network.delay(c.rng)
+		reqDelay := c.delayTo(rep)
 		drop, extra := c.linkFault(rep, t0v)
 		if drop {
 			continue // request lost on the faulty link
@@ -474,7 +480,7 @@ func (c *Client) issueOne() {
 			key := jobKey{client: c.ID, seq: seq}
 			c.kernel.After(reqDelay, func() {
 				rep.evSubmit(key, func(done time.Duration, perf wire.PerfReport) {
-					respDelay := c.network.delay(c.rng)
+					respDelay := c.delayFrom(rep)
 					drop, extra := c.linkFault(rep, done)
 					if drop {
 						return // reply lost on the faulty link
@@ -492,7 +498,7 @@ func (c *Client) issueOne() {
 			if !ok {
 				return // crashed before completing: reply never sent
 			}
-			respDelay := c.network.delay(c.rng)
+			respDelay := c.delayFrom(rep)
 			drop, extra := c.linkFault(rep, done)
 			if drop {
 				return // reply lost on the faulty link
@@ -531,6 +537,30 @@ func (c *Client) issueOne() {
 			c.kernel.After(c.think, c.issueNext)
 		}
 	})
+}
+
+// delayTo draws the one-way latency for a message from this client to rep:
+// the WAN link when configured, the shared network model otherwise.
+func (c *Client) delayTo(rep *Replica) time.Duration {
+	if c.linkTo != nil {
+		if d := c.linkTo[rep.index]; d != nil {
+			return d.Sample(c.rng)
+		}
+		return 0
+	}
+	return c.network.delay(c.rng)
+}
+
+// delayFrom draws the one-way latency for a message from rep back to this
+// client (the latency matrix need not be symmetric).
+func (c *Client) delayFrom(rep *Replica) time.Duration {
+	if c.linkFrom != nil {
+		if d := c.linkFrom[rep.index]; d != nil {
+			return d.Sample(c.rng)
+		}
+		return 0
+	}
+	return c.network.delay(c.rng)
 }
 
 // linkFault evaluates the scenario's link faults for one message crossing
@@ -608,7 +638,7 @@ func (c *Client) fanCancel(seq wire.SeqNo) {
 		if !ok {
 			continue
 		}
-		d := c.network.delay(c.rng)
+		d := c.delayTo(rep)
 		drop, extra := c.linkFault(rep, now)
 		if drop {
 			continue // cancel lost: the duplicate is served, as without it

@@ -56,6 +56,9 @@ type ClientSpec struct {
 	// Poisson process). Think is ignored. The paper's protocol is the
 	// closed loop (Arrival nil, Think = 1s).
 	Arrival stats.DelayDist
+	// Region places the client when Scenario.WAN is set (ignored
+	// otherwise). The zero value is region 0.
+	Region int
 }
 
 // LinkFault injects timing faults on the simulated client↔replica links,
@@ -96,6 +99,11 @@ type Scenario struct {
 	Clients  []ClientSpec
 	// Network shapes one-way delays; the zero value means an ideal LAN.
 	Network NetworkModel
+	// WAN, when non-nil, replaces the shared Network with per-link delays
+	// drawn from an inter-region latency matrix, and optionally layers
+	// epoched link congestion (WANJitter) onto the fault injector. Opens
+	// the geo-distributed scenario family (a16).
+	WAN *WANModel
 	// Faults injects message loss and added delay on specific links for
 	// specific virtual-time windows (the paper's §5.4 timing-fault classes:
 	// overloaded links and lost messages).
@@ -359,6 +367,18 @@ func Run(s Scenario) (*Result, error) {
 	k := NewKernel()
 	root := stats.NewRand(s.Seed)
 
+	// WAN expansion draws from its own sub-stream, taken before any other
+	// Split so the epoch plan is a pure function of the seed. Scenarios
+	// without a WAN take no Split here, preserving their streams.
+	if s.WAN != nil {
+		if err := s.WAN.validate(len(s.Replicas), s.Clients); err != nil {
+			return nil, err
+		}
+		if jf := s.WAN.expandJitter(root.Split()); len(jf) > 0 {
+			s.Faults = append(append([]LinkFault(nil), s.Faults...), jf...)
+		}
+	}
+
 	// Build replicas on private random streams.
 	replicas := make([]*Replica, len(s.Replicas))
 	byID := make(map[wire.ReplicaID]*Replica, len(s.Replicas))
@@ -479,6 +499,16 @@ func Run(s Scenario) (*Result, error) {
 			finished:     func() { remaining-- },
 			rec:          s.Trace,
 			cancellation: s.Cancellation,
+		}
+		if s.WAN != nil {
+			cr := spec.Region
+			c.linkTo = make([]stats.DelayDist, len(replicas))
+			c.linkFrom = make([]stats.DelayDist, len(replicas))
+			for j := range replicas {
+				rr := s.WAN.ReplicaRegion[j]
+				c.linkTo[j] = s.WAN.Latency[cr][rr]
+				c.linkFrom[j] = s.WAN.Latency[rr][cr]
+			}
 		}
 		clients[i] = c
 		ctrls[i] = ctrl

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"aqua/internal/stats"
+)
+
+// WANModel describes a geo-distributed deployment: every replica lives in a
+// region, and each client↔replica message draws its one-way delay from the
+// inter-region latency matrix instead of the scenario's shared NetworkModel.
+// This is the regime the paper's point-mass T cannot describe — per-link
+// delay dominates response time and differs per (client, replica) pair — and
+// the regime the distributional gateway-delay extension exists for.
+type WANModel struct {
+	// Regions is the number of regions (sites).
+	Regions int
+	// ReplicaRegion maps each Scenario.Replicas index to its region. Clients
+	// pick their own region via ClientSpec.Region.
+	ReplicaRegion []int
+	// Latency[from][to] draws one-way delays from region `from` to region
+	// `to`. A nil entry means zero delay (e.g. intra-region on an ideal
+	// LAN). The matrix need not be symmetric.
+	Latency [][]stats.DelayDist
+	// Jitter, when non-nil, layers windowed congestion on the links: for
+	// each epoch a congestion coin decides whether a link spends that epoch
+	// congested, adding Extra one-way delay to every message crossing it.
+	// It expands into LinkFault windows on the scenario's fault injector,
+	// so it stacks with any explicitly configured Faults.
+	Jitter *WANJitter
+}
+
+// WANJitter is epoched link congestion: the bimodal-link generator. Unlike
+// NetworkModel.SpikeProb (an independent coin per message), congestion here
+// persists for a whole epoch — consecutive messages on a congested link all
+// see the extra delay, which is what makes a point-mass T alternately
+// over- and under-estimate the link.
+type WANJitter struct {
+	// Period is the epoch length.
+	Period time.Duration
+	// Prob is the probability that a given link spends a given epoch
+	// congested.
+	Prob float64
+	// Extra draws the one-way delay added to each message during a
+	// congested epoch.
+	Extra stats.DelayDist
+	// Horizon bounds how far into virtual time epochs are expanded
+	// (0 = DefaultJitterHorizon). Links are calm after the horizon.
+	Horizon time.Duration
+	// Regions restricts congestion to replicas in the listed regions
+	// (nil = every region).
+	Regions []int
+	// Correlated draws one congestion coin per (region, epoch) — a whole
+	// site's egress saturating at once — instead of the default independent
+	// coin per (replica, epoch). Correlated congestion defeats same-region
+	// redundancy; independent congestion is what cross-replica redundancy
+	// insures against.
+	Correlated bool
+}
+
+// DefaultJitterHorizon bounds jitter expansion when WANJitter.Horizon is
+// unset. Kept finite because every expanded epoch is a LinkFault the
+// per-message fault scan walks.
+const DefaultJitterHorizon = 2 * time.Minute
+
+// validate checks the WAN description against the scenario's shape.
+func (w *WANModel) validate(nReplicas int, clients []ClientSpec) error {
+	if w.Regions < 1 {
+		return fmt.Errorf("sim: WAN needs at least one region")
+	}
+	if len(w.ReplicaRegion) != nReplicas {
+		return fmt.Errorf("sim: WAN maps %d replicas to regions, scenario has %d", len(w.ReplicaRegion), nReplicas)
+	}
+	for i, r := range w.ReplicaRegion {
+		if r < 0 || r >= w.Regions {
+			return fmt.Errorf("sim: replica %d in region %d, have %d regions", i, r, w.Regions)
+		}
+	}
+	if len(w.Latency) != w.Regions {
+		return fmt.Errorf("sim: WAN latency matrix has %d rows, want %d", len(w.Latency), w.Regions)
+	}
+	for i, row := range w.Latency {
+		if len(row) != w.Regions {
+			return fmt.Errorf("sim: WAN latency row %d has %d entries, want %d", i, len(row), w.Regions)
+		}
+	}
+	for i, c := range clients {
+		if c.Region < 0 || c.Region >= w.Regions {
+			return fmt.Errorf("sim: client %d in region %d, have %d regions", i, c.Region, w.Regions)
+		}
+	}
+	if j := w.Jitter; j != nil {
+		if j.Period <= 0 {
+			return fmt.Errorf("sim: WAN jitter needs a positive period")
+		}
+		if j.Prob < 0 || j.Prob > 1 {
+			return fmt.Errorf("sim: WAN jitter probability %v outside [0,1]", j.Prob)
+		}
+		if j.Prob > 0 && j.Extra == nil {
+			return fmt.Errorf("sim: WAN jitter has no Extra delay distribution")
+		}
+		for _, r := range j.Regions {
+			if r < 0 || r >= w.Regions {
+				return fmt.Errorf("sim: WAN jitter region %d out of range", r)
+			}
+		}
+	}
+	return nil
+}
+
+// jitterRegion reports whether region r is subject to jitter.
+func (j *WANJitter) jitterRegion(r int) bool {
+	if len(j.Regions) == 0 {
+		return true
+	}
+	for _, jr := range j.Regions {
+		if jr == r {
+			return true
+		}
+	}
+	return false
+}
+
+// expandJitter rolls the congestion coins for every epoch up to the horizon
+// and emits the resulting LinkFault windows. Correlated mode flips one coin
+// per (region, epoch) and applies it to every replica in the region;
+// independent mode flips one per (replica, epoch).
+func (w *WANModel) expandJitter(rng *stats.Rand) []LinkFault {
+	j := w.Jitter
+	if j == nil || j.Prob <= 0 {
+		return nil
+	}
+	horizon := j.Horizon
+	if horizon <= 0 {
+		horizon = DefaultJitterHorizon
+	}
+	var faults []LinkFault
+	emit := func(replica int, from time.Duration) {
+		faults = append(faults, LinkFault{
+			Replica:    replica,
+			From:       from,
+			Until:      from + j.Period,
+			ExtraDelay: j.Extra,
+		})
+	}
+	for from := time.Duration(0); from < horizon; from += j.Period {
+		if j.Correlated {
+			for region := 0; region < w.Regions; region++ {
+				if !j.jitterRegion(region) || rng.Float64() >= j.Prob {
+					continue
+				}
+				for idx, rr := range w.ReplicaRegion {
+					if rr == region {
+						emit(idx, from)
+					}
+				}
+			}
+			continue
+		}
+		for idx, rr := range w.ReplicaRegion {
+			if j.jitterRegion(rr) && rng.Float64() < j.Prob {
+				emit(idx, from)
+			}
+		}
+	}
+	return faults
+}

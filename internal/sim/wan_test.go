@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/stats"
+	"aqua/internal/wire"
+)
+
+// wanThreeRegion is a minimal geo-split: the client sits in region 0 with a
+// local replica, a near replica across a 30ms one-way link, and a far replica
+// across an 80ms one-way link. The far replica deliberately holds index 0 —
+// the lowest replica ID — so that if its measured gateway delay never reached
+// predictions (the bug this test pins), all three F_Ri would tie at 1 and the
+// ID tie-break would keep the far replica in every selection.
+func wanThreeRegion() Scenario {
+	lat := func(d time.Duration) stats.DelayDist { return stats.Constant{Delay: d} }
+	return Scenario{
+		Replicas: []ReplicaSpec{
+			{Service: stats.Constant{Delay: 10 * time.Millisecond}}, // far, region 2
+			{Service: stats.Constant{Delay: 10 * time.Millisecond}}, // local, region 0
+			{Service: stats.Constant{Delay: 10 * time.Millisecond}}, // near, region 1
+		},
+		Clients: []ClientSpec{{
+			QoS:      wire.QoS{Deadline: 120 * time.Millisecond, MinProbability: 0.9},
+			Requests: 40,
+			Think:    10 * time.Millisecond,
+			Region:   0,
+		}},
+		WAN: &WANModel{
+			Regions:       3,
+			ReplicaRegion: []int{2, 0, 1},
+			Latency: [][]stats.DelayDist{
+				{nil, lat(30 * time.Millisecond), lat(80 * time.Millisecond)},
+				{lat(30 * time.Millisecond), nil, nil},
+				{lat(80 * time.Millisecond), nil, nil},
+			},
+		},
+		Seed: 11,
+	}
+}
+
+func TestWANRoutesAroundFarReplica(t *testing.T) {
+	res, err := Run(wanThreeRegion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Clients[0]
+	if c.TimelyCount() != 40 {
+		t.Fatalf("timely %d/40 with a 120ms deadline and a 10ms local replica", c.TimelyCount())
+	}
+	// Once the far replica's first reply lands, its measured T ≈ 160ms puts
+	// F_far(120ms) at zero and Algorithm 1 drops it; it only serves the
+	// cold-start flood. Local and near (F = 1) stay selected throughout.
+	far, local, near := res.ReplicaServe[0], res.ReplicaServe[1], res.ReplicaServe[2]
+	if local != 40 || near != 40 {
+		t.Errorf("served = %v; want local and near replicas selected for all 40 requests", res.ReplicaServe)
+	}
+	if far*2 >= local {
+		t.Errorf("far replica served %d of 40; want it dropped once its gateway delay is measured", far)
+	}
+	// The winning reply always comes off the zero-latency local link.
+	if p := c.ResponseTimePercentile(95); p > 60*time.Millisecond {
+		t.Errorf("p95 response %v, want < 60ms (local path)", p)
+	}
+}
+
+func TestWANValidation(t *testing.T) {
+	s := wanThreeRegion()
+	s.WAN.ReplicaRegion = []int{0, 1} // wrong length
+	if _, err := Run(s); err == nil {
+		t.Error("want error for mismatched ReplicaRegion length")
+	}
+	s = wanThreeRegion()
+	s.WAN.Latency = s.WAN.Latency[:1]
+	if _, err := Run(s); err == nil {
+		t.Error("want error for short latency matrix")
+	}
+	s = wanThreeRegion()
+	s.Clients[0].Region = 7
+	if _, err := Run(s); err == nil {
+		t.Error("want error for out-of-range client region")
+	}
+	s = wanThreeRegion()
+	s.WAN.Jitter = &WANJitter{Period: 0, Prob: 0.5, Extra: stats.Constant{Delay: time.Millisecond}}
+	if _, err := Run(s); err == nil {
+		t.Error("want error for zero jitter period")
+	}
+}
+
+func TestWANJitterExpansion(t *testing.T) {
+	w := &WANModel{
+		Regions:       2,
+		ReplicaRegion: []int{0, 0, 1},
+		Latency:       [][]stats.DelayDist{{nil, nil}, {nil, nil}},
+		Jitter: &WANJitter{
+			Period:  time.Second,
+			Prob:    1, // every epoch congested: deterministic shape
+			Extra:   stats.Constant{Delay: 30 * time.Millisecond},
+			Horizon: 5 * time.Second,
+			Regions: []int{0},
+		},
+	}
+	faults := w.expandJitter(stats.NewRand(1))
+	// 5 epochs × 2 replicas in region 0; replica 2 (region 1) untouched.
+	if len(faults) != 10 {
+		t.Fatalf("expanded %d faults, want 10", len(faults))
+	}
+	for _, f := range faults {
+		if f.Replica == 2 {
+			t.Fatalf("jitter leaked into excluded region: %+v", f)
+		}
+		if f.Until-f.From != time.Second {
+			t.Errorf("epoch window %v → %v, want 1s wide", f.From, f.Until)
+		}
+		if f.ExtraDelay == nil {
+			t.Error("fault missing ExtraDelay")
+		}
+	}
+
+	// Correlated mode: one coin per (region, epoch) — with Prob 1 the same
+	// count, but both replicas of a region always congest together. Use a
+	// fractional probability and check pairing instead.
+	w.Jitter.Correlated = true
+	w.Jitter.Prob = 0.5
+	faults = w.expandJitter(stats.NewRand(2))
+	byEpoch := map[time.Duration][]int{}
+	for _, f := range faults {
+		byEpoch[f.From] = append(byEpoch[f.From], f.Replica)
+	}
+	for from, reps := range byEpoch {
+		if len(reps) != 2 {
+			t.Errorf("epoch %v congested %v; correlated mode must take the whole region down", from, reps)
+		}
+	}
+}
