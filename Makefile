@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 a16 a17 race-lifecycle metrics-smoke fuzz clean
+.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 a15 a16 a17 race-lifecycle metrics-smoke fuzz clean
 
 all: build vet test
 
@@ -64,6 +64,14 @@ a13:
 # Exits non-zero when any recovery bound is missed (see EXPERIMENTS.md, a14).
 a14:
 	$(GO) run ./cmd/aqua-exp -exp a14
+
+# Shared-intelligence digest fabric: K=4 gossiping gateways vs a single warm
+# gateway vs the same fleet without gossip, aggregated over fixed seeds.
+# Exits non-zero when the gossiping fleet misses 95% of the single gateway's
+# timely fraction, exceeds 1/K of the no-gossip fleet's probe traffic, or the
+# per-gateway digest accounting breaks (see EXPERIMENTS.md, a15).
+a15:
+	$(GO) run ./cmd/aqua-exp -exp a15
 
 # WAN deployment ranking: place a replica budget over regions with bimodal
 # (epoch-congested) links and rank placements by timely fraction under the

@@ -240,6 +240,53 @@ type ClientConfig struct {
 	// (BudgetedSelection); nil Strategy defaults to BudgetedSelection when
 	// this is set. Zero MaxK means the pool size at client creation.
 	AdaptiveBudget *AdaptiveBudgetConfig
+	// DigestGossip, when non-nil, joins this client to the shared-
+	// intelligence digest fabric: its repository's locally measured window
+	// digests are pushed to peer gateways on a jittered cadence and peers'
+	// digests seed this client's predictions for replicas it has no local
+	// history on (displaced sample-by-sample as local measurements arrive).
+	// Wire the peer set with ConnectGossip after minting the clients.
+	DigestGossip *DigestGossipConfig
+	// DisablePerfSubscription opts this client out of the §5.4 per-request
+	// performance-report subscription: it learns only from its own replies
+	// and probes. This is the WAN/high-fan-out regime where per-request
+	// publication to every gateway is too expensive and DigestGossip is the
+	// intended channel for shared intelligence.
+	DisablePerfSubscription bool
+}
+
+// DigestGossipConfig configures a client's participation in the digest
+// fabric (see ClientConfig.DigestGossip).
+type DigestGossipConfig struct {
+	// Interval is the base gossip cadence; each push fires after a uniform
+	// jitter in [0.5, 1.5) × Interval. Non-positive disables gossip.
+	Interval time.Duration
+	// Bootstrap requests a full digest snapshot from one peer as soon as
+	// peers are known (ConnectGossip), seeding the repository before the
+	// first jittered round — the peer-snapshot bootstrap for freshly placed
+	// gateways.
+	Bootstrap bool
+}
+
+// GossipStats counts one client's digest-fabric activity; see
+// Client.DigestStats.
+type GossipStats = gateway.GossipStats
+
+// ConnectGossip full-meshes the digest fabric over the given clients: each
+// gossip-enabled client's peer set becomes every other client's transport
+// address. Clients minted without DigestGossip are valid mesh members (their
+// addresses are shared) but ignore the fabric themselves. Pending bootstraps
+// fire immediately against the new peer set.
+func ConnectGossip(clients ...*Client) {
+	for _, self := range clients {
+		peers := make([]transport.Addr, 0, len(clients)-1)
+		for _, other := range clients {
+			if other != self {
+				peers = append(peers, other.addr)
+			}
+		}
+		self.handler.SetGossipPeers(peers)
+	}
 }
 
 // Client is a connected service client. Create with Cluster.NewClient;
@@ -247,6 +294,7 @@ type ClientConfig struct {
 type Client struct {
 	handler *gateway.TimingFaultHandler
 	cluster *Cluster
+	addr    transport.Addr // the client's own endpoint address (gossip peering)
 }
 
 // Call invokes the service and returns the earliest reply, blocking up to
@@ -269,6 +317,20 @@ func (c *Client) Stats() Stats { return c.handler.Stats() }
 func (c *Client) ControllerStats() (s ControllerStats, ok bool) {
 	return c.handler.ControllerStats()
 }
+
+// DigestStats returns the digest-fabric counters; ok is false when
+// ClientConfig.DigestGossip was not set.
+func (c *Client) DigestStats() (s GossipStats, ok bool) {
+	return c.handler.GossipStats()
+}
+
+// ProbesSent returns how many active probes this client has dispatched
+// (0 when ClientConfig.ProbeInterval is unset).
+func (c *Client) ProbesSent() uint64 { return c.handler.ProbesSent() }
+
+// Addr returns the client's own transport address (its gossip peering
+// identity on the cluster's network).
+func (c *Client) Addr() string { return string(c.addr) }
 
 // Close releases the client.
 func (c *Client) Close() {
@@ -726,6 +788,18 @@ func controllerFor(cfg ClientConfig, pool int) *core.AdaptiveBudget {
 	return core.NewAdaptiveBudget(ac)
 }
 
+// gossipFor translates the public gossip configuration for the handler.
+// Peers start empty; ConnectGossip wires the mesh once the fleet exists.
+func gossipFor(cfg ClientConfig) *gateway.GossipConfig {
+	if cfg.DigestGossip == nil || cfg.DigestGossip.Interval <= 0 {
+		return nil
+	}
+	return &gateway.GossipConfig{
+		Interval:  cfg.DigestGossip.Interval,
+		Bootstrap: cfg.DigestGossip.Bootstrap,
+	}
+}
+
 func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("client-%d", time.Now().UnixNano())
@@ -754,6 +828,8 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 		Lifecycle:          c.lifecycleFor(cfg.Lifecycle),
 		CancelOnFirstReply: cfg.CancelOnFirstReply,
 		Controller:         controllerFor(cfg, len(static)),
+		Gossip:             gossipFor(cfg),
+		NoPerfSubscription: cfg.DisablePerfSubscription,
 		StaticReplicas:     static,
 		Metrics:            c.reg,
 	})
@@ -761,7 +837,7 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 		_ = ep.Close()
 		return nil, fmt.Errorf("aqua: client handler: %w", err)
 	}
-	client := &Client{handler: h, cluster: c}
+	client := &Client{handler: h, cluster: c, addr: ep.Addr()}
 	c.mu.Lock()
 	c.clients[client] = true
 	c.mu.Unlock()
@@ -855,6 +931,8 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 			Lifecycle:          c.lifecycleFor(cfg.Lifecycle),
 			CancelOnFirstReply: cfg.CancelOnFirstReply,
 			Controller:         controllerFor(cfg, len(static)),
+			Gossip:             gossipFor(cfg),
+			NoPerfSubscription: cfg.DisablePerfSubscription,
 			StaticReplicas:     static,
 			Metrics:            c.reg,
 		})

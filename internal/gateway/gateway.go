@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -97,12 +98,26 @@ type Config struct {
 	// selection.Budgeted's static load→|K| interpolation; it is wired into
 	// the scheduler and fed the cancel-savings signal.
 	Controller *core.AdaptiveBudget
+	// Gossip, when non-nil with a positive Interval, joins this handler to
+	// the shared-intelligence digest fabric (gossip.go): its repository's
+	// local window digests are pushed to Gossip.Peers on a jittered cadence,
+	// peers' digests are absorbed into the borrowed tier, and with
+	// Gossip.Bootstrap the handler seeds itself from one peer's full digest
+	// set at startup.
+	Gossip *GossipConfig
 	// ProbeInterval, when positive, enables active probing (the paper's §8
 	// extension): replicas whose performance data is older than
 	// StalenessBound (or ProbeInterval if no bound is set) receive probe
 	// requests that refresh the repository without counting in the client's
 	// statistics.
 	ProbeInterval time.Duration
+	// NoPerfSubscription disables the §5.4 per-request performance-report
+	// subscription to replicas. The handler then learns only from its own
+	// replies and probes — the regime (WAN fleets, high fan-out) where
+	// per-request publication to every gateway is too expensive and the
+	// batched digest fabric (Gossip) is meant to carry shared intelligence
+	// instead.
+	NoPerfSubscription bool
 	// Metrics receives the handler's live counters (calls, errors) and is
 	// forwarded to the scheduler and prober; nil means the process-wide
 	// default registry.
@@ -117,12 +132,15 @@ type TimingFaultHandler struct {
 	sched  *core.Scheduler
 	node   *group.Node
 	prober *prober
+	gossip *gossiper
 	epoch  time.Time // trace timestamps are offsets from creation
 
-	metCalls       *metrics.Counter
-	metCallErrors  *metrics.Counter
-	metShedRetries *metrics.Counter
-	metCancels     *metrics.Counter
+	metCalls        *metrics.Counter
+	metCallErrors   *metrics.Counter
+	metShedRetries  *metrics.Counter
+	metCancels      *metrics.Counter
+	metDemuxDropped *metrics.Counter
+	dropLogOnce     sync.Once
 
 	mu         sync.Mutex
 	addrOf     map[wire.ReplicaID]transport.Addr
@@ -166,18 +184,19 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 		return nil, fmt.Errorf("gateway: %w", err)
 	}
 	h := &TimingFaultHandler{
-		cfg:            cfg,
-		ep:             ep,
-		sched:          sched,
-		epoch:          time.Now(),
-		metCalls:       reg.Counter(metrics.GatewayCalls),
-		metCallErrors:  reg.Counter(metrics.GatewayCallErrors),
-		metShedRetries: reg.Counter(metrics.GatewayShedRetries),
-		metCancels:     reg.Counter(metrics.GatewayCancels),
-		addrOf:         make(map[wire.ReplicaID]transport.Addr),
-		waiters:        make(map[wire.SeqNo]chan wire.Response),
-		subscribed:     make(map[wire.ReplicaID]bool),
-		stop:           make(chan struct{}),
+		cfg:             cfg,
+		ep:              ep,
+		sched:           sched,
+		epoch:           time.Now(),
+		metCalls:        reg.Counter(metrics.GatewayCalls),
+		metCallErrors:   reg.Counter(metrics.GatewayCallErrors),
+		metShedRetries:  reg.Counter(metrics.GatewayShedRetries),
+		metCancels:      reg.Counter(metrics.GatewayCancels),
+		metDemuxDropped: reg.Counter(metrics.GatewayDemuxDropped),
+		addrOf:          make(map[wire.ReplicaID]transport.Addr),
+		waiters:         make(map[wire.SeqNo]chan wire.Response),
+		subscribed:      make(map[wire.ReplicaID]bool),
+		stop:            make(chan struct{}),
 	}
 	for id, addr := range cfg.StaticReplicas {
 		h.addrOf[id] = addr
@@ -208,6 +227,9 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 			bound = cfg.ProbeInterval
 		}
 		h.prober = newProber(h, cfg.ProbeInterval, bound)
+	}
+	if cfg.Gossip != nil && cfg.Gossip.Interval > 0 {
+		h.gossip = newGossiper(h, *cfg.Gossip)
 	}
 	if ownRecvLoop {
 		h.wg.Add(1)
@@ -243,12 +265,32 @@ func (h *TimingFaultHandler) ProbesSent() uint64 {
 	return h.prober.Sent()
 }
 
+// GossipStats returns the digest-fabric counters; ok is false when gossip is
+// not configured.
+func (h *TimingFaultHandler) GossipStats() (s GossipStats, ok bool) {
+	if h.gossip == nil {
+		return GossipStats{}, false
+	}
+	return h.gossip.Stats(), true
+}
+
+// SetGossipPeers replaces the digest-fabric peer set at runtime (no-op when
+// gossip is not configured). A pending bootstrap retries against the new set.
+func (h *TimingFaultHandler) SetGossipPeers(peers []transport.Addr) {
+	if h.gossip != nil {
+		h.gossip.SetPeers(peers)
+	}
+}
+
 // Close stops the handler and closes its endpoint.
 func (h *TimingFaultHandler) Close() {
 	h.stopOnce.Do(func() {
 		close(h.stop)
 		if h.prober != nil {
 			h.prober.Stop()
+		}
+		if h.gossip != nil {
+			h.gossip.Stop()
 		}
 		if h.node != nil {
 			h.node.Leave()
@@ -291,6 +333,9 @@ func (h *TimingFaultHandler) onViewChange(v group.View) {
 // subscribeAll sends a performance-update subscription to any replica not
 // yet subscribed.
 func (h *TimingFaultHandler) subscribeAll(ids []wire.ReplicaID) {
+	if h.cfg.NoPerfSubscription {
+		return
+	}
 	sub := wire.Subscribe{Client: h.cfg.Client, Service: h.cfg.Service}
 	for _, id := range ids {
 		h.mu.Lock()
@@ -529,7 +574,23 @@ func (h *TimingFaultHandler) handleMessage(msg transport.Message, now time.Time)
 		if h.node != nil {
 			h.node.HandleHeartbeat(m, msg.From, now)
 		}
+	case wire.DigestSync:
+		if m.Service == h.cfg.Service && h.gossip != nil {
+			h.gossip.onSync(m, now)
+		}
+	case wire.DigestRequest:
+		if m.Service == h.cfg.Service && h.gossip != nil {
+			h.gossip.onRequest(m, msg.From)
+		}
 	default:
+		// A payload type this handler does not understand — a newer peer's
+		// message on a mixed-version fleet. Count it (and say so once) rather
+		// than silently eating it.
+		h.metDemuxDropped.Inc()
+		h.dropLogOnce.Do(func() {
+			log.Printf("gateway %s: dropping unknown payload type %T from %s (counted in %s)",
+				h.cfg.Client, msg.Payload, msg.From, metrics.GatewayDemuxDropped)
+		})
 	}
 }
 

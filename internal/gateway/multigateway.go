@@ -3,9 +3,11 @@ package gateway
 import (
 	"context"
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
+	"aqua/internal/metrics"
 	"aqua/internal/transport"
 	"aqua/internal/wire"
 )
@@ -22,6 +24,9 @@ type MultiGateway struct {
 	client wire.ClientID
 	ep     transport.Endpoint
 
+	metDemuxDropped *metrics.Counter
+	dropLogOnce     sync.Once
+
 	mu       sync.Mutex
 	handlers map[wire.Service]*TimingFaultHandler
 	closed   bool
@@ -32,16 +37,23 @@ type MultiGateway struct {
 }
 
 // NewMultiGateway creates an empty gateway on ep. The gateway owns ep's
-// receive stream; Close closes the endpoint.
-func NewMultiGateway(ep transport.Endpoint, client wire.ClientID) (*MultiGateway, error) {
+// receive stream; Close closes the endpoint. An optional metrics registry
+// receives the demux drop counter; by default it reports to the process-wide
+// default registry.
+func NewMultiGateway(ep transport.Endpoint, client wire.ClientID, reg ...*metrics.Registry) (*MultiGateway, error) {
 	if client == "" {
 		return nil, fmt.Errorf("gateway: client ID is required")
 	}
+	var r *metrics.Registry
+	if len(reg) > 0 {
+		r = reg[0]
+	}
 	g := &MultiGateway{
-		client:   client,
-		ep:       ep,
-		handlers: make(map[wire.Service]*TimingFaultHandler),
-		stop:     make(chan struct{}),
+		client:          client,
+		ep:              ep,
+		metDemuxDropped: metrics.OrDefault(r).Counter(metrics.GatewayDemuxDropped),
+		handlers:        make(map[wire.Service]*TimingFaultHandler),
+		stop:            make(chan struct{}),
 	}
 	g.wg.Add(1)
 	go g.recvLoop()
@@ -140,6 +152,14 @@ func (g *MultiGateway) recvLoop() {
 	for msg := range g.ep.Recv() {
 		service, ok := messageService(msg.Payload)
 		if !ok {
+			// A payload the demux has no route for — typically a newer
+			// peer's message type on a mixed-version fleet. Count it (and
+			// say so once) instead of silently discarding.
+			g.metDemuxDropped.Inc()
+			g.dropLogOnce.Do(func() {
+				log.Printf("gateway %s: demux dropping unknown payload type %T from %s (counted in %s)",
+					g.client, msg.Payload, msg.From, metrics.GatewayDemuxDropped)
+			})
 			continue
 		}
 		g.mu.Lock()
@@ -161,6 +181,10 @@ func messageService(payload any) (wire.Service, bool) {
 		return m.Service, true
 	case wire.Heartbeat:
 		return wire.Service(m.Service), true
+	case wire.DigestSync:
+		return m.Service, true
+	case wire.DigestRequest:
+		return m.Service, true
 	default:
 		return "", false
 	}

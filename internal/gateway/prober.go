@@ -105,13 +105,28 @@ func (p *prober) loop() {
 // back off to the point of being a liveness check, not a load source.
 const suspectedProbeBackoff = 4
 
+// nonOwnerProbeBackoff is the cadence multiplier for replicas whose probe
+// duty rendezvous-hashes to another fabric member (gossiper.ownsProbe): the
+// owner's probe results arrive as digests well within one staleness bound,
+// so a non-owner only steps in when that stops happening — owner crash or
+// fabric partition — at which point staleness crosses the backed-off bound
+// and the regular probe path takes over.
+const nonOwnerProbeBackoff = 2
+
 // sweep probes every replica whose history has gone stale, keyed by
 // lifecycle state: probation replicas are probed at full cadence regardless
 // of freshness (probes are how they earn admission), suspected replicas at
 // a backed-off cadence, quarantined replicas never.
 func (p *prober) sweep(now time.Time) {
 	repo := p.h.sched.Repository()
-	for _, snap := range repo.Snapshot("") {
+	// The shared snapshot is read-only here (the sweep only reads freshness
+	// and health), so the generation-cached slice avoids rebuilding every
+	// replica's history copies each tick — see BenchmarkProberSweep.
+	for _, snap := range repo.SnapshotShared("") {
+		// cadence is the per-health probe period: it gates both the staleness
+		// check and the in-flight age-out below, so a Suspected replica's
+		// lost probe backs off exactly like its staleness probes do.
+		cadence := p.bound
 		stale := !snap.HasHistory || now.Sub(snap.LastUpdate) > p.bound
 		switch snap.Health {
 		case repository.Quarantined:
@@ -120,7 +135,18 @@ func (p *prober) sweep(now time.Time) {
 		case repository.Probation:
 			stale = true
 		case repository.Suspected:
-			stale = !snap.HasHistory || now.Sub(snap.LastUpdate) > suspectedProbeBackoff*p.bound
+			cadence = suspectedProbeBackoff * p.bound
+			stale = !snap.HasHistory || now.Sub(snap.LastUpdate) > cadence
+		}
+		// On the gossip fabric, probe duty is sharded: a non-owner backs off
+		// so the fleet sends ~1/K of the probe traffic instead of racing to
+		// re-probe the same fleet-synchronized staleness. Probation stays at
+		// full cadence (admission evidence is local), as does a replica with
+		// no history at all (nothing borrowed to wait on).
+		if stale && snap.Health != repository.Probation && snap.HasHistory &&
+			p.h.gossip != nil && !p.h.gossip.ownsProbe(snap.ID) {
+			cadence *= nonOwnerProbeBackoff
+			stale = now.Sub(snap.LastUpdate) > cadence
 		}
 		if !stale {
 			continue
@@ -132,9 +158,14 @@ func (p *prober) sweep(now time.Time) {
 			// that nothing would ever clear.
 			continue
 		}
+		// One instant stamps both the outstanding-probe guard and the wire
+		// request: onProbeReply derives T from SentAt, so a guard stamped
+		// earlier (with the ticker's now) would disagree with the
+		// measurement by however long the sweep has been running.
+		sentNow := time.Now()
 		p.mu.Lock()
 		if last, ok := p.sentAt[snap.ID]; ok {
-			if now.Sub(last) < p.bound {
+			if sentNow.Sub(last) < cadence {
 				p.mu.Unlock()
 				continue // probe already in flight
 			}
@@ -143,7 +174,7 @@ func (p *prober) sweep(now time.Time) {
 			p.metLost.Inc()
 			p.metOutstanding.Add(-1)
 		}
-		p.sentAt[snap.ID] = now
+		p.sentAt[snap.ID] = sentNow
 		p.metOutstanding.Add(1)
 		seq := p.nextSeq
 		p.nextSeq++
@@ -155,7 +186,7 @@ func (p *prober) sweep(now time.Time) {
 			Client:  p.h.cfg.Client,
 			Seq:     seq,
 			Service: p.h.cfg.Service,
-			SentAt:  time.Now(),
+			SentAt:  sentNow,
 			Probe:   true,
 		}
 		// A lost probe is retried on a later sweep; nothing to do on error.

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -341,6 +342,94 @@ func TestProbeGatewayDelayReachesMethodSnapshots(t *testing.T) {
 	}
 	if !(withT < withoutT) {
 		t.Errorf("F_Ri(15ms) with probe T = %v, without = %v; want the probe-measured delay to shift F right", withT, withoutT)
+	}
+}
+
+// TestProberSuspectedLostProbeBacksOff is the regression fence for the
+// age-out cadence bug: the in-flight guard used to expire unanswered probes
+// at the full staleness bound even for Suspected replicas, so a dead suspect
+// was re-probed (and a loss counted) at full cadence while the staleness
+// check had backed off to suspectedProbeBackoff × bound. Both checks now
+// share the per-health cadence.
+func TestProberSuspectedLostProbeBacksOff(t *testing.T) {
+	f := newFixture(t, 1, nil)
+	// The replica is dark from the start: its probes are never answered, so
+	// the only way a second probe goes out is the in-flight age-out.
+	f.replicas["r0"].Stop()
+	reg := metrics.NewRegistry()
+	const bound = 60 * ms
+	h := f.handler(Config{
+		Client: "backoff", Service: "svc",
+		QoS:            wire.QoS{Deadline: 300 * ms, MinProbability: 0},
+		ProbeInterval:  5 * ms,
+		StalenessBound: bound,
+		Metrics:        reg,
+	})
+	repo := h.Scheduler().Repository()
+	repo.EnableLifecycle(0)
+	if !repo.Suspect("r0") {
+		t.Fatal("could not move r0 to Suspected")
+	}
+	waitFor(t, 2*time.Second, func() bool { return h.ProbesSent() >= 1 },
+		"first probe to the suspected replica")
+	start := time.Now()
+
+	// Two full staleness bounds elapse — under the bug the unanswered probe
+	// has aged out (a loss counted, a re-probe sent) by now; with the shared
+	// cadence nothing may happen before suspectedProbeBackoff × bound.
+	time.Sleep(2 * bound)
+	if lost := reg.Snapshot().Counter(metrics.ProbeLost); lost != 0 {
+		t.Fatalf("probe counted lost %v after send, before the suspected backoff (%v)",
+			time.Since(start), suspectedProbeBackoff*bound)
+	}
+	if got := h.ProbesSent(); got != 1 {
+		t.Fatalf("ProbesSent = %d before the suspected backoff, want 1", got)
+	}
+
+	// The loss is still detected — just on the backed-off cadence.
+	waitFor(t, 2*time.Second, func() bool {
+		return reg.Snapshot().Counter(metrics.ProbeLost) >= 1
+	}, "lost probe aged out at the backed-off cadence")
+}
+
+// BenchmarkProberSweep fences the sweep's read path: freshness and health
+// checks need no private history copies, so the sweep reads the
+// generation-cached shared snapshot and an idle sweep over a fresh
+// repository stays allocation-free.
+func BenchmarkProberSweep(b *testing.B) {
+	net := transport.NewInMem()
+	defer net.Close()
+	// The replicas are never dialed: fresh history means the sweep only
+	// reads, which is exactly the path being measured.
+	static := make(map[wire.ReplicaID]transport.Addr, 32)
+	for i := 0; i < 32; i++ {
+		id := wire.ReplicaID(fmt.Sprintf("r%02d", i))
+		static[id] = transport.Addr(id)
+	}
+	ep, err := net.Listen("client:bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := NewTimingFaultHandler(ep, Config{
+		Client: "bench", Service: "svc",
+		QoS:            wire.QoS{Deadline: 300 * ms, MinProbability: 0},
+		ProbeInterval:  time.Hour, // loop idles; sweep is driven by hand
+		StalenessBound: time.Hour,
+		StaticReplicas: static,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	repo := h.sched.Repository()
+	now := time.Now()
+	for id := range static {
+		repo.RecordPerf(id, "", wire.PerfReport{ServiceTime: ms, QueueDelay: ms}, now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.prober.sweep(now)
 	}
 }
 

@@ -59,6 +59,20 @@ const (
 	ProbeLost        = "aqua_probe_lost_total" // re-probed after an unanswered probe aged out
 	ProbeOutstanding = "aqua_probe_outstanding"
 
+	// Shared-intelligence digest fabric (internal/gateway/gossip.go +
+	// internal/repository/digest.go): window digests gossiped between
+	// gateways and absorbed into the borrowed tier.
+	DigestSyncsSent     = "aqua_digest_syncs_sent_total"        // DigestSync batches pushed to peers
+	DigestSyncsReceived = "aqua_digest_syncs_received_total"    // DigestSync batches accepted (after dedup)
+	DigestAbsorbed      = "aqua_digest_entries_absorbed_total"  // digest entries merged into the borrowed tier
+	DigestStale         = "aqua_digest_entries_stale_total"     // digest entries dropped (stale, unknown, no room)
+	DigestBootstraps    = "aqua_digest_bootstraps_total"        // peer-snapshot bootstrap requests issued
+	DigestRequests      = "aqua_digest_requests_total"          // DigestRequest messages served for peers
+
+	// MultiGateway demultiplexer: payloads no loaded handler understands
+	// (mixed-version fleets, unknown gossip types).
+	GatewayDemuxDropped = "aqua_gateway_demux_dropped_total"
+
 	// Transport (internal/transport). Networks report to the Default
 	// registry unless constructed with an explicit one (transport.WithMetrics,
 	// NewTCPWithMetrics, or a cluster built with aqua.WithMetrics).

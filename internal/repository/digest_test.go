@@ -1,0 +1,233 @@
+package repository
+
+// Fences for the borrowed-digest tier: local evidence displaces borrowed
+// samples one for one, borrowed data never advances probation, stale digests
+// are dropped, and only locally measured windows are ever exported.
+
+import (
+	"testing"
+	"time"
+
+	"aqua/internal/dist"
+	"aqua/internal/wire"
+)
+
+const dms = time.Millisecond
+
+// digestFor builds a single-entry DigestSync around the given digests.
+func digestSyncFor(seq uint64, digests ...wire.WindowDigest) wire.DigestSync {
+	return wire.DigestSync{
+		Client:          "peer",
+		Service:         "svc",
+		Seq:             seq,
+		ResolutionNanos: dist.DefaultResolution.Nanoseconds(),
+		WindowSize:      DefaultWindowSize,
+		Digests:         digests,
+	}
+}
+
+// fullDigest is a window-filling digest for one replica: five service samples
+// at 10ms, five queue samples at 2ms, one gateway bin at 3ms.
+func fullDigest(id wire.ReplicaID) wire.WindowDigest {
+	return wire.WindowDigest{
+		Replica:       id,
+		ServiceBins:   []int64{10},
+		ServiceCounts: []int64{5},
+		QueueBins:     []int64{2},
+		QueueCounts:   []int64{5},
+		GatewayBins:   []int64{3},
+		GatewayCounts: []int64{1},
+		QueueLength:   2,
+	}
+}
+
+// TestBorrowedDisplacement: an absorbed digest fills the window for a cold
+// replica; every local report then displaces exactly one borrowed sample, the
+// merged view never exceeds l, and a full local window ends the tier.
+func TestBorrowedDisplacement(t *testing.T) {
+	repo := New()
+	repo.AddReplica("r1")
+	now := time.Now()
+	absorbed, stale := repo.AbsorbDigests(digestSyncFor(1, fullDigest("r1")), now)
+	if absorbed != 1 || stale != 0 {
+		t.Fatalf("absorbed %d stale %d, want 1/0", absorbed, stale)
+	}
+	if got := repo.BorrowedLen("r1", ""); got != DefaultWindowSize {
+		t.Fatalf("BorrowedLen = %d, want %d", got, DefaultWindowSize)
+	}
+	snap, err := repo.SnapshotOne("r1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.HasHistory {
+		t.Fatal("borrowed digest did not establish history (cold-start select-all would fire)")
+	}
+	if len(snap.ServiceTimes) != DefaultWindowSize || snap.ServiceTimes[0] != 10*dms {
+		t.Fatalf("ServiceTimes = %v", snap.ServiceTimes)
+	}
+	if snap.GatewayDelay != 3*dms {
+		t.Fatalf("GatewayDelay seed = %v, want 3ms", snap.GatewayDelay)
+	}
+	if snap.QueueLength != 2 {
+		t.Fatalf("QueueLength = %d, want borrowed 2", snap.QueueLength)
+	}
+
+	for i := 1; i <= DefaultWindowSize; i++ {
+		repo.RecordPerf("r1", "", wire.PerfReport{ServiceTime: 20 * dms, QueueDelay: 4 * dms, QueueLength: 1}, now.Add(time.Duration(i)*time.Second))
+		snap, err = repo.SnapshotOne("r1", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap.ServiceTimes) != DefaultWindowSize {
+			t.Fatalf("after %d local reports: merged window holds %d samples, want %d", i, len(snap.ServiceTimes), DefaultWindowSize)
+		}
+		if got, want := repo.BorrowedLen("r1", ""), DefaultWindowSize-i; got != want {
+			t.Fatalf("after %d local reports: BorrowedLen = %d, want %d", i, got, want)
+		}
+		var total int
+		for j, b := range snap.ServiceHist.Bins {
+			total += snap.ServiceHist.Counts[j]
+			if b != 10 && b != 20 {
+				t.Fatalf("unexpected service bin %d", b)
+			}
+		}
+		if total != DefaultWindowSize {
+			t.Fatalf("after %d local reports: merged hist holds %d counts", i, total)
+		}
+	}
+	// Fully displaced: pure local evidence, borrowed tier gone.
+	for _, v := range snap.ServiceTimes {
+		if v != 20*dms {
+			t.Fatalf("borrowed sample survived full displacement: %v", snap.ServiceTimes)
+		}
+	}
+	if ds := repo.DigestStats(); ds.Borrowed != 0 {
+		t.Fatalf("Borrowed census = %d after displacement, want 0", ds.Borrowed)
+	}
+}
+
+// TestBorrowedNeverPromotesProbation: digest absorption must not count
+// toward probation promotion — only real performance reports re-admit.
+func TestBorrowedNeverPromotesProbation(t *testing.T) {
+	repo := New()
+	repo.EnableLifecycle(3)
+	repo.SetMembership([]wire.ReplicaID{"r1"}) // bootstrap view
+	repo.SetMembership([]wire.ReplicaID{"r1", "newcomer"})
+	if h, _ := repo.Health("newcomer"); h != Probation {
+		t.Fatalf("newcomer health = %v, want probation", h)
+	}
+	now := time.Now()
+	for seq := uint64(1); seq <= 10; seq++ {
+		d := fullDigest("newcomer")
+		repo.AbsorbDigests(digestSyncFor(seq, d), now.Add(time.Duration(seq)*time.Second))
+	}
+	if h, _ := repo.Health("newcomer"); h != Probation {
+		t.Fatalf("borrowed digests promoted the newcomer to %v", h)
+	}
+	snap, err := repo.SnapshotOne("newcomer", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.HasHistory {
+		t.Fatal("absorbed digests should still seed the newcomer's predictions")
+	}
+	// Real reports (probe replies) still promote as configured.
+	for i := 0; i < 3; i++ {
+		repo.RecordPerf("newcomer", "", wire.PerfReport{ServiceTime: dms}, now)
+	}
+	if h, _ := repo.Health("newcomer"); h != Active {
+		t.Fatalf("health = %v after 3 real reports, want active", h)
+	}
+}
+
+// TestAbsorbStaleDigestDropped: a digest older than the one already borrowed
+// (or for an unknown replica) is counted stale and changes nothing.
+func TestAbsorbStaleDigestDropped(t *testing.T) {
+	repo := New()
+	repo.AddReplica("r1")
+	now := time.Now()
+	fresh := fullDigest("r1")
+	repo.AbsorbDigests(digestSyncFor(1, fresh), now)
+
+	older := fullDigest("r1")
+	older.ServiceBins = []int64{99}
+	older.AgeNanos = (10 * time.Second).Nanoseconds()
+	absorbed, stale := repo.AbsorbDigests(digestSyncFor(2, older), now)
+	if absorbed != 0 || stale != 1 {
+		t.Fatalf("stale digest: absorbed %d stale %d, want 0/1", absorbed, stale)
+	}
+	snap, err := repo.SnapshotOne("r1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range snap.ServiceTimes {
+		if v == 99*dms {
+			t.Fatal("stale digest contents leaked into the window")
+		}
+	}
+
+	unknown := fullDigest("ghost")
+	absorbed, stale = repo.AbsorbDigests(digestSyncFor(3, unknown), now)
+	if absorbed != 0 || stale != 1 {
+		t.Fatalf("unknown replica: absorbed %d stale %d, want 0/1", absorbed, stale)
+	}
+}
+
+// TestExportDigestsLocalOnly: borrowed samples are never re-exported, so the
+// fabric cannot echo or amplify second-hand data.
+func TestExportDigestsLocalOnly(t *testing.T) {
+	repo := New()
+	repo.AddReplica("r1")
+	repo.AddReplica("r2")
+	now := time.Now()
+	repo.AbsorbDigests(digestSyncFor(1, fullDigest("r1")), now)
+	if digests := repo.ExportDigests(now); len(digests) != 0 {
+		t.Fatalf("borrowed-only repository exported %d digests, want 0", len(digests))
+	}
+	repo.RecordPerf("r2", "", wire.PerfReport{ServiceTime: 7 * dms, QueueDelay: dms}, now)
+	digests := repo.ExportDigests(now)
+	if len(digests) != 1 || digests[0].Replica != "r2" {
+		t.Fatalf("exported %v, want exactly r2's local window", digests)
+	}
+	if digests[0].ServiceBins[0] != 7 {
+		t.Fatalf("service bins = %v, want [7]", digests[0].ServiceBins)
+	}
+}
+
+// TestBorrowedFreshnessSuppressesStaleness: a fresh digest for a replica with
+// stale (or no) local history advances the snapshot's LastUpdate, which is
+// what lets one gateway's probes stand in for the whole fleet's.
+func TestBorrowedFreshnessSuppressesStaleness(t *testing.T) {
+	repo := New()
+	repo.AddReplica("r1")
+	old := time.Now().Add(-time.Hour)
+	repo.RecordPerf("r1", "", wire.PerfReport{ServiceTime: dms}, old)
+	now := time.Now()
+	d := fullDigest("r1")
+	d.AgeNanos = (50 * time.Millisecond).Nanoseconds()
+	repo.AbsorbDigests(digestSyncFor(1, d), now)
+	snap, err := repo.SnapshotOne("r1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := now.Sub(snap.LastUpdate); got < 0 || got > time.Second {
+		t.Fatalf("LastUpdate lag = %v, want ~the digest's 50ms age", got)
+	}
+}
+
+// TestLocalGatewayDelayDropsBorrowedSeed: the first locally measured link
+// delay supersedes the borrowed T point seed entirely.
+func TestLocalGatewayDelayDropsBorrowedSeed(t *testing.T) {
+	repo := New()
+	repo.AddReplica("r1")
+	now := time.Now()
+	repo.AbsorbDigests(digestSyncFor(1, fullDigest("r1")), now)
+	repo.RecordGatewayDelay("r1", 8*dms)
+	snap, err := repo.SnapshotOne("r1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GatewayDelay != 8*dms || len(snap.GatewayDelays) != 1 {
+		t.Fatalf("T after local measurement = %v %v, want pure local 8ms", snap.GatewayDelay, snap.GatewayDelays)
+	}
+}

@@ -39,6 +39,12 @@ type methodKey struct {
 type entry struct {
 	service *window.Window // service time vector S_i
 	queue   *window.Window // queuing delay vector W_i
+	// Borrowed tier (digest.go): samples absorbed from peer gateways' gossip
+	// digests, kept apart from local evidence so they can be displaced sample
+	// by sample and are never re-exported. nil when nothing is borrowed.
+	borrowedService *window.Window
+	borrowedQueue   *window.Window
+	borrowedAt      time.Time // absolute freshness of the absorbed digest
 }
 
 // replicaState is per-replica state independent of the invoked method.
@@ -62,6 +68,12 @@ type replicaState struct {
 	health        Health
 	quarantinedAt time.Time // when health last became Quarantined
 	probationGot  int       // fresh perf reports accumulated on probation
+	// Borrowed tier (digest.go): a point-estimate T seed from a peer's digest
+	// (dropped on the first local delay measurement), and the freshest time a
+	// peer vouched for this replica — folded into snapshot LastUpdate so
+	// staleness probes are shared across the fleet instead of duplicated.
+	borrowedGateway *window.Window
+	borrowedUpdate  time.Time
 }
 
 // Repository is the thread-safe information store for one service. The zero
@@ -80,6 +92,9 @@ type Repository struct {
 	probationSamples int
 	bootstrapped     bool // first non-empty membership view absorbed
 	lifeStats        LifecycleStats
+	// Digest-tier counters (digest.go), guarded by mu.
+	digestAbsorbed uint64
+	digestStale    uint64
 
 	// gen is bumped (under mu) by every mutation that changes snapshot
 	// content — performance reports, gateway delays, membership, health
@@ -274,6 +289,9 @@ func (r *Repository) RecordPerf(id wire.ReplicaID, method string, p wire.PerfRep
 	e := r.entryLocked(id, method)
 	e.service.Add(p.ServiceTime)
 	e.queue.Add(p.QueueDelay)
+	// Local evidence wins: each measured sample displaces one borrowed one,
+	// so the merged view converges to purely local data within l reports.
+	e.displaceBorrowedLocked(r.windowSize)
 	st.queueLength = p.QueueLength
 	st.lastUpdate = now
 	st.hasUpdate = true
@@ -306,6 +324,9 @@ func (r *Repository) RecordGatewayDelay(id wire.ReplicaID, td time.Duration) {
 		return
 	}
 	st.gateway.Add(td)
+	// A locally measured link delay supersedes any borrowed T seed: T is
+	// per-link state, and the peer's link is not ours.
+	st.borrowedGateway = nil
 	r.gen.Add(1)
 }
 
@@ -532,32 +553,99 @@ func (r *Repository) snapshotReplicaLocked(id wire.ReplicaID, st *replicaState, 
 		LastUpdate:  st.lastUpdate,
 		Health:      st.health,
 	}
+	if st.borrowedUpdate.After(snap.LastUpdate) {
+		// A peer vouched for this replica more recently than our own traffic:
+		// fold that into the freshness marker so staleness probes are shared
+		// across the fleet rather than duplicated per gateway.
+		snap.LastUpdate = st.borrowedUpdate
+	}
 	if r.resolution > 0 {
 		snap.Resolution = r.resolution
 	}
-	if td, ok := st.gateway.Last(); ok {
+	gw := st.gateway
+	if gw.Len() == 0 && st.borrowedGateway != nil && st.borrowedGateway.Len() > 0 {
+		gw = st.borrowedGateway // cold-start T seed, displaced by the first local delay
+	}
+	if td, ok := gw.Last(); ok {
 		snap.GatewayDelay = td
-		snap.GatewayDelays = st.gateway.Values()
+		snap.GatewayDelays = gw.Values()
 		if r.resolution > 0 {
-			if bins, counts, ok := st.gateway.HistCounts(); ok {
-				snap.GatewayHist = HistView{Bins: bins, Counts: counts, Version: st.gateway.Version()}
+			if bins, counts, ok := gw.HistCounts(); ok {
+				snap.GatewayHist = HistView{Bins: bins, Counts: counts, Version: gw.Version()}
 			}
 		}
 	}
 	if e, ok := r.entries[methodKey{replica: id, method: method}]; ok {
-		snap.ServiceTimes = e.service.Values()
-		snap.QueueDelays = e.queue.Values()
+		snap.ServiceTimes = mergedValues(e.borrowedService, e.service)
+		snap.QueueDelays = mergedValues(e.borrowedQueue, e.queue)
 		if r.resolution > 0 {
-			if bins, counts, ok := e.service.HistCounts(); ok {
-				snap.ServiceHist = HistView{Bins: bins, Counts: counts, Version: e.service.Version()}
-			}
-			if bins, counts, ok := e.queue.HistCounts(); ok {
-				snap.QueueHist = HistView{Bins: bins, Counts: counts, Version: e.queue.Version()}
-			}
+			snap.ServiceHist = mergedHistView(e.borrowedService, e.service)
+			snap.QueueHist = mergedHistView(e.borrowedQueue, e.queue)
 		}
 		snap.HasHistory = len(snap.ServiceTimes) > 0 && len(snap.QueueDelays) > 0
 	}
 	return snap
+}
+
+// mergedValues concatenates borrowed (older, possibly nil) and local samples,
+// oldest → newest.
+func mergedValues(borrowed, local *window.Window) []time.Duration {
+	if borrowed == nil || borrowed.Len() == 0 {
+		return local.Values()
+	}
+	out := make([]time.Duration, 0, borrowed.Len()+local.Len())
+	out = append(out, borrowed.Values()...)
+	return append(out, local.Values()...)
+}
+
+// mergedHistView returns the union histogram of a borrowed (possibly nil) and
+// a local window. Its version is the max of the two windows' versions: window
+// versions come from one global monotonic counter, so any mutation of either
+// window issues a version above every previously observed max — merged views
+// stay sound as memoization keys without a dedicated counter.
+func mergedHistView(borrowed, local *window.Window) HistView {
+	lBins, lCounts, lok := local.HistCounts()
+	if borrowed == nil || borrowed.Len() == 0 {
+		if !lok {
+			return HistView{}
+		}
+		return HistView{Bins: lBins, Counts: lCounts, Version: local.Version()}
+	}
+	bBins, bCounts, bok := borrowed.HistCounts()
+	ver := local.Version()
+	if bv := borrowed.Version(); bv > ver {
+		ver = bv
+	}
+	if !bok {
+		if !lok {
+			return HistView{}
+		}
+		return HistView{Bins: lBins, Counts: lCounts, Version: ver}
+	}
+	if !lok {
+		return HistView{Bins: bBins, Counts: bCounts, Version: ver}
+	}
+	bins := make([]int64, 0, len(bBins)+len(lBins))
+	counts := make([]int, 0, len(bCounts)+len(lCounts))
+	i, j := 0, 0
+	for i < len(bBins) || j < len(lBins) {
+		switch {
+		case j >= len(lBins) || (i < len(bBins) && bBins[i] < lBins[j]):
+			bins = append(bins, bBins[i])
+			counts = append(counts, bCounts[i])
+			i++
+		case i >= len(bBins) || lBins[j] < bBins[i]:
+			bins = append(bins, lBins[j])
+			counts = append(counts, lCounts[j])
+			j++
+		default:
+			bins = append(bins, bBins[i])
+			counts = append(counts, bCounts[i]+lCounts[j])
+			i++
+			j++
+		}
+	}
+	return HistView{Bins: bins, Counts: counts, Version: ver}
 }
 
 // SnapshotOne returns the snapshot for a single replica. It builds just that

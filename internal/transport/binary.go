@@ -5,7 +5,7 @@ package transport
 // gob is self-describing: every frame re-transmits type definitions, field
 // names cost bytes, and both directions allocate (reflection, buffer copies,
 // interface boxing). On the decision path the codec is the last per-request
-// allocator, so the wire messages — seven fixed shapes — get a fixed binary
+// allocator, so the wire messages — nine fixed shapes — get a fixed binary
 // layout instead:
 //
 //	frame  := len(4, big-endian) body
@@ -61,7 +61,14 @@ const (
 	binPerfUpdate
 	binHeartbeat
 	binCancel
+	binDigestSync
+	binDigestRequest
 )
+
+// maxDigestEntries bounds the decoded digest batch (and each digest's bin
+// list) so a malformed length cannot force an unbounded allocation before the
+// bounds checks on the remaining body kick in.
+const maxDigestEntries = 1 << 20
 
 // zeroTimeSentinel encodes time.Time{} — its UnixNano is undefined, and no
 // representable timestamp maps to MinInt64.
@@ -99,6 +106,29 @@ func appendPerf(b []byte, p wire.PerfReport) []byte {
 	return binary.AppendVarint(b, int64(p.QueueLength))
 }
 
+// appendInt64s encodes a length-prefixed varint slice (nil and empty both
+// encode as length 0; length 0 decodes as nil).
+func appendInt64s(b []byte, vs []int64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = binary.AppendVarint(b, v)
+	}
+	return b
+}
+
+func appendDigest(b []byte, d wire.WindowDigest) []byte {
+	b = appendStr(b, string(d.Replica))
+	b = appendStr(b, d.Method)
+	b = appendInt64s(b, d.ServiceBins)
+	b = appendInt64s(b, d.ServiceCounts)
+	b = appendInt64s(b, d.QueueBins)
+	b = appendInt64s(b, d.QueueCounts)
+	b = appendInt64s(b, d.GatewayBins)
+	b = appendInt64s(b, d.GatewayCounts)
+	b = binary.AppendVarint(b, int64(d.QueueLength))
+	return binary.AppendVarint(b, d.AgeNanos)
+}
+
 // appendBinaryBody appends the binary body for one known wire message,
 // reporting false (buf unchanged) for payload types the codec does not
 // cover — those take the gob fallback.
@@ -119,6 +149,10 @@ func appendBinaryBody(buf []byte, from Addr, payload any) ([]byte, bool) {
 		typ = binHeartbeat
 	case wire.Cancel:
 		typ = binCancel
+	case wire.DigestSync:
+		typ = binDigestSync
+	case wire.DigestRequest:
+		typ = binDigestRequest
 	default:
 		return buf, false
 	}
@@ -162,6 +196,19 @@ func appendBinaryBody(buf []byte, from Addr, payload any) ([]byte, bool) {
 	case wire.Cancel:
 		buf = appendStr(buf, string(m.Client))
 		buf = binary.AppendUvarint(buf, uint64(m.Seq))
+		buf = appendStr(buf, string(m.Service))
+	case wire.DigestSync:
+		buf = appendStr(buf, string(m.Client))
+		buf = appendStr(buf, string(m.Service))
+		buf = binary.AppendUvarint(buf, m.Seq)
+		buf = binary.AppendVarint(buf, m.ResolutionNanos)
+		buf = binary.AppendVarint(buf, int64(m.WindowSize))
+		buf = binary.AppendUvarint(buf, uint64(len(m.Digests)))
+		for _, d := range m.Digests {
+			buf = appendDigest(buf, d)
+		}
+	case wire.DigestRequest:
+		buf = appendStr(buf, string(m.Client))
 		buf = appendStr(buf, string(m.Service))
 	}
 	return buf, true
@@ -251,6 +298,49 @@ func (r *binReader) perf() wire.PerfReport {
 	}
 }
 
+// count reads a collection length and bounds it against both the remaining
+// body (every element costs at least one byte) and the digest sanity cap, so
+// a forged length can neither over-allocate nor spin.
+func (r *binReader) count() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)-r.off) || n > maxDigestEntries {
+		r.err = errMalformedFrame
+		return 0
+	}
+	return int(n)
+}
+
+// int64s reads a length-prefixed varint slice; length 0 decodes as nil.
+func (r *binReader) int64s() []int64 {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.varint()
+	}
+	return out
+}
+
+func (r *binReader) digest() wire.WindowDigest {
+	return wire.WindowDigest{
+		Replica:       wire.ReplicaID(r.str()),
+		Method:        r.str(),
+		ServiceBins:   r.int64s(),
+		ServiceCounts: r.int64s(),
+		QueueBins:     r.int64s(),
+		QueueCounts:   r.int64s(),
+		GatewayBins:   r.int64s(),
+		GatewayCounts: r.int64s(),
+		QueueLength:   int(r.varint()),
+		AgeNanos:      r.varint(),
+	}
+}
+
 // decodeBinaryBody decodes one binary-codec body (body[0] is known to be
 // binMagic). Unknown versions and message types return versioned errors so a
 // newer peer's frames are rejected loudly, not mis-parsed.
@@ -318,6 +408,29 @@ func decodeBinaryBody(body []byte) (envelope, error) {
 			Seq:     wire.SeqNo(r.uvarint()),
 			Service: wire.Service(r.str()),
 		}
+	case binDigestSync:
+		m := wire.DigestSync{
+			Client:          wire.ClientID(r.str()),
+			Service:         wire.Service(r.str()),
+			Seq:             r.uvarint(),
+			ResolutionNanos: r.varint(),
+			WindowSize:      int(r.varint()),
+		}
+		if n := r.count(); n > 0 {
+			m.Digests = make([]wire.WindowDigest, n)
+			for i := range m.Digests {
+				m.Digests[i] = r.digest()
+				if r.err != nil {
+					break
+				}
+			}
+		}
+		payload = m
+	case binDigestRequest:
+		payload = wire.DigestRequest{
+			Client:  wire.ClientID(r.str()),
+			Service: wire.Service(r.str()),
+		}
 	default:
 		return envelope{}, fmt.Errorf("transport: unknown binary message type %d", typ)
 	}
@@ -346,6 +459,10 @@ func binTypeName(t byte) string {
 		return "heartbeat"
 	case binCancel:
 		return "cancel"
+	case binDigestSync:
+		return "digest-sync"
+	case binDigestRequest:
+		return "digest-request"
 	default:
 		return "unknown"
 	}

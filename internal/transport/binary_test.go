@@ -41,6 +41,18 @@ func binaryCodecCases() []struct {
 		{"heartbeat-zero", wire.Heartbeat{}},
 		{"cancel", wire.Cancel{Client: "c7", Seq: 42, Service: "svc"}},
 		{"cancel-zero", wire.Cancel{}},
+		{"digest-sync", wire.DigestSync{Client: "g1", Service: "svc", Seq: 17, ResolutionNanos: 1_000_000, WindowSize: 5,
+			Digests: []wire.WindowDigest{
+				{Replica: "r1", Method: "get",
+					ServiceBins: []int64{3, 5, 9}, ServiceCounts: []int64{2, 2, 1},
+					QueueBins: []int64{0, 1}, QueueCounts: []int64{4, 1},
+					GatewayBins: []int64{-2, 7}, GatewayCounts: []int64{1, 4},
+					QueueLength: 3, AgeNanos: 250_000_000},
+				{Replica: "r2", Method: "get", QueueLength: -1, AgeNanos: 0},
+			}}},
+		{"digest-sync-zero", wire.DigestSync{}},
+		{"digest-request", wire.DigestRequest{Client: "g2", Service: "svc"}},
+		{"digest-request-zero", wire.DigestRequest{}},
 	}
 }
 

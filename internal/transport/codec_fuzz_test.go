@@ -22,6 +22,17 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(cancel)
+	sync, err := encodeFrame("seed", wire.DigestSync{Client: "g", Service: "svc", Seq: 1, ResolutionNanos: 1_000_000, WindowSize: 5,
+		Digests: []wire.WindowDigest{{Replica: "r", Method: "m", ServiceBins: []int64{2, 4}, ServiceCounts: []int64{3, 1}, QueueLength: 1, AgeNanos: 7}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sync)
+	reqd, err := encodeFrame("seed", wire.DigestRequest{Client: "g", Service: "svc"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(reqd)
 	f.Add(valid[:4])
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})

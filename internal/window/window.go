@@ -186,6 +186,23 @@ func (w *Window) Last() (d time.Duration, ok bool) {
 	return w.buf[idx], true
 }
 
+// TrimOldest evicts the single oldest sample, keeping the histogram in sync.
+// It returns false on an empty window. The borrowed-digest tier uses it to
+// displace one remote sample for each locally measured one, so a cold-started
+// window converges to purely local evidence within l measurements.
+func (w *Window) TrimOldest() bool {
+	if len(w.buf) == 0 {
+		return false
+	}
+	w.version = versionCounter.Add(1)
+	vals := w.Values()
+	w.histRemove(vals[0])
+	w.buf = w.buf[:0]
+	w.head = 0
+	w.buf = append(w.buf, vals[1:]...)
+	return true
+}
+
 // Reset discards all samples but keeps the capacity and resolution.
 func (w *Window) Reset() {
 	w.buf = w.buf[:0]

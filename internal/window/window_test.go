@@ -261,3 +261,45 @@ func TestNewHistogrammedPanicsOnBadResolution(t *testing.T) {
 	}()
 	NewHistogrammed(1, 0)
 }
+
+func TestTrimOldest(t *testing.T) {
+	w := NewHistogrammed(3, time.Millisecond)
+	if w.TrimOldest() {
+		t.Fatal("TrimOldest on an empty window reported true")
+	}
+	for _, v := range []time.Duration{2 * time.Millisecond, 5 * time.Millisecond, 9 * time.Millisecond, 11 * time.Millisecond} {
+		w.Add(v) // final contents: 5, 9, 11 (2ms evicted by the ring)
+	}
+	v0 := w.Version()
+	if !w.TrimOldest() {
+		t.Fatal("TrimOldest on a full window reported false")
+	}
+	if w.Version() == v0 {
+		t.Error("TrimOldest did not issue a new version")
+	}
+	if got := w.Values(); len(got) != 2 || got[0] != 9*time.Millisecond || got[1] != 11*time.Millisecond {
+		t.Fatalf("Values after trim = %v, want [9ms 11ms]", got)
+	}
+	if !histEqualsNaive(w) {
+		t.Error("histogram out of sync after TrimOldest")
+	}
+	if w.Cap() != 3 {
+		t.Errorf("Cap changed to %d", w.Cap())
+	}
+	w.TrimOldest()
+	w.TrimOldest()
+	if w.Len() != 0 || w.TrimOldest() {
+		t.Errorf("draining via TrimOldest left %d samples", w.Len())
+	}
+	if !histEqualsNaive(w) {
+		t.Error("histogram not empty after full drain")
+	}
+	// The window must keep working after a drain.
+	w.Add(7 * time.Millisecond)
+	if got := w.Values(); len(got) != 1 || got[0] != 7*time.Millisecond {
+		t.Fatalf("Add after drain: Values = %v", got)
+	}
+	if !histEqualsNaive(w) {
+		t.Error("histogram out of sync after post-drain Add")
+	}
+}

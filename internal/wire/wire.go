@@ -149,3 +149,66 @@ type Heartbeat struct {
 	View    uint64
 	At      time.Time
 }
+
+// WindowDigest is the mergeable summary of one (replica, method) performance
+// history: the incremental bin-count histograms the repository's sliding
+// windows already maintain, quantized at the enclosing DigestSync's
+// resolution. A digest carries only *locally measured* evidence — borrowed
+// (previously absorbed) digests are never re-exported, so gossip cannot echo
+// or amplify stale data through the fleet.
+type WindowDigest struct {
+	Replica ReplicaID
+	Method  string
+	// ServiceBins/ServiceCounts and QueueBins/QueueCounts are the S and W
+	// window histograms: distinct quantized bins in ascending order with
+	// their positive sample counts. Total counts never exceed the source's
+	// window size l.
+	ServiceBins   []int64
+	ServiceCounts []int64
+	QueueBins     []int64
+	QueueCounts   []int64
+	// GatewayBins/GatewayCounts summarize the source's per-link T window.
+	// T is a property of the *source's* link to the replica, so absorbers
+	// use it only as a cold-start seed, displaced by the first local
+	// measurement.
+	GatewayBins   []int64
+	GatewayCounts []int64
+	// QueueLength is the replica-reported outstanding queue length as of the
+	// source's last performance report.
+	QueueLength int
+	// AgeNanos is how stale the newest sample was at export time
+	// (export instant − last update). Absorbers reconstruct an absolute
+	// freshness as receipt time − age and keep only the freshest digest per
+	// entry, so ordering needs no synchronized clocks.
+	AgeNanos int64
+}
+
+// DigestSync is the gossip payload of the shared-intelligence fabric: a batch
+// of window digests from one gateway's repository, pushed to peer gateways on
+// a jittered cadence (and as the reply to a DigestRequest). Peers absorb the
+// digests into a borrowed tier that seeds predictions for replicas they have
+// no local history on; local measurements displace borrowed data sample by
+// sample, so local evidence always wins.
+type DigestSync struct {
+	// Client identifies the source gateway (version/source metadata: the
+	// absorber tracks the highest Seq per source and drops replays).
+	Client  ClientID
+	Service Service
+	// Seq is the source's monotonically increasing gossip round.
+	Seq uint64
+	// ResolutionNanos is the quantization of every bin in Digests. A
+	// support point is bin × resolution.
+	ResolutionNanos int64
+	// WindowSize is the source repository's sliding-window size l.
+	WindowSize int
+	Digests    []WindowDigest
+}
+
+// DigestRequest asks a peer gateway for its full digest set (peer snapshot
+// bootstrap): a newly spawned gateway seeds its repository from one peer's
+// DigestSync reply instead of paying a cold start per replica — the paper's
+// §5.4 perf-report subscription seam extended gateway-to-gateway.
+type DigestRequest struct {
+	Client  ClientID
+	Service Service
+}
