@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 a15 a16 a17 race-lifecycle metrics-smoke fuzz clean
+.PHONY: all check build vet test race bench predict-bench bench-throughput check-throughput experiments quick-experiments faults a13 a14 a15 a16 a17 a18 race-lifecycle metrics-smoke fuzz clean
 
 all: build vet test
 
@@ -89,10 +89,20 @@ a16:
 a17:
 	$(GO) run ./cmd/aqua-exp -exp a17
 
+# Ordered-mode lifecycle model check + recovery soak: an exhaustive sweep of
+# small real-stack configurations (pool size x crash schedule x injector
+# policy) held to prefix agreement, no lost acked writes, and the
+# re-admission-implies-caught-up gate, then a virtual-time soak of the
+# quarantine -> rejuvenate -> state transfer -> rejoin loop above Pc. Exits
+# non-zero on any violation with a one-line repro (see EXPERIMENTS.md, a18).
+a18:
+	$(GO) run ./cmd/aqua-exp -exp a18
+
 # Race detector focused on the lifecycle-bearing packages (CI runs this in
-# addition to the full `make race` inside `make check`).
+# addition to the full `make race` inside `make check`). The server and root
+# packages carry the ordered-mode runtime (stable delivery, state transfer).
 race-lifecycle:
-	$(GO) test -race ./internal/core ./internal/repository ./internal/proteus ./internal/gateway
+	$(GO) test -race ./internal/core ./internal/repository ./internal/proteus ./internal/gateway ./internal/server .
 
 # Observability smoke: boots a real cluster, drives traffic, serves the
 # metrics endpoint, and validates the Prometheus and JSON scrape shapes
@@ -100,10 +110,12 @@ race-lifecycle:
 metrics-smoke:
 	$(GO) test . -run TestMetricsEndToEnd -count=1 -v
 
-# Short fuzzing pass over the wire codec.
+# Short fuzzing pass over the wire codec, including the ordered-mode
+# state-transfer frames (StateRequest/StateChunk) on both codecs.
 fuzz:
 	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 20s
 	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 20s
+	$(GO) test ./internal/transport -run '^$$' -fuzz FuzzStateTransferRoundTrip -fuzztime 20s
 
 clean:
 	$(GO) clean -testcache

@@ -97,6 +97,13 @@ const (
 // Handler is the application logic run by each replica.
 type Handler = server.Handler
 
+// StateMachine is the replicated application of an ordered service: Apply
+// executes one operation, Snapshot serializes the full state, and Restore
+// replaces it (nil snapshot = reset to initial state). The replica runtime
+// serializes all three calls. Install one per replica with WithStateMachine
+// and call through clients created with ClientConfig.Ordered.
+type StateMachine = server.StateMachine
+
 // Strategy selects the replica subset for each request. Build one with
 // DynamicSelection and friends.
 type Strategy = selection.Strategy
@@ -247,6 +254,16 @@ type ClientConfig struct {
 	// history on (displaced sample-by-sample as local measurements arrive).
 	// Wire the peer set with ConnectGossip after minting the clients.
 	DigestGossip *DigestGossipConfig
+	// Ordered runs this client in the ordered service mode: every request is
+	// stamped with a per-client logical timestamp, replicas built with
+	// WithStateMachine hold frames back and apply each client's operations in
+	// stamp order, and the gateway answers replica gap-refill requests from a
+	// bounded log of original frames. With Lifecycle enabled on a stateful
+	// cluster, probation re-admission additionally requires a completed state
+	// transfer (the replica's reports must claim CaughtUp). Incompatible with
+	// CancelOnFirstReply: purging a stamped request would hole the apply
+	// sequence.
+	Ordered bool
 	// DisablePerfSubscription opts this client out of the §5.4 per-request
 	// performance-report subscription: it learns only from its own replies
 	// and probes. This is the WAN/high-fan-out regime where per-request
@@ -328,6 +345,29 @@ func (c *Client) DigestStats() (s GossipStats, ok bool) {
 // (0 when ClientConfig.ProbeInterval is unset).
 func (c *Client) ProbesSent() uint64 { return c.handler.ProbesSent() }
 
+// OrderedStats counts one ordered client's sequencer activity; zero when
+// ClientConfig.Ordered is unset.
+type OrderedStats struct {
+	// StampsIssued is the highest logical timestamp assigned so far.
+	StampsIssued uint64
+	// RefillsServed is how many stored frames were re-sent to replicas that
+	// reported stamp gaps.
+	RefillsServed uint64
+	// RefillsPruned is how many gap-refill requests were answered Pruned
+	// (the range had left the bounded frame log, forcing the replica into a
+	// full state transfer).
+	RefillsPruned uint64
+}
+
+// OrderedStats returns the client's ordered-mode counters.
+func (c *Client) OrderedStats() OrderedStats {
+	return OrderedStats{
+		StampsIssued:  c.handler.StampsIssued(),
+		RefillsServed: c.handler.RefillsServed(),
+		RefillsPruned: c.handler.RefillsPruned(),
+	}
+}
+
 // Addr returns the client's own transport address (its gossip peering
 // identity on the cluster's network).
 func (c *Client) Addr() string { return string(c.addr) }
@@ -356,6 +396,19 @@ func (r *Replica) Addr() string { return string(r.srv.Addr()) }
 // Served returns the number of requests this replica has processed.
 func (r *Replica) Served() uint64 { return r.srv.Served() }
 
+// CaughtUp reports whether the replica's state machine is current: true for
+// stateless replicas, and for stateful ones that booted fresh or completed a
+// state transfer.
+func (r *Replica) CaughtUp() bool { return r.srv.CaughtUp() }
+
+// OrderedTail returns how many ordered operations the replica has applied
+// (0 for stateless replicas).
+func (r *Replica) OrderedTail() uint64 { return r.srv.OrderedTail() }
+
+// StateTransfers returns how many inbound state transfers this replica has
+// completed (0 for stateless replicas).
+func (r *Replica) StateTransfers() uint64 { return r.srv.StateTransfers() }
+
 // Stop terminates the replica (simulating a crash from the cluster's
 // perspective: clients prune it after failure detection).
 func (r *Replica) Stop() { r.srv.Stop() }
@@ -376,6 +429,7 @@ type Cluster struct {
 	nextID    int
 	viewNum   uint64
 	handler   Handler
+	smFactory func() StateMachine // non-nil = ordered (stateful) replicas
 	load      stats.DelayDist
 	seed      int64
 	selfHeal  bool
@@ -399,7 +453,8 @@ func (c *Cluster) membershipLocked() map[wire.ReplicaID]transport.Addr {
 // notifyClients pushes the current membership to every live client and
 // every registered multi-service gateway handler, as the group-communication
 // layer would after a view change, and feeds the dependability manager when
-// self-healing is on.
+// self-healing is on. On stateful clusters the replicas get the same view as
+// a peer table, so a recovering replica can pick a state-transfer source.
 func (c *Cluster) notifyClients() {
 	c.mu.Lock()
 	m := c.membershipLocked()
@@ -410,6 +465,13 @@ func (c *Cluster) notifyClients() {
 	handlers := make([]*gateway.TimingFaultHandler, 0, len(c.gateways))
 	for _, h := range c.gateways {
 		handlers = append(handlers, h)
+	}
+	var servers []*server.Replica
+	if c.smFactory != nil {
+		servers = make([]*server.Replica, 0, len(c.replicas))
+		for _, r := range c.replicas {
+			servers = append(servers, r.srv)
+		}
 	}
 	c.viewNum++
 	view := group.View{Number: c.viewNum, Members: make([]wire.ReplicaID, 0, len(m))}
@@ -423,6 +485,9 @@ func (c *Cluster) notifyClients() {
 	}
 	for _, h := range handlers {
 		h.UpdateMembership(m)
+	}
+	for _, srv := range servers {
+		srv.UpdatePeers(m)
 	}
 	if mgr != nil {
 		mgr.ObserveView(view)
@@ -486,6 +551,17 @@ func WithMetrics(reg *MetricsRegistry) ClusterOption {
 // manager's restart backoff and storm cap.
 func WithSelfHealing() ClusterOption {
 	return func(c *Cluster) { c.selfHeal = true }
+}
+
+// WithStateMachine makes the cluster stateful: every replica runs its own
+// instance from factory as an ordered-mode state machine. Replicas joining a
+// non-empty pool (including Proteus replacements after a crash or
+// rejuvenation) start recovering and pull a snapshot + log suffix from a
+// caught-up peer before they report CaughtUp. Call through clients created
+// with ClientConfig.Ordered; unordered calls still work but bypass the state
+// machine.
+func WithStateMachine(factory func() StateMachine) ClusterOption {
+	return func(c *Cluster) { c.smFactory = factory }
 }
 
 // WithLifecycle sets the default LifecycleConfig for every client minted
@@ -650,18 +726,29 @@ func (c *Cluster) AddReplica() (*Replica, error) {
 	c.nextID++
 	id := wire.ReplicaID(fmt.Sprintf("%s-r%d", c.service, c.nextID))
 	seed := c.seed + int64(c.nextID)
+	// A stateful replica joining a non-empty pool must recover: its state
+	// machine is behind whatever history the incumbents have applied, so it
+	// pulls a snapshot from a peer before reporting CaughtUp. The first
+	// replica of a fresh cluster boots with nothing to recover from.
+	recovering := c.smFactory != nil && len(c.replicas) > 0
 	c.mu.Unlock()
 
 	ep, err := c.listen(string(id))
 	if err != nil {
 		return nil, fmt.Errorf("aqua: replica endpoint: %w", err)
 	}
+	var sm server.StateMachine
+	if c.smFactory != nil {
+		sm = c.smFactory()
+	}
 	srv, err := server.Start(ep, server.Config{
-		ID:        id,
-		Service:   c.service,
-		Handler:   c.handler,
-		LoadDelay: c.load,
-		Seed:      seed,
+		ID:           id,
+		Service:      c.service,
+		Handler:      c.handler,
+		StateMachine: sm,
+		Recovering:   recovering,
+		LoadDelay:    c.load,
+		Seed:         seed,
 	})
 	if err != nil {
 		_ = ep.Close()
@@ -763,6 +850,18 @@ func (c *Cluster) lifecycleFor(cfg LifecycleConfig) LifecycleConfig {
 	return cfg
 }
 
+// lifecycleForOrdered resolves a client's lifecycle configuration and, for an
+// ordered client of a stateful cluster, arms the state-transfer re-admission
+// gate: timing samples alone no longer promote Probation→Active — the
+// replica's reports must also claim a caught-up state machine.
+func (c *Cluster) lifecycleForOrdered(cfg ClientConfig) LifecycleConfig {
+	lc := c.lifecycleFor(cfg.Lifecycle)
+	if lc.Enabled && cfg.Ordered && c.smFactory != nil {
+		lc.RequireStateTransfer = true
+	}
+	return lc
+}
+
 // NewClient mints a client of this cluster's service.
 // strategyFor resolves the effective selection strategy: an explicit
 // Strategy wins; with an adaptive budget configured the default is
@@ -825,7 +924,8 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*Client, error) {
 		MaxWait:            cfg.MaxWait,
 		Overload:           cfg.Overload,
 		ShedRetryDelay:     cfg.ShedRetryDelay,
-		Lifecycle:          c.lifecycleFor(cfg.Lifecycle),
+		Lifecycle:          c.lifecycleForOrdered(cfg),
+		Ordered:            cfg.Ordered,
 		CancelOnFirstReply: cfg.CancelOnFirstReply,
 		Controller:         controllerFor(cfg, len(static)),
 		Gossip:             gossipFor(cfg),
@@ -928,7 +1028,8 @@ func NewGateway(name string, configs map[*Cluster]ClientConfig) (*Gateway, error
 			StalenessBound:     cfg.StalenessBound,
 			Overload:           cfg.Overload,
 			ShedRetryDelay:     cfg.ShedRetryDelay,
-			Lifecycle:          c.lifecycleFor(cfg.Lifecycle),
+			Lifecycle:          c.lifecycleForOrdered(cfg),
+			Ordered:            cfg.Ordered,
 			CancelOnFirstReply: cfg.CancelOnFirstReply,
 			Controller:         controllerFor(cfg, len(static)),
 			Gossip:             gossipFor(cfg),

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	aqua-exp -exp all            # every experiment
-//	aqua-exp -exp fig4           # one experiment: e0 fig3 fig4 fig5 a1..a17
+//	aqua-exp -exp fig4           # one experiment: e0 fig3 fig4 fig5 a1..a18
 //	aqua-exp -exp fig5 -csv      # machine-readable output
 //	aqua-exp -exp fig3 -quick    # reduced iteration counts
 package main
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, faults, v1, a1..a17, predict, throughput, or all")
+		exp          = flag.String("exp", "all", "experiment id: e0, fig3, fig4, fig5, faults, v1, a1..a18, predict, throughput, or all")
 		csv          = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		plot         = flag.Bool("plot", false, "also render ASCII charts for fig4/fig5")
 		quick        = flag.Bool("quick", false, "reduced iterations/runs for a fast pass")
@@ -237,6 +237,7 @@ func run(exp string, csv, quick, plot bool, predictOut, tputOut, tputAgainst str
 		"a15": tableRunner(func() (*experiment.Table, error) { return experiment.RunA15(quick) }, emit),
 		"a16": tableRunner(func() (*experiment.Table, error) { return experiment.RunA16(quick) }, emit),
 		"a17": tableRunner(experiment.RunA17, emit),
+		"a18": tableRunner(experiment.RunA18, emit),
 		"v1":  tableRunner(experiment.RunV1, emit),
 	}
 
@@ -260,7 +261,7 @@ func run(exp string, csv, quick, plot bool, predictOut, tputOut, tputAgainst str
 				return err
 			}
 		}
-		for _, id := range []string{"e0", "fig3", "faults", "v1", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12", "a13", "a14", "a15", "a16", "a17"} {
+		for _, id := range []string{"e0", "fig3", "faults", "v1", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10", "a11", "a12", "a13", "a14", "a15", "a16", "a17", "a18"} {
 			if err := runners[id](); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
@@ -269,7 +270,7 @@ func run(exp string, csv, quick, plot bool, predictOut, tputOut, tputAgainst str
 	}
 	r, ok := runners[exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want e0, fig3, fig4, fig5, faults, v1, a1..a17, predict, throughput, all)", exp)
+		return fmt.Errorf("unknown experiment %q (want e0, fig3, fig4, fig5, faults, v1, a1..a18, predict, throughput, all)", exp)
 	}
 	return r()
 }

@@ -82,6 +82,11 @@ type LifecycleConfig struct {
 	// quarantine holds until an external actor (rejuvenation, membership
 	// change) intervenes.
 	QuarantineExpiry time.Duration
+	// RequireStateTransfer arms the ordered-mode re-admission gate: a
+	// Probation replica is promoted only once its performance reports claim
+	// a caught-up state machine (completed state transfer), on top of the
+	// ProbationSamples warm-up. Leave false for stateless services.
+	RequireStateTransfer bool
 	// OnSuspect is invoked (outside the scheduler's lock) for every
 	// lifecycle transition the scheduler drives. Must not block.
 	OnSuspect func(SuspectReport)

@@ -454,6 +454,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	if cfg.Lifecycle.Enabled {
 		cfg.Lifecycle = cfg.Lifecycle.withDefaults()
 		cfg.Repository.EnableLifecycle(cfg.Lifecycle.ProbationSamples)
+		cfg.Repository.RequireStateTransfer(cfg.Lifecycle.RequireStateTransfer)
 	}
 	reg := metrics.OrDefault(cfg.Metrics)
 	s := &Scheduler{

@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestOrderedModelCheck runs every cell of the a18 sweep as its own subtest,
+// so a violation reported by `make a18` reproduces with the one-line command
+// the failure message prints:
+//
+//	go test ./internal/experiment -run 'TestOrderedModelCheck/<config>' -count=1
+func TestOrderedModelCheck(t *testing.T) {
+	for _, cfg := range OrderedCheckConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			res, err := RunOrderedCheck(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", cfg.Seed, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", cfg.Seed, v)
+			}
+			if res.Longest < res.Acked {
+				t.Errorf("seed %d: longest history %d shorter than %d acked ops", cfg.Seed, res.Longest, res.Acked)
+			}
+		})
+	}
+}
+
+// TestA18Soak runs the virtual-time recovery soak (fast: the kernel runs
+// ~38s of virtual time in milliseconds of wall clock) and requires every
+// acceptance bound to hold.
+func TestA18Soak(t *testing.T) {
+	if err := runA18Soak(&Table{}, t.Errorf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -93,7 +93,15 @@ type Config struct {
 	// remaining selected replicas so a queued duplicate is purged (or a
 	// mid-service one aborted) instead of burning a full service time.
 	// Replies already in flight are still harvested as duplicates.
+	// Incompatible with Ordered: purging a stamped request would hole the
+	// apply sequence every replica must execute.
 	CancelOnFirstReply bool
+	// Ordered enables the ordered service mode (ordered.go): every non-probe
+	// request is stamped with a per-client logical timestamp before the
+	// multicast, and the gateway retains the stamped frames in a bounded log
+	// to answer replica gap-refill requests. Pair it with replicas running a
+	// server.StateMachine; stateless replicas ignore the stamps.
+	Ordered bool
 	// Controller, when set, is the online redundancy controller replacing
 	// selection.Budgeted's static load→|K| interpolation; it is wired into
 	// the scheduler and fed the cancel-savings signal.
@@ -142,6 +150,8 @@ type TimingFaultHandler struct {
 	metDemuxDropped *metrics.Counter
 	dropLogOnce     sync.Once
 
+	ordered *orderedLog // nil unless cfg.Ordered
+
 	mu         sync.Mutex
 	addrOf     map[wire.ReplicaID]transport.Addr
 	waiters    map[wire.SeqNo]chan wire.Response
@@ -164,6 +174,9 @@ func NewTimingFaultHandler(ep transport.Endpoint, cfg Config) (*TimingFaultHandl
 func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool) (*TimingFaultHandler, error) {
 	if cfg.Client == "" {
 		return nil, fmt.Errorf("gateway: client ID is required")
+	}
+	if cfg.Ordered && cfg.CancelOnFirstReply {
+		return nil, fmt.Errorf("gateway: Ordered is incompatible with CancelOnFirstReply: cancelling a stamped request would hole the apply sequence")
 	}
 	repo := repository.New(repository.WithWindowSize(cfg.WindowSize))
 	reg := metrics.OrDefault(cfg.Metrics)
@@ -197,6 +210,9 @@ func newTimingFaultHandlerOn(ep transport.Endpoint, cfg Config, ownRecvLoop bool
 		waiters:         make(map[wire.SeqNo]chan wire.Response),
 		subscribed:      make(map[wire.ReplicaID]bool),
 		stop:            make(chan struct{}),
+	}
+	if cfg.Ordered {
+		h.ordered = newOrderedLog()
 	}
 	for id, addr := range cfg.StaticReplicas {
 		h.addrOf[id] = addr
@@ -446,6 +462,11 @@ func (h *TimingFaultHandler) callOnce(ctx context.Context, method string, payloa
 	}
 	t1 := time.Now()
 	req.SentAt = t1
+	if h.ordered != nil {
+		// Stamp at the last moment before the multicast, so stamps are issued
+		// in send order and the logged frame matches the one on the wire.
+		h.ordered.stamp(&req)
+	}
 	if err := transport.Multicast(h.ep, addrs, req); err != nil {
 		// A saturated send queue is an overload signal: feed it into the
 		// scheduler's degradation ladder so selection stops fanning out
@@ -581,6 +602,13 @@ func (h *TimingFaultHandler) handleMessage(msg transport.Message, now time.Time)
 	case wire.DigestRequest:
 		if m.Service == h.cfg.Service && h.gossip != nil {
 			h.gossip.onRequest(m, msg.From)
+		}
+	case wire.StateRequest:
+		// A replica found a stamp gap in this client's stream and asks for
+		// the originals back. Peer-recovery pulls (WantSnapshot) are replica
+		// business and never addressed to gateways.
+		if m.Service == h.cfg.Service && m.Gap == h.cfg.Client && !m.WantSnapshot && h.ordered != nil {
+			h.serveRefill(m, msg.From)
 		}
 	default:
 		// A payload type this handler does not understand — a newer peer's

@@ -185,6 +185,8 @@ func messageService(payload any) (wire.Service, bool) {
 		return m.Service, true
 	case wire.DigestRequest:
 		return m.Service, true
+	case wire.StateRequest:
+		return m.Service, true
 	default:
 		return "", false
 	}

@@ -1,0 +1,131 @@
+package gateway
+
+// Ordered service mode: the gateway half of state-machine replication layered
+// over the paper's timing-fault-tolerant selection.
+//
+// The gateway is the sequencer for its own client: every non-probe request is
+// stamped with the next value of a per-client logical timestamp (1, 2, 3, …)
+// before the multicast, so replicas can hold frames back and apply each
+// client's operations in stamp order regardless of which subset each request
+// was multicast to or how the network reordered frames.
+//
+// Because the scheduler multicasts each request only to its selected subset,
+// every replica outside the subset has a gap by construction. The gateway
+// therefore keeps a bounded log of the original stamped frames; a replica
+// that discovers a gap sends wire.StateRequest{Gap: client, FromStamp,
+// ToStamp} and the gateway replays the stored originals. Once a stamp falls
+// out of the bounded log, the gateway answers wire.StateChunk{Pruned: true}
+// and the replica falls back to a full state transfer from a peer.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aqua/internal/transport"
+	"aqua/internal/wire"
+)
+
+// orderedLogRetain bounds how many stamped frames the gateway keeps for gap
+// refills. A replica asking for anything older is told the range was pruned
+// and recovers from a peer snapshot instead.
+const orderedLogRetain = 4096
+
+// orderedLog is the gateway-side sequencer state: the stamp counter and the
+// bounded replay log of original frames.
+type orderedLog struct {
+	mu   sync.Mutex
+	next uint64                  // last stamp issued; 0 before the first call
+	min  uint64                  // lowest stamp still retained
+	log  map[uint64]wire.Request // stamp → original frame, [min, next]
+
+	served atomic.Uint64 // refill frames re-sent
+	pruned atomic.Uint64 // refill requests answered Pruned
+}
+
+func newOrderedLog() *orderedLog {
+	return &orderedLog{min: 1, log: make(map[uint64]wire.Request)}
+}
+
+// stamp assigns the next logical timestamp to req, records the stamped frame
+// for refills, and prunes the log to its retention bound.
+func (l *orderedLog) stamp(req *wire.Request) {
+	l.mu.Lock()
+	l.next++
+	req.Stamp = l.next
+	l.log[req.Stamp] = *req
+	for uint64(len(l.log)) > orderedLogRetain {
+		delete(l.log, l.min)
+		l.min++
+	}
+	l.mu.Unlock()
+}
+
+// serveRefill answers one replica gap-refill request: re-send the stored
+// original frames for [FromStamp, ToStamp], or a Pruned StateChunk when any
+// of the range has left the bounded log. Stamps the gateway never issued are
+// ignored (a reordered or corrupted request, not a real gap).
+func (h *TimingFaultHandler) serveRefill(m wire.StateRequest, to transport.Addr) {
+	l := h.ordered
+	l.mu.Lock()
+	from, upto := m.FromStamp, m.ToStamp
+	if from == 0 || upto < from || from > l.next {
+		l.mu.Unlock()
+		return
+	}
+	if upto > l.next {
+		upto = l.next
+	}
+	if from < l.min {
+		l.mu.Unlock()
+		l.pruned.Add(1)
+		_ = h.ep.Send(to, wire.StateChunk{
+			Replica: m.Replica,
+			Service: h.cfg.Service,
+			Pruned:  true,
+		})
+		return
+	}
+	frames := make([]wire.Request, 0, upto-from+1)
+	for s := from; s <= upto; s++ {
+		if req, ok := l.log[s]; ok {
+			frames = append(frames, req)
+		}
+	}
+	l.mu.Unlock()
+	for _, req := range frames {
+		if h.ep.Send(to, req) != nil {
+			return
+		}
+	}
+	l.served.Add(uint64(len(frames)))
+}
+
+// RefillsServed returns how many stored frames were re-sent to replicas that
+// reported stamp gaps (0 when ordered mode is off).
+func (h *TimingFaultHandler) RefillsServed() uint64 {
+	if h.ordered == nil {
+		return 0
+	}
+	return h.ordered.served.Load()
+}
+
+// RefillsPruned returns how many gap-refill requests were answered Pruned
+// because the range had left the bounded frame log (0 when ordered mode is
+// off).
+func (h *TimingFaultHandler) RefillsPruned() uint64 {
+	if h.ordered == nil {
+		return 0
+	}
+	return h.ordered.pruned.Load()
+}
+
+// StampsIssued returns the highest logical timestamp this gateway has
+// assigned (0 when ordered mode is off or before the first call).
+func (h *TimingFaultHandler) StampsIssued() uint64 {
+	if h.ordered == nil {
+		return 0
+	}
+	h.ordered.mu.Lock()
+	defer h.ordered.mu.Unlock()
+	return h.ordered.next
+}

@@ -217,7 +217,18 @@ func (r *Repository) absorbDigestLocked(d wire.WindowDigest, res time.Duration, 
 // noteBorrowedFreshnessLocked advances the replica's borrowed freshness
 // marker, which snapshotReplicaLocked folds into LastUpdate so staleness
 // probes are suppressed while peers keep vouching for the replica.
+//
+// Only Active replicas accept the vouch. A replica on probation after a
+// restart may be perfectly *timely* for the peers it answers — state
+// transfer runs concurrently with probe traffic — but its state machine can
+// still be behind the group, and suppressing this gateway's own staleness
+// probes on borrowed evidence would starve the probation warm-up that
+// re-admission (and the state-transfer gate) depends on. Quarantined and
+// suspected replicas likewise keep their own freshness clocks.
 func (r *Repository) noteBorrowedFreshnessLocked(st *replicaState, fresh time.Time) {
+	if st.health != Active {
+		return
+	}
 	if fresh.After(st.borrowedUpdate) {
 		st.borrowedUpdate = fresh
 		r.gen.Add(1)

@@ -215,6 +215,74 @@ func TestBorrowedFreshnessSuppressesStaleness(t *testing.T) {
 	}
 }
 
+// TestBorrowedVouchSuppressedForNonActive: borrowed digests must not
+// freshness-vouch a replica that is not Active. A restarted replica mid
+// state transfer answers peers' probes timely — so their digests look fresh
+// — while its state machine is still behind the group; folding that vouch
+// into LastUpdate would suppress this gateway's own staleness probes and
+// starve the probation warm-up the re-admission gate depends on.
+func TestBorrowedVouchSuppressedForNonActive(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		setup func(r *Repository)
+		want  Health
+	}{
+		{"probation", func(r *Repository) {
+			r.SetMembership([]wire.ReplicaID{"r1"}) // bootstrap view
+			r.SetMembership([]wire.ReplicaID{"r1", "rx"})
+		}, Probation},
+		{"quarantined", func(r *Repository) {
+			r.SetMembership([]wire.ReplicaID{"rx"})
+			r.Quarantine("rx", time.Now())
+		}, Quarantined},
+		{"suspected", func(r *Repository) {
+			r.SetMembership([]wire.ReplicaID{"rx"})
+			r.Suspect("rx")
+		}, Suspected},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			repo := New()
+			repo.EnableLifecycle(3)
+			tc.setup(repo)
+			if h, _ := repo.Health("rx"); h != tc.want {
+				t.Fatalf("setup health = %v, want %v", h, tc.want)
+			}
+			// A stale local report, then a fresh borrowed digest.
+			old := time.Now().Add(-time.Hour)
+			repo.RecordPerf("rx", "", wire.PerfReport{ServiceTime: dms}, old)
+			d := fullDigest("rx")
+			d.AgeNanos = (50 * time.Millisecond).Nanoseconds()
+			repo.AbsorbDigests(digestSyncFor(1, d), time.Now())
+			snap, err := repo.SnapshotOne("rx", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !snap.LastUpdate.Equal(old) {
+				t.Fatalf("%s replica was freshness-vouched by a borrowed digest: LastUpdate %v, want the stale local %v",
+					tc.want, snap.LastUpdate, old)
+			}
+		})
+	}
+
+	// Control: the identical digest does vouch for an Active replica.
+	repo := New()
+	repo.EnableLifecycle(3)
+	repo.SetMembership([]wire.ReplicaID{"rx"}) // bootstrap view: Active
+	old := time.Now().Add(-time.Hour)
+	repo.RecordPerf("rx", "", wire.PerfReport{ServiceTime: dms}, old)
+	d := fullDigest("rx")
+	d.AgeNanos = (50 * time.Millisecond).Nanoseconds()
+	now := time.Now()
+	repo.AbsorbDigests(digestSyncFor(1, d), now)
+	snap, err := repo.SnapshotOne("rx", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.LastUpdate.Equal(old) {
+		t.Fatal("active replica should still be freshness-vouched by borrowed digests")
+	}
+}
+
 // TestLocalGatewayDelayDropsBorrowedSeed: the first locally measured link
 // delay supersedes the borrowed T point seed entirely.
 func TestLocalGatewayDelayDropsBorrowedSeed(t *testing.T) {

@@ -104,6 +104,41 @@ func (r *Repository) EnableLifecycle(minSamples int) {
 	r.gen.Add(1)
 }
 
+// RequireStateTransfer toggles the ordered-mode re-admission gate: when
+// enabled, a Probation replica is promoted to Active only once its
+// performance reports carry CaughtUp — i.e. its state machine has completed
+// state transfer (or booted fresh into an empty group). Without the gate,
+// probation promotion keys on sample count alone, which is correct for
+// stateless services but would re-admit a stateful replica whose timing
+// recovered while its state is still behind the group.
+func (r *Repository) RequireStateTransfer(enabled bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.requireCaughtUp = enabled
+	r.gen.Add(1)
+}
+
+// StateTransferRequired reports whether the ordered-mode re-admission gate
+// is on.
+func (r *Repository) StateTransferRequired() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.requireCaughtUp
+}
+
+// CaughtUp returns the latest ordered-mode evidence for a replica: whether
+// its reports claim a current state machine, and its applied-log length.
+// Unknown replicas report (false, 0, false).
+func (r *Repository) CaughtUp(id wire.ReplicaID) (caughtUp bool, tail uint64, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, found := r.replicas[id]
+	if !found {
+		return false, 0, false
+	}
+	return st.caughtUp, st.orderedTail, true
+}
+
 // LifecycleEnabled reports whether health tracking is on.
 func (r *Repository) LifecycleEnabled() bool {
 	r.mu.RLock()
@@ -168,6 +203,12 @@ func (r *Repository) Quarantine(id wire.ReplicaID, now time.Time) bool {
 	st.health = Quarantined
 	st.quarantinedAt = now
 	st.probationGot = 0
+	// Whatever the replica claimed before it was ejected no longer counts:
+	// re-admission evidence (including CaughtUp) must postdate the
+	// quarantine, so a late pre-crash report cannot slip it past the
+	// state-transfer gate.
+	st.caughtUp = false
+	st.orderedTail = 0
 	r.lifeStats.Quarantined++
 	r.gen.Add(1)
 	return true
@@ -267,14 +308,17 @@ func (r *Repository) dropEntriesLocked(id wire.ReplicaID) {
 }
 
 // notePerfLocked advances probation accounting for one absorbed performance
-// report and promotes the replica once it holds enough fresh samples. Caller
-// holds r.mu.
+// report and promotes the replica once it holds enough fresh samples — and,
+// when the state-transfer gate is on, once its reports claim a caught-up
+// state machine. Sample accrual continues while the gate blocks, so the
+// promotion fires on the first caught-up report after warm-up rather than
+// restarting the count. Caller holds r.mu.
 func (r *Repository) notePerfLocked(st *replicaState) {
 	if !r.lifecycle || st.health != Probation {
 		return
 	}
 	st.probationGot++
-	if st.probationGot >= r.probationSamples {
+	if st.probationGot >= r.probationSamples && (!r.requireCaughtUp || st.caughtUp) {
 		st.health = Active
 		r.lifeStats.Admitted++
 		r.gen.Add(1)

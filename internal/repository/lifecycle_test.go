@@ -175,3 +175,78 @@ func TestQuarantineResetsProbationCredit(t *testing.T) {
 		t.Error("probation credit survived quarantine; admission must need 2 fresh reports")
 	}
 }
+
+// TestStateTransferGateBlocksPromotion: with RequireStateTransfer on, timing
+// samples alone must not re-admit a probation replica — promotion waits for
+// the first report claiming a caught-up state machine, then fires without
+// restarting the sample count.
+func TestStateTransferGateBlocksPromotion(t *testing.T) {
+	r := New()
+	r.EnableLifecycle(3)
+	r.RequireStateTransfer(true)
+	if !r.StateTransferRequired() {
+		t.Fatal("gate not reported enabled")
+	}
+	r.SetMembership([]wire.ReplicaID{"a"})
+	r.SetMembership([]wire.ReplicaID{"a", "b"}) // b on probation
+	now := time.Now()
+	behind := wire.PerfReport{ServiceTime: time.Millisecond, QueueDelay: time.Millisecond, CaughtUp: false}
+	for i := 0; i < 10; i++ {
+		r.RecordPerf("b", "", behind, now)
+	}
+	if h, _ := r.Health("b"); h != Probation {
+		t.Fatalf("Health(b) = %v after 10 not-caught-up reports, want Probation", h)
+	}
+	if cu, _, ok := r.CaughtUp("b"); !ok || cu {
+		t.Fatalf("CaughtUp(b) = %v/%v, want false/true", cu, ok)
+	}
+	// State transfer completes: the very next caught-up report promotes.
+	caught := behind
+	caught.CaughtUp = true
+	caught.OrderedTail = 42
+	r.RecordPerf("b", "", caught, now)
+	if h, _ := r.Health("b"); h != Active {
+		t.Fatalf("Health(b) = %v after caught-up report, want Active", h)
+	}
+	if cu, tail, _ := r.CaughtUp("b"); !cu || tail != 42 {
+		t.Fatalf("CaughtUp(b) = %v tail %d, want true/42", cu, tail)
+	}
+}
+
+// TestStateTransferGateOffKeepsStatelessBehavior: the gate is opt-in;
+// without it, not-caught-up reports promote exactly as before.
+func TestStateTransferGateOffKeepsStatelessBehavior(t *testing.T) {
+	r := New()
+	r.EnableLifecycle(2)
+	r.SetMembership([]wire.ReplicaID{"a"})
+	r.SetMembership([]wire.ReplicaID{"a", "b"})
+	for i := 0; i < 2; i++ {
+		r.RecordPerf("b", "", wire.PerfReport{ServiceTime: time.Millisecond}, time.Now())
+	}
+	if h, _ := r.Health("b"); h != Active {
+		t.Fatalf("Health(b) = %v, want Active (gate off)", h)
+	}
+}
+
+// TestQuarantineResetsCaughtUp: quarantine discards the pre-crash CaughtUp
+// claim, so a late report from before the crash cannot satisfy the gate.
+func TestQuarantineResetsCaughtUp(t *testing.T) {
+	r := New()
+	r.EnableLifecycle(1)
+	r.RequireStateTransfer(true)
+	r.SetMembership([]wire.ReplicaID{"a"})
+	r.SetMembership([]wire.ReplicaID{"a", "b"})
+	r.RecordPerf("b", "", wire.PerfReport{ServiceTime: time.Millisecond, CaughtUp: true}, time.Now())
+	if h, _ := r.Health("b"); h != Active {
+		t.Fatalf("Health(b) = %v, want Active", h)
+	}
+	r.Quarantine("b", time.Now())
+	if cu, tail, _ := r.CaughtUp("b"); cu || tail != 0 {
+		t.Fatalf("CaughtUp survived quarantine: %v/%d", cu, tail)
+	}
+	r.Parole(time.Now())
+	r.RecordPerf("b", "", wire.PerfReport{ServiceTime: time.Millisecond, CaughtUp: false}, time.Now())
+	if h, _ := r.Health("b"); h != Probation {
+		t.Error("paroled replica re-admitted without fresh caught-up evidence")
+	}
+}

@@ -68,6 +68,14 @@ type replicaState struct {
 	health        Health
 	quarantinedAt time.Time // when health last became Quarantined
 	probationGot  int       // fresh perf reports accumulated on probation
+	// Ordered-mode evidence from the replica's performance reports: whether
+	// its state machine is current (completed state transfer or fresh boot)
+	// and its applied-log length. With the state-transfer gate enabled
+	// (RequireStateTransfer), probation promotion additionally requires
+	// caughtUp — fresh timing samples alone no longer re-admit a stateful
+	// replica.
+	caughtUp    bool
+	orderedTail uint64
 	// Borrowed tier (digest.go): a point-estimate T seed from a peer's digest
 	// (dropped on the first local delay measurement), and the freshest time a
 	// peer vouched for this replica — folded into snapshot LastUpdate so
@@ -90,6 +98,7 @@ type Repository struct {
 	// after the bootstrap view, and probation promotion thresholds.
 	lifecycle        bool
 	probationSamples int
+	requireCaughtUp  bool // ordered mode: Probation→Active needs CaughtUp evidence
 	bootstrapped     bool // first non-empty membership view absorbed
 	lifeStats        LifecycleStats
 	// Digest-tier counters (digest.go), guarded by mu.
@@ -295,6 +304,11 @@ func (r *Repository) RecordPerf(id wire.ReplicaID, method string, p wire.PerfRep
 	st.queueLength = p.QueueLength
 	st.lastUpdate = now
 	st.hasUpdate = true
+	// Ordered-mode evidence rides on every report; a report from before a
+	// crash can only lower the bar transiently, because a restart resets
+	// caughtUp via Quarantine and the next live report overwrites it.
+	st.caughtUp = p.CaughtUp
+	st.orderedTail = p.OrderedTail
 	r.updatesByRep[id]++
 	r.notePerfLocked(st)
 	r.gen.Add(1)
@@ -467,6 +481,12 @@ type ReplicaSnapshot struct {
 	// state is not Selectable() must be excluded from the probability table
 	// and from the select-all fallback; the prober keys its cadence off it.
 	Health Health
+	// CaughtUp and OrderedTail are the replica's latest ordered-mode claims
+	// (wire.PerfReport): whether its state machine is current and how many
+	// operations it has applied. Stateless replicas report CaughtUp=true
+	// and OrderedTail=0 on every reply.
+	CaughtUp    bool
+	OrderedTail uint64
 	// Resolution, ServiceHist, and QueueHist feed the predictor's fast path:
 	// pre-quantized bin counts maintained incrementally by the windows, so
 	// prediction needs neither the raw samples nor a per-call sort. They are
@@ -552,6 +572,8 @@ func (r *Repository) snapshotReplicaLocked(id wire.ReplicaID, st *replicaState, 
 		InFlight:    int(st.inFlight.Load()),
 		LastUpdate:  st.lastUpdate,
 		Health:      st.health,
+		CaughtUp:    st.caughtUp,
+		OrderedTail: st.orderedTail,
 	}
 	if st.borrowedUpdate.After(snap.LastUpdate) {
 		// A peer vouched for this replica more recently than our own traffic:

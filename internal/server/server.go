@@ -16,6 +16,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -60,14 +61,35 @@ type Config struct {
 	// Metrics receives the replica's counters; nil uses the Default
 	// registry.
 	Metrics *metrics.Registry
+	// StateMachine enables ordered service mode: stamped requests are held
+	// in a stable-delivery queue and applied to this machine in per-client
+	// stamp order (see ordered.go). Unstamped requests and probes keep
+	// using Handler. Optional.
+	StateMachine StateMachine
+	// Recovering marks a stateful replica that restarted into an existing
+	// group: it must complete state transfer from a peer (UpdatePeers
+	// supplies candidates) before it reports CaughtUp. Ignored without a
+	// StateMachine.
+	Recovering bool
+	// SnapshotEvery is the apply cadence for state-machine snapshots (and
+	// replay-log truncation); 0 means the default of 64.
+	SnapshotEvery int
+	// DedupWindow overrides the size of the recent-(client, seq) duplicate
+	// frame window; 0 means the default of 512.
+	DedupWindow int
 }
 
-// dedupWindow is the size of the recent-(Client, Seq) window recvLoop keeps
-// to drop duplicate request frames re-delivered by the network (e.g.
-// transport.Faulty's duplicate policy). Keys are never reused, so a key seen
-// inside the window is always a true duplicate; a duplicate older than the
-// window is harvested client-side like any stray reply.
-const dedupWindow = 512
+// defaultDedupWindow is the default size of the recent-(Client, Seq) window
+// recvLoop keeps to drop duplicate request frames re-delivered by the
+// network (e.g. transport.Faulty's duplicate policy). A client gateway never
+// reuses a key for *new* work, so a key seen inside the window is a true
+// duplicate — unless the replica's ordered state has been reset since the
+// key was recorded (recovery discards held requests the gateway may
+// legitimately re-send). Each window entry therefore carries the ordered
+// layer's generation; a hit recorded under an older generation is not a
+// duplicate. A duplicate older than the window is harvested client-side
+// like any stray reply.
+const defaultDedupWindow = 512
 
 // Replica is a running server replica. Create with Start; stop with Stop.
 type Replica struct {
@@ -76,6 +98,7 @@ type Replica struct {
 	queue *queue.Queue
 	node  *group.Node
 	rng   *stats.Rand
+	ord   *ordered // nil for stateless replicas
 
 	mu          sync.Mutex
 	subscribers map[wire.ClientID]transport.Addr
@@ -129,6 +152,9 @@ func Start(ep transport.Endpoint, cfg Config) (*Replica, error) {
 	r.metAborted = met.Counter(metrics.ServerCancelAborted)
 	r.metUnmatched = met.Counter(metrics.ServerCancelUnmatched)
 	r.metDupFrames = met.Counter(metrics.ServerDupFrames)
+	if cfg.StateMachine != nil {
+		r.ord = newOrdered(r, cfg.StateMachine, cfg.Recovering, cfg.SnapshotEvery)
+	}
 	if cfg.Group != nil {
 		gcfg := *cfg.Group
 		gcfg.Role = group.Member
@@ -143,6 +169,10 @@ func Start(ep transport.Endpoint, cfg Config) (*Replica, error) {
 	r.wg.Add(2)
 	go r.recvLoop()
 	go r.workerLoop()
+	if r.ord != nil && cfg.Recovering {
+		r.wg.Add(1)
+		go r.ord.recoveryLoop()
+	}
 	return r, nil
 }
 
@@ -191,10 +221,17 @@ func (r *Replica) recvLoop() {
 	defer r.wg.Done()
 	// Recent-(Client, Seq) dedup window: a fixed ring plus a set, both
 	// local to this goroutine. Without it a frame duplicated in flight is
-	// re-enqueued and burns a second full service time.
+	// re-enqueued and burns a second full service time. Each entry records
+	// the ordered-layer generation it was seen under: a recovery reset
+	// bumps the generation, so a request the discarded state had seen can
+	// be legitimately re-sent (gap refill) without being swallowed here.
+	window := r.cfg.DedupWindow
+	if window <= 0 {
+		window = defaultDedupWindow
+	}
 	var (
-		dedupRing [dedupWindow]queue.Key
-		dedupSet  = make(map[queue.Key]struct{}, dedupWindow)
+		dedupRing = make([]queue.Key, window)
+		dedupSet  = make(map[queue.Key]uint64, window)
 		dedupPos  int
 	)
 	for msg := range r.ep.Recv() {
@@ -203,21 +240,48 @@ func (r *Replica) recvLoop() {
 			if m.Service != r.cfg.Service {
 				continue
 			}
+			var gen uint64
+			if r.ord != nil {
+				gen = r.ord.generation()
+			}
 			key := queue.Key{Client: m.Client, Seq: m.Seq}
-			if _, dup := dedupSet[key]; dup {
+			if seenGen, dup := dedupSet[key]; dup && seenGen == gen {
 				r.dupDropped.Add(1)
 				r.metDupFrames.Inc()
 				continue
+			} else if !dup {
+				if len(dedupSet) == window {
+					delete(dedupSet, dedupRing[dedupPos])
+				}
+				dedupRing[dedupPos] = key
+				dedupPos = (dedupPos + 1) % window
 			}
-			if len(dedupSet) == dedupWindow {
-				delete(dedupSet, dedupRing[dedupPos])
+			dedupSet[key] = gen
+			if r.ord != nil && m.Stamp > 0 {
+				r.ord.route(m, string(msg.From), time.Now())
+				continue
 			}
-			dedupRing[dedupPos] = key
-			dedupSet[key] = struct{}{}
-			dedupPos = (dedupPos + 1) % dedupWindow
 			r.queue.Enqueue(m, string(msg.From), time.Now())
+		case wire.StateRequest:
+			if r.ord == nil || m.Service != r.cfg.Service {
+				continue
+			}
+			r.ord.handleStateRequest(m, msg.From)
+		case wire.StateChunk:
+			if r.ord == nil || m.Service != r.cfg.Service {
+				continue
+			}
+			r.ord.handleStateChunk(m)
 		case wire.Cancel:
 			if m.Service != r.cfg.Service {
+				continue
+			}
+			if r.ord != nil {
+				// An ordered replica must not purge or abort: dropping a
+				// released stamped request would hole the apply sequence and
+				// stall the state machine. Cancel stays advisory-unmatched.
+				r.cancelUnmatched.Add(1)
+				r.metUnmatched.Inc()
 				continue
 			}
 			if r.queue.Cancel(m.Client, m.Seq) {
@@ -345,7 +409,11 @@ func (r *Replica) workerLoop() {
 		var payload []byte
 		var err error
 		if !item.Req.Probe {
-			payload, err = r.cfg.Handler(item.Req.Method, item.Req.Payload)
+			if r.ord != nil && item.Req.Stamp > 0 {
+				payload, err = r.ord.apply(item.Req)
+			} else {
+				payload, err = r.cfg.Handler(item.Req.Method, item.Req.Payload)
+			}
 		}
 		ts := time.Since(t3)
 		if r.endServe() {
@@ -353,11 +421,25 @@ func (r *Replica) workerLoop() {
 			// first reply, so drop ours.
 			continue
 		}
+		if errors.Is(err, errSuperseded) {
+			// The operation is already part of the state transferred from a
+			// peer; the replicas that executed it replied. Stay silent.
+			continue
+		}
 
 		perf := wire.PerfReport{
 			ServiceTime: ts,
 			QueueDelay:  tq,
 			QueueLength: r.queue.Len(),
+		}
+		if r.ord != nil {
+			perf.OrderedTail = r.ord.tail.Load()
+			perf.CaughtUp = r.ord.caughtUp()
+			if item.Req.Stamp > 0 {
+				r.ord.rememberPerf(item.Req.Client, item.Req.Stamp, perf)
+			}
+		} else {
+			perf.CaughtUp = true
 		}
 		resp := wire.Response{
 			Client:  item.Req.Client,

@@ -54,6 +54,12 @@ type Replica struct {
 	crashAt time.Duration
 	served  int
 
+	// caughtUpAt models ordered-mode state transfer (Scenario.StateTransfer):
+	// performance reports claim CaughtUp only for work completed at or after
+	// this virtual time. Zero — the boot-time state of every first
+	// incarnation — means always caught up, matching a stateless service.
+	caughtUpAt time.Duration
+
 	// Slow window (ReplicaSpec.Slow): service times drawn from slow instead
 	// of service for work started inside [slowFrom, slowUntil).
 	slow      stats.DelayDist
@@ -131,6 +137,7 @@ func (r *Replica) evStartNext() {
 				ServiceTime: ts,
 				QueueDelay:  start - job.arrived,
 				QueueLength: backlog,
+				CaughtUp:    done >= r.caughtUpAt,
 			})
 		}
 		r.evStartNext()
@@ -245,6 +252,7 @@ func (r *Replica) process(at time.Duration) (done time.Duration, perf wire.PerfR
 		ServiceTime: ts,
 		QueueDelay:  start - at,
 		QueueLength: backlog,
+		CaughtUp:    done >= r.caughtUpAt,
 	}
 	return done, perf, true
 }

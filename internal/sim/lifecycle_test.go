@@ -6,6 +6,7 @@ import (
 
 	"aqua/internal/core"
 	"aqua/internal/stats"
+	"aqua/internal/trace"
 	"aqua/internal/wire"
 )
 
@@ -113,6 +114,98 @@ func TestSimGiveUpForgetsPending(t *testing.T) {
 		if r.GotReply || !r.Failure {
 			t.Errorf("post-crash record %d = %+v, want silent failure", i+1, r)
 		}
+	}
+}
+
+// TestSimStateTransferGatesReadmission runs the ordered-mode re-admission
+// gate in virtual time: rejuvenated replacements boot empty and report
+// CaughtUp=false until their simulated state transfer completes, and with
+// Lifecycle.RequireStateTransfer the lifecycle must hold each one in
+// probation — invisible to selection — until then, no matter how fast the
+// probe warm-up fills its window.
+func TestSimStateTransferGatesReadmission(t *testing.T) {
+	const transfer = 300 * ms
+	rec := trace.New()
+	res, err := Run(Scenario{
+		Replicas: []ReplicaSpec{
+			{Service: stats.Normal{Mu: 25 * ms, Sigma: 5 * ms},
+				Slow: stats.Constant{Delay: 100 * ms}, SlowFrom: 500 * ms, SlowUntil: 4 * time.Second},
+			{Service: stats.Normal{Mu: 25 * ms, Sigma: 5 * ms}},
+			{Service: stats.Normal{Mu: 25 * ms, Sigma: 5 * ms}},
+		},
+		Clients: []ClientSpec{{
+			QoS:      wire.QoS{Deadline: 30 * ms, MinProbability: 0.99},
+			Requests: 400,
+			Think:    10 * ms,
+		}},
+		Lifecycle: core.LifecycleConfig{
+			Enabled:              true,
+			WindowSize:           8,
+			MinObservations:      4,
+			RequireStateTransfer: true,
+		},
+		ProbeInterval: 50 * ms,
+		Rejuvenation:  RejuvenationSpec{Enabled: true, RestartDelay: 100 * ms},
+		StateTransfer: transfer,
+		Trace:         rec,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts < 1 {
+		t.Fatalf("Restarts = %d, want >= 1 (nothing rejuvenated, nothing to gate)", res.Restarts)
+	}
+	if res.StateTransfers < 1 {
+		t.Errorf("StateTransfers = %d, want >= 1", res.StateTransfers)
+	}
+	if res.ProbationViolations != 0 {
+		t.Errorf("ProbationViolations = %d, want 0", res.ProbationViolations)
+	}
+
+	// Reconstruct each replacement's boot time from the restart events, then
+	// require that no selection targeted it before boot + transfer: the gate
+	// must keep a not-yet-caught-up replacement out of the voting set even
+	// though its probation window fills on probes within ~150ms.
+	boots := make(map[wire.ReplicaID]time.Duration)
+	for _, ev := range rec.Filter(trace.KindRestart) {
+		boots[wire.ReplicaID(ev.Extra["replacement"])] = ev.At + ev.Duration
+	}
+	if len(boots) == 0 {
+		t.Fatal("no restart events recorded")
+	}
+	earliest := make(map[wire.ReplicaID]time.Duration)
+	for _, ev := range rec.Filter(trace.KindSchedule) {
+		for _, id := range ev.Targets {
+			if _, isReplacement := boots[id]; !isReplacement {
+				continue
+			}
+			if at, seen := earliest[id]; !seen || ev.At < at {
+				earliest[id] = ev.At
+			}
+		}
+	}
+	if len(earliest) == 0 {
+		t.Fatal("no replacement was ever selected: the run never witnessed a re-admission")
+	}
+	for id, at := range earliest {
+		if min := boots[id] + transfer; at < min {
+			t.Errorf("replacement %s selected at %v, before its state transfer completed at %v", id, at, min)
+		}
+	}
+}
+
+// TestSimStateTransferRequiresRejuvenation: only rejuvenated incarnations
+// recover state, so a transfer window without a rejuvenator is a
+// configuration error.
+func TestSimStateTransferRequiresRejuvenation(t *testing.T) {
+	_, err := Run(Scenario{
+		Replicas:      []ReplicaSpec{{Service: stats.Constant{Delay: ms}}},
+		Clients:       []ClientSpec{{QoS: wire.QoS{Deadline: 100 * ms}, Requests: 1}},
+		StateTransfer: 100 * ms,
+	})
+	if err == nil {
+		t.Error("want error for StateTransfer without Rejuvenation")
 	}
 }
 

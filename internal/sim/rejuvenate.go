@@ -77,6 +77,13 @@ type rejuvenator struct {
 	restarting    []bool          // a replacement is mid-boot for this index
 	restarts      int
 	suppressed    int
+
+	// stateTransfer (Scenario.StateTransfer) is how long a replacement's
+	// simulated recovery state transfer takes; zero models a stateless
+	// service whose replacements boot caught up. transfers counts
+	// incarnations that completed theirs.
+	stateTransfer time.Duration
+	transfers     int
 }
 
 func newRejuvenator(k *Kernel, spec RejuvenationSpec, specs []ReplicaSpec, replicas []*Replica,
@@ -167,6 +174,17 @@ func (rj *rejuvenator) restart(idx int) {
 		}
 		if spec.Slow != nil {
 			nr.setSlow(spec.Slow, spec.SlowFrom, spec.SlowUntil)
+		}
+		if rj.stateTransfer > 0 {
+			// The replacement boots empty: its reports must not claim a
+			// caught-up state machine until the transfer window elapses, so
+			// a RequireStateTransfer lifecycle keeps it in probation.
+			nr.caughtUpAt = rj.kernel.Now() + rj.stateTransfer
+			rj.kernel.After(rj.stateTransfer, func() {
+				if rj.replicas[idx] == nr && !nr.Crashed(rj.kernel.Now()) {
+					rj.transfers++
+				}
+			})
 		}
 		rj.replicas[idx] = nr
 		rj.byID[next] = nr

@@ -158,6 +158,16 @@ type Scenario struct {
 	// replicas are killed and fresh incarnations boot at the same host
 	// index. Requires Lifecycle.Enabled.
 	Rejuvenation RejuvenationSpec
+	// StateTransfer, when positive, models the ordered service mode's
+	// recovery state transfer abstractly: every rejuvenated incarnation
+	// reports CaughtUp=false in its performance reports until this much
+	// virtual time after its boot, then CaughtUp=true (an empty replica
+	// pulling a snapshot and log suffix from a peer). Pair it with
+	// Lifecycle.RequireStateTransfer to hold the replacement in probation
+	// until the transfer completes. Requires Rejuvenation.Enabled — first
+	// incarnations boot with the service's initial state and are always
+	// caught up.
+	StateTransfer time.Duration
 	// Cancellation enables first-response-wins cancellation: when a client's
 	// earliest reply arrives, a Cancel is sent to each losing replica (one
 	// network delay later, subject to link faults), purging its queued copy
@@ -303,6 +313,10 @@ type Result struct {
 	Restarts            int // rejuvenation restarts performed
 	RestartsSuppressed  int // restarts refused by the storm cap
 	ProbationViolations int // sum over clients; zero is the guardrail
+	// StateTransfers counts rejuvenated incarnations that completed their
+	// simulated state transfer (survived StateTransfer of virtual time past
+	// boot without being retired). Zero unless Scenario.StateTransfer.
+	StateTransfers int
 
 	// Cancellation aggregates (zero unless Scenario.Cancellation).
 	CancelsSent    int // Cancel messages put on the network by all clients
@@ -352,6 +366,9 @@ func Run(s Scenario) (*Result, error) {
 	}
 	if s.Rejuvenation.Enabled && !s.Lifecycle.Enabled {
 		return nil, fmt.Errorf("sim: rejuvenation requires Lifecycle.Enabled (nothing quarantines without it)")
+	}
+	if s.StateTransfer > 0 && !s.Rejuvenation.Enabled {
+		return nil, fmt.Errorf("sim: StateTransfer requires Rejuvenation.Enabled (only rejuvenated incarnations recover state)")
 	}
 	if s.Cancellation {
 		if s.Rejuvenation.Enabled || s.ProbeInterval > 0 {
@@ -414,6 +431,7 @@ func Run(s Scenario) (*Result, error) {
 	if s.Rejuvenation.Enabled {
 		rj = newRejuvenator(k, s.Rejuvenation, s.Replicas, replicas, byID, clients,
 			s.DetectionDelay, root.Split(), s.Trace)
+		rj.stateTransfer = s.StateTransfer
 	}
 
 	for i, spec := range s.Clients {
@@ -561,6 +579,7 @@ func Run(s Scenario) (*Result, error) {
 	if rj != nil {
 		res.Restarts = rj.restarts
 		res.RestartsSuppressed = rj.suppressed
+		res.StateTransfers = rj.transfers
 	}
 	for i, c := range clients {
 		// Flush any record still pending (reply arrived after the run's

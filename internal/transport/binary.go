@@ -5,11 +5,11 @@ package transport
 // gob is self-describing: every frame re-transmits type definitions, field
 // names cost bytes, and both directions allocate (reflection, buffer copies,
 // interface boxing). On the decision path the codec is the last per-request
-// allocator, so the wire messages — nine fixed shapes — get a fixed binary
+// allocator, so the wire messages — eleven fixed shapes — get a fixed binary
 // layout instead:
 //
 //	frame  := len(4, big-endian) body
-//	body   := magic(0xAB) version(0x01) msgType(1) from(str) fields…
+//	body   := magic(0xAB) version(0x02) msgType(1) from(str) fields…
 //	str    := uvarint len, raw bytes
 //	bytes  := uvarint len, raw bytes (len 0 decodes as nil)
 //	uint   := uvarint            (Seq, View)
@@ -48,8 +48,12 @@ import (
 )
 
 const (
-	binMagic   = 0xAB // body[0]: unreachable as a gob first byte, see package comment
-	binVersion = 0x01 // body[1]: bumped on any layout change
+	binMagic = 0xAB // body[0]: unreachable as a gob first byte, see package comment
+	// binVersion 0x02: Request grew Stamp, PerfReport grew OrderedTail and
+	// CaughtUp, and the ordered-mode StateRequest/StateChunk frames joined
+	// the codec. A 0x01 peer's frames are rejected with a versioned error
+	// and both sides fall back to gob, which tolerates missing fields.
+	binVersion = 0x02 // body[1]: bumped on any layout change
 )
 
 // Message type codes (body[2]).
@@ -63,6 +67,8 @@ const (
 	binCancel
 	binDigestSync
 	binDigestRequest
+	binStateRequest
+	binStateChunk
 )
 
 // maxDigestEntries bounds the decoded digest batch (and each digest's bin
@@ -103,7 +109,17 @@ func appendTime(b []byte, t time.Time) []byte {
 func appendPerf(b []byte, p wire.PerfReport) []byte {
 	b = binary.AppendVarint(b, int64(p.ServiceTime))
 	b = binary.AppendVarint(b, int64(p.QueueDelay))
-	return binary.AppendVarint(b, int64(p.QueueLength))
+	b = binary.AppendVarint(b, int64(p.QueueLength))
+	b = binary.AppendUvarint(b, p.OrderedTail)
+	return appendBool(b, p.CaughtUp)
+}
+
+func appendLogEntry(b []byte, e wire.LogEntry) []byte {
+	b = binary.AppendUvarint(b, e.Stamp)
+	b = appendStr(b, string(e.Client))
+	b = binary.AppendUvarint(b, uint64(e.Seq))
+	b = appendStr(b, e.Method)
+	return appendByteSlice(b, e.Payload)
 }
 
 // appendInt64s encodes a length-prefixed varint slice (nil and empty both
@@ -153,6 +169,10 @@ func appendBinaryBody(buf []byte, from Addr, payload any) ([]byte, bool) {
 		typ = binDigestSync
 	case wire.DigestRequest:
 		typ = binDigestRequest
+	case wire.StateRequest:
+		typ = binStateRequest
+	case wire.StateChunk:
+		typ = binStateChunk
 	default:
 		return buf, false
 	}
@@ -167,6 +187,7 @@ func appendBinaryBody(buf []byte, from Addr, payload any) ([]byte, bool) {
 		buf = appendByteSlice(buf, m.Payload)
 		buf = appendTime(buf, m.SentAt)
 		buf = appendBool(buf, m.Probe)
+		buf = binary.AppendUvarint(buf, m.Stamp)
 	case wire.Response:
 		buf = appendStr(buf, string(m.Client))
 		buf = binary.AppendUvarint(buf, uint64(m.Seq))
@@ -210,6 +231,32 @@ func appendBinaryBody(buf []byte, from Addr, payload any) ([]byte, bool) {
 	case wire.DigestRequest:
 		buf = appendStr(buf, string(m.Client))
 		buf = appendStr(buf, string(m.Service))
+	case wire.StateRequest:
+		buf = appendStr(buf, string(m.Replica))
+		buf = appendStr(buf, string(m.Service))
+		buf = appendBool(buf, m.WantSnapshot)
+		buf = binary.AppendUvarint(buf, m.SinceIndex)
+		buf = appendStr(buf, string(m.Gap))
+		buf = binary.AppendUvarint(buf, m.FromStamp)
+		buf = binary.AppendUvarint(buf, m.ToStamp)
+	case wire.StateChunk:
+		buf = appendStr(buf, string(m.Replica))
+		buf = appendStr(buf, string(m.Service))
+		buf = appendByteSlice(buf, m.Snapshot)
+		buf = binary.AppendUvarint(buf, m.SnapshotIndex)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			buf = appendLogEntry(buf, e)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(m.Cursors)))
+		for _, c := range m.Cursors {
+			buf = appendStr(buf, string(c.Client))
+			buf = binary.AppendUvarint(buf, c.Next)
+		}
+		buf = binary.AppendUvarint(buf, m.Tail)
+		buf = appendBool(buf, m.Done)
+		buf = appendBool(buf, m.Pruned)
+		buf = appendStr(buf, m.Err)
 	}
 	return buf, true
 }
@@ -295,6 +342,18 @@ func (r *binReader) perf() wire.PerfReport {
 		ServiceTime: r.dur(),
 		QueueDelay:  r.dur(),
 		QueueLength: int(r.varint()),
+		OrderedTail: r.uvarint(),
+		CaughtUp:    r.bool8(),
+	}
+}
+
+func (r *binReader) logEntry() wire.LogEntry {
+	return wire.LogEntry{
+		Stamp:   r.uvarint(),
+		Client:  wire.ClientID(r.str()),
+		Seq:     wire.SeqNo(r.uvarint()),
+		Method:  r.str(),
+		Payload: r.byteSlice(),
 	}
 }
 
@@ -365,6 +424,7 @@ func decodeBinaryBody(body []byte) (envelope, error) {
 			Payload: r.byteSlice(),
 			SentAt:  r.timeAt(),
 			Probe:   r.bool8(),
+			Stamp:   r.uvarint(),
 		}
 	case binResponse:
 		payload = wire.Response{
@@ -431,6 +491,49 @@ func decodeBinaryBody(body []byte) (envelope, error) {
 			Client:  wire.ClientID(r.str()),
 			Service: wire.Service(r.str()),
 		}
+	case binStateRequest:
+		payload = wire.StateRequest{
+			Replica:      wire.ReplicaID(r.str()),
+			Service:      wire.Service(r.str()),
+			WantSnapshot: r.bool8(),
+			SinceIndex:   r.uvarint(),
+			Gap:          wire.ClientID(r.str()),
+			FromStamp:    r.uvarint(),
+			ToStamp:      r.uvarint(),
+		}
+	case binStateChunk:
+		m := wire.StateChunk{
+			Replica:       wire.ReplicaID(r.str()),
+			Service:       wire.Service(r.str()),
+			Snapshot:      r.byteSlice(),
+			SnapshotIndex: r.uvarint(),
+		}
+		if n := r.count(); n > 0 {
+			m.Entries = make([]wire.LogEntry, n)
+			for i := range m.Entries {
+				m.Entries[i] = r.logEntry()
+				if r.err != nil {
+					break
+				}
+			}
+		}
+		if n := r.count(); n > 0 {
+			m.Cursors = make([]wire.ClientCursor, n)
+			for i := range m.Cursors {
+				m.Cursors[i] = wire.ClientCursor{
+					Client: wire.ClientID(r.str()),
+					Next:   r.uvarint(),
+				}
+				if r.err != nil {
+					break
+				}
+			}
+		}
+		m.Tail = r.uvarint()
+		m.Done = r.bool8()
+		m.Pruned = r.bool8()
+		m.Err = r.str()
+		payload = m
 	default:
 		return envelope{}, fmt.Errorf("transport: unknown binary message type %d", typ)
 	}
@@ -463,6 +566,10 @@ func binTypeName(t byte) string {
 		return "digest-sync"
 	case binDigestRequest:
 		return "digest-request"
+	case binStateRequest:
+		return "state-request"
+	case binStateChunk:
+		return "state-chunk"
 	default:
 		return "unknown"
 	}

@@ -34,10 +34,12 @@ func init() {
 	gob.Register(wire.Cancel{})
 	gob.Register(wire.DigestSync{})
 	gob.Register(wire.DigestRequest{})
+	gob.Register(wire.StateRequest{})
+	gob.Register(wire.StateChunk{})
 }
 
 // encodeFrame serializes an envelope with a 4-byte big-endian length prefix.
-// The nine internal/wire message shapes take the binary codec (binary.go);
+// The eleven internal/wire message shapes take the binary codec (binary.go);
 // anything else falls back to gob, which stays registered so mixed-version
 // peers and out-of-tree payloads keep working.
 func encodeFrame(from Addr, payload any) ([]byte, error) {

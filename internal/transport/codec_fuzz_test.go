@@ -33,6 +33,18 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(reqd)
+	streq, err := encodeFrame("seed", wire.StateRequest{Replica: "r1", Service: "svc", WantSnapshot: true, SinceIndex: 7, Gap: "c", FromStamp: 3, ToStamp: 9})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(streq)
+	stchunk, err := encodeFrame("seed", wire.StateChunk{Replica: "r1", Service: "svc", Snapshot: []byte("snap"), SnapshotIndex: 4,
+		Entries: []wire.LogEntry{{Stamp: 5, Client: "c", Seq: 12, Method: "put", Payload: []byte("v")}},
+		Cursors: []wire.ClientCursor{{Client: "c", Next: 6}}, Tail: 5, Done: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stchunk)
 	f.Add(valid[:4])
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0})
@@ -103,6 +115,81 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 			t.Errorf("re-encode not byte-exact:\n got %x\nwant %x", again, frame)
 		}
 	})
+}
+
+// FuzzStateTransferRoundTrip fences the ordered-mode frames — stamped
+// requests, StateRequest, StateChunk — through both codec legs: the binary
+// layout must round-trip byte-exactly, and the gob fallback (what a
+// pre-binary or mixed-version peer would send) must decode to the same
+// values the binary leg produces.
+func FuzzStateTransferRoundTrip(f *testing.F) {
+	f.Add("r1", "svc", uint64(1), uint64(9), []byte("snap"), "client", uint64(4), "put", []byte("v"), true, false, "")
+	f.Add("", "", uint64(0), uint64(0), []byte{}, "", uint64(0), "", []byte{}, false, true, "pruned")
+	f.Add("r2", "s", ^uint64(0), ^uint64(0), []byte{0xAB, 0x02}, "c", ^uint64(0), "m", []byte{0xAB}, true, true, "not caught up")
+	f.Fuzz(func(t *testing.T, replica, service string, stamp, index uint64, snap []byte,
+		client string, seq uint64, method string, payload []byte, done, pruned bool, errMsg string) {
+		msgs := []any{
+			wire.Request{Client: wire.ClientID(client), Seq: wire.SeqNo(seq), Service: wire.Service(service),
+				Method: method, Payload: payload, Stamp: stamp},
+			wire.StateRequest{Replica: wire.ReplicaID(replica), Service: wire.Service(service),
+				WantSnapshot: done, SinceIndex: index, Gap: wire.ClientID(client), FromStamp: stamp, ToStamp: stamp + 3},
+			wire.StateChunk{Replica: wire.ReplicaID(replica), Service: wire.Service(service),
+				Snapshot: snap, SnapshotIndex: index,
+				Entries: []wire.LogEntry{{Stamp: stamp, Client: wire.ClientID(client), Seq: wire.SeqNo(seq), Method: method, Payload: payload}},
+				Cursors: []wire.ClientCursor{{Client: wire.ClientID(client), Next: stamp + 1}},
+				Tail:    index, Done: done, Pruned: pruned, Err: errMsg},
+			wire.Response{Client: wire.ClientID(client), Seq: wire.SeqNo(seq), Replica: wire.ReplicaID(replica),
+				Service: wire.Service(service), Payload: payload,
+				Perf: wire.PerfReport{ServiceTime: time.Duration(index), QueueDelay: time.Duration(stamp), QueueLength: 1, OrderedTail: index, CaughtUp: done}},
+		}
+		for _, in := range msgs {
+			// Binary leg: byte-exact round trip.
+			frame, err := encodeFrame(Addr(replica), in)
+			if err != nil {
+				if len(payload)+len(snap) > maxFrameSize-4096 {
+					return
+				}
+				t.Fatalf("encode %T: %v", in, err)
+			}
+			env, err := decodeFrame(bytes.NewReader(frame))
+			if err != nil {
+				t.Fatalf("decode %T: %v", in, err)
+			}
+			again, err := encodeFrame(env.From, env.Payload)
+			if err != nil {
+				t.Fatalf("re-encode %T: %v", in, err)
+			}
+			if !bytes.Equal(frame, again) {
+				t.Errorf("%T: binary re-encode not byte-exact", in)
+			}
+			// Gob fallback leg: an old peer's frame decodes to the same value
+			// the binary leg produced.
+			gobFrame, err := encodeGobFrame(Addr(replica), in)
+			if err != nil {
+				t.Fatalf("gob encode %T: %v", in, err)
+			}
+			gobEnv, err := decodeFrame(bytes.NewReader(gobFrame))
+			if err != nil {
+				t.Fatalf("gob decode %T: %v", in, err)
+			}
+			b1, b2 := mustReencode(t, env.Payload), mustReencode(t, gobEnv.Payload)
+			if !bytes.Equal(b1, b2) {
+				t.Errorf("%T: gob leg decoded differently from binary leg", in)
+			}
+		}
+	})
+}
+
+// mustReencode canonicalizes a payload through the binary encoder so two
+// decoded values can be compared structurally without reflect.DeepEqual's
+// nil-vs-empty-slice pitfalls.
+func mustReencode(t *testing.T, payload any) []byte {
+	t.Helper()
+	b, err := encodeFrame("cmp", payload)
+	if err != nil {
+		t.Fatalf("canonical re-encode %T: %v", payload, err)
+	}
+	return b
 }
 
 // FuzzEncodeDecodeRoundTrip checks that any request payload survives the

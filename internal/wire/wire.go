@@ -61,6 +61,18 @@ type PerfReport struct {
 	// QueueLength is the number of outstanding requests in the replica's
 	// queue at publication time.
 	QueueLength int
+	// OrderedTail is the replica's ordered-log length: how many stamped
+	// requests it has applied to its state machine. Zero for stateless
+	// replicas. Gateways feed it to the repository so lifecycle can tell a
+	// caught-up replica from one that is merely fast.
+	OrderedTail uint64
+	// CaughtUp reports whether the replica's state machine is current: it
+	// either booted fresh into an empty group or has completed state
+	// transfer since its last restart. Stateless replicas always report
+	// true. While false, repositories running with the state-transfer gate
+	// refuse to promote the replica Probation→Active no matter how many
+	// timely samples it produces.
+	CaughtUp bool
 }
 
 // SeqNo orders a client's requests; the (ClientID, SeqNo) pair identifies a
@@ -86,6 +98,13 @@ type Request struct {
 	// application handler, and the client records the performance data
 	// without counting the exchange in its request statistics.
 	Probe bool
+	// Stamp is the per-client logical timestamp of an ordered-mode request
+	// (1, 2, 3, … — contiguous per client gateway), or zero for unordered
+	// traffic and probes. Replicas hold stamped requests in a stable-
+	// delivery queue and execute them in stamp order (Schneider-style state
+	// machine replication), so every replica that executes a client's
+	// request has executed the same per-client prefix first.
+	Stamp uint64
 }
 
 // Response carries a replica's reply plus its piggybacked performance data.
@@ -211,4 +230,86 @@ type DigestSync struct {
 type DigestRequest struct {
 	Client  ClientID
 	Service Service
+}
+
+// LogEntry is one applied ordered-mode request: enough to replay it through
+// a state machine (Apply) during state transfer, and to re-reply should the
+// original frame arrive late. Entries are totally ordered by the log they
+// sit in; Stamp orders them within one client's stream.
+type LogEntry struct {
+	Stamp   uint64
+	Client  ClientID
+	Seq     SeqNo
+	Method  string
+	Payload []byte
+}
+
+// ClientCursor is one row of a replica's stable-delivery table: the next
+// stamp it expects from a client. Transferred in a StateChunk so a recovered
+// replica resumes exactly where the snapshot + log suffix left off.
+type ClientCursor struct {
+	Client ClientID
+	Next   uint64
+}
+
+// StateRequest asks for missing ordered-mode state. It is sent in two
+// directions, distinguished by which fields are set:
+//
+//   - replica → replica (recovery): WantSnapshot is true (and Gap is empty);
+//     the receiver, if Active and caught up, answers with StateChunk frames
+//     carrying its latest snapshot, the log suffix after it, and its
+//     stable-delivery cursors. SinceIndex lets a requester that already
+//     holds a prefix ask for only the suffix.
+//   - replica → gateway (gap refill): Gap names the client whose stamps
+//     [FromStamp, ToStamp] never arrived (dropped frame, or the replica was
+//     outside the multicast subset); the gateway re-sends the original
+//     stored wire.Request frames through the normal path. If the range has
+//     been pruned from the gateway's ordered log, the gateway answers
+//     StateChunk{Pruned: true} and the replica falls back to peer recovery.
+type StateRequest struct {
+	// Replica is the requester (reply routing and diagnostics).
+	Replica ReplicaID
+	Service Service
+	// WantSnapshot marks a recovery request: send snapshot + suffix.
+	WantSnapshot bool
+	// SinceIndex is the log length the requester already holds; the
+	// responder may omit entries at or below it when no snapshot is needed.
+	SinceIndex uint64
+	// Gap, FromStamp, ToStamp describe a gap-refill request (see above).
+	Gap       ClientID
+	FromStamp uint64
+	ToStamp   uint64
+}
+
+// StateChunk is one slice of a state-transfer reply. The responder streams
+// its snapshot on the first chunk and the log suffix across however many
+// chunks it takes; Done marks the last. A recovering replica applies
+// Restore(Snapshot), replays Entries in order, installs Cursors, and only
+// then reports CaughtUp in its performance reports — which is what lets
+// lifecycle move it Probation→Active again.
+type StateChunk struct {
+	// Replica is the responder.
+	Replica ReplicaID
+	Service Service
+	// Snapshot is the state-machine snapshot covering the log prefix up to
+	// and including SnapshotIndex (only on the first chunk; nil afterwards,
+	// and nil throughout when the transfer is pure log suffix).
+	Snapshot      []byte
+	SnapshotIndex uint64
+	// Entries is the log suffix slice carried by this chunk.
+	Entries []LogEntry
+	// Cursors is the responder's stable-delivery table (final chunk only).
+	Cursors []ClientCursor
+	// Tail is the responder's total log length; after Done, the requester's
+	// log length must equal it.
+	Tail uint64
+	// Done marks the final chunk of the transfer.
+	Done bool
+	// Pruned reports a refill miss: the requested stamp range is no longer
+	// in the responder's ordered log, so the requester must recover from an
+	// Active peer instead.
+	Pruned bool
+	// Err is a non-empty refusal (responder not caught up itself, unknown
+	// service, …); the requester retries against another peer.
+	Err string
 }
